@@ -1,0 +1,215 @@
+// Package aapsm detects and corrects phase conflicts in bright-field
+// Alternating-Aperture Phase Shift Mask (AAPSM) layouts.
+//
+// It reproduces C. Chiang, A. B. Kahng, X. Xu and A. Zelikovsky,
+// "Bright-Field AAPSM Conflict Detection and Correction", DATE 2005:
+//
+//   - a phase conflict graph whose bipartiteness is equivalent to the
+//     layout being phase-assignable (Theorem 1);
+//   - minimal conflict detection by planarizing the graph's geometric
+//     drawing and optimally bipartizing the planar remainder through the
+//     dual T-join problem, reduced to minimum-weight perfect matching with
+//     generalized gadgets;
+//   - layout correction by inserting end-to-end spaces chosen through a
+//     weighted set cover over the detected conflicts.
+//
+// Quick start:
+//
+//	l := aapsm.NewLayout("demo")
+//	l.Add(aapsm.R(0, 0, 100, 1000))     // a critical poly wire
+//	l.Add(aapsm.R(350, 0, 450, 1000))   // too close: phase conflict
+//	res, err := aapsm.Detect(l, aapsm.Default90nmRules(), aapsm.DetectOptions{})
+//	...
+//	cor, err := aapsm.Correct(l, aapsm.Default90nmRules(), res)
+//	fixed := cor.Layout // phase-assignable, DRC-clean
+package aapsm
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/correct"
+	"repro/internal/drc"
+	"repro/internal/gds"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/shifter"
+	"repro/internal/tjoin"
+)
+
+// Re-exported core types. Aliases keep the internal packages' documentation
+// and methods while giving users public names.
+type (
+	// Layout is a set of rectangular polysilicon features.
+	Layout = layout.Layout
+	// Feature is one drawn rectangle.
+	Feature = layout.Feature
+	// Rules are the process parameters (critical width, shifter geometry,
+	// DRC minima).
+	Rules = layout.Rules
+	// Rect is an axis-aligned rectangle in integer nanometers.
+	Rect = geom.Rect
+	// Point is a plane location in integer nanometers.
+	Point = geom.Point
+	// Shifter is a synthesized phase-shift aperture.
+	Shifter = shifter.Shifter
+	// Conflict is one detected AAPSM conflict.
+	Conflict = core.Conflict
+	// Detection is the detailed result of the detection flow.
+	Detection = core.Detection
+	// ConflictGraph is the drawn layout graph (PCG or FG).
+	ConflictGraph = core.ConflictGraph
+	// Assignment maps shifters to phases.
+	Assignment = core.Assignment
+	// Violation is a broken phase-assignment condition.
+	Violation = core.Violation
+	// Plan is a chosen set of end-to-end spaces.
+	Plan = correct.Plan
+	// Cut is one end-to-end space.
+	Cut = correct.Cut
+	// DRCViolation is a design-rule error.
+	DRCViolation = drc.Violation
+	// GraphKind selects the graph representation (PCG or FG).
+	GraphKind = core.GraphKind
+)
+
+// Graph representations.
+const (
+	// PCG is the paper's phase conflict graph (recommended).
+	PCG = core.PCG
+	// FG is the feature-graph baseline it improves upon.
+	FG = core.FG
+)
+
+// NewLayout creates an empty layout.
+func NewLayout(name string) *Layout { return layout.New(name) }
+
+// R builds a rectangle from two corners in any order.
+func R(x0, y0, x1, y1 int64) Rect { return geom.R(x0, y0, x1, y1) }
+
+// Default90nmRules returns representative 90 nm-node process rules.
+func Default90nmRules() Rules { return layout.Default90nm() }
+
+// TJoinMethod selects the reduction used by the optimal bipartization step.
+type TJoinMethod int
+
+const (
+	// GeneralizedGadgets is the paper's reduction (default, fastest).
+	GeneralizedGadgets TJoinMethod = iota
+	// OptimizedGadgets is the TCAD'99 baseline reduction.
+	OptimizedGadgets
+	// LawlerReduction solves the T-join via shortest-path metric closure.
+	LawlerReduction
+)
+
+// DetectOptions configures Detect.
+type DetectOptions struct {
+	// Graph selects PCG (default) or the FG baseline.
+	Graph GraphKind
+	// Method selects the T-join reduction.
+	Method TJoinMethod
+	// ImprovedRecheck enables the parity-based re-admission of
+	// planarization-removed edges (never selects more conflicts than the
+	// paper's coloring recheck).
+	ImprovedRecheck bool
+}
+
+func (o DetectOptions) coreOptions() core.Options {
+	var c core.Options
+	switch o.Method {
+	case OptimizedGadgets:
+		c.TJoin.Method = tjoin.MethodOptimizedGadget
+	case LawlerReduction:
+		c.TJoin.Method = tjoin.MethodLawler
+	}
+	if o.ImprovedRecheck {
+		c.Recheck = core.RecheckParity
+	}
+	return c
+}
+
+// Result bundles the detection output with the graph it ran on.
+type Result struct {
+	Graph     *ConflictGraph
+	Detection *Detection
+}
+
+// Conflicts returns the final selected AAPSM conflicts.
+func (r *Result) Conflicts() []Conflict { return r.Detection.FinalConflicts }
+
+// Assignable reports whether the layout needed no repairs.
+func (r *Result) Assignable() bool { return len(r.Detection.FinalConflicts) == 0 }
+
+// Detect synthesizes shifters for l, builds the conflict graph, and runs
+// the full detection flow of the paper's §3.
+func Detect(l *Layout, rules Rules, opt DetectOptions) (*Result, error) {
+	cg, err := core.BuildGraph(l, rules, opt.Graph)
+	if err != nil {
+		return nil, err
+	}
+	det, err := core.Detect(cg, opt.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Graph: cg, Detection: det}, nil
+}
+
+// DetectGreedy runs the greedy-bipartization baseline (Table 1 column GB).
+func DetectGreedy(l *Layout, rules Rules, kind GraphKind) (*Result, error) {
+	cg, err := core.BuildGraph(l, rules, kind)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Graph: cg, Detection: core.GreedyDetect(cg)}, nil
+}
+
+// Assignable implements Theorem 1: the layout admits a valid phase
+// assignment iff its phase conflict graph is bipartite.
+func Assignable(l *Layout, rules Rules) (bool, error) {
+	return core.IsPhaseAssignable(l, rules)
+}
+
+// AssignPhases extracts 0°/180° shifter phases after detection; conflicts
+// are waived pending correction.
+func AssignPhases(r *Result) (*Assignment, error) {
+	return core.AssignPhases(r.Detection)
+}
+
+// VerifyAssignment checks an assignment against all (non-waived)
+// constraints.
+func VerifyAssignment(a *Assignment, r *Result) []Violation {
+	return a.Verify(r.Graph)
+}
+
+// Correction is the output of Correct.
+type Correction struct {
+	Plan   *Plan
+	Layout *Layout // the modified, phase-assignable layout
+	Stats  correct.Stats
+}
+
+// Correct plans and applies end-to-end spaces fixing every correctable
+// conflict in r (paper §3.2). The input layout is not modified.
+func Correct(l *Layout, rules Rules, r *Result) (*Correction, error) {
+	plan, err := correct.BuildPlan(l, rules, r.Graph.Set, r.Detection.FinalConflicts)
+	if err != nil {
+		return nil, err
+	}
+	mod := correct.Apply(l, plan)
+	return &Correction{Plan: plan, Layout: mod, Stats: correct.Summarize(l, plan, mod)}, nil
+}
+
+// CheckDRC runs the design-rule checks.
+func CheckDRC(l *Layout, rules Rules) []DRCViolation { return drc.Check(l, rules) }
+
+// ReadLayoutText parses the plain-text layout interchange format.
+func ReadLayoutText(r io.Reader) (*Layout, error) { return layout.ReadText(r) }
+
+// WriteLayoutText serializes a layout to the plain-text format.
+func WriteLayoutText(w io.Writer, l *Layout) error { return l.WriteText(w) }
+
+// ReadGDS parses a GDSII stream (rectangular boundaries, 1 nm units).
+func ReadGDS(r io.Reader) (*Layout, error) { return gds.Read(r) }
+
+// WriteGDS serializes a layout as a GDSII stream.
+func WriteGDS(w io.Writer, l *Layout) error { return gds.Write(w, l) }

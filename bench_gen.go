@@ -1,0 +1,36 @@
+package aapsm
+
+import "repro/internal/bench"
+
+// BenchmarkParams parameterizes the synthetic standard-cell layout
+// generator used by the reproduction experiments.
+type BenchmarkParams = bench.Params
+
+// BenchmarkDesign is one named entry of the benchmark suite.
+type BenchmarkDesign = bench.Design
+
+// DefaultBenchmarkParams returns the balanced generator configuration for
+// the given size.
+func DefaultBenchmarkParams(seed int64, rows, gatesPerRow int) BenchmarkParams {
+	return bench.DefaultParams(seed, rows, gatesPerRow)
+}
+
+// GenerateBenchmark builds a deterministic synthetic layout.
+func GenerateBenchmark(name string, p BenchmarkParams) *Layout {
+	return bench.Generate(name, p)
+}
+
+// BenchmarkSuite returns the designs d1..d8 used to regenerate the paper's
+// Table 1 and Table 2 (≈1 K to ≈160 K polygons).
+func BenchmarkSuite() []BenchmarkDesign { return bench.Suite() }
+
+// Figure1Layout returns the paper's Figure 1 situation: an odd cycle of
+// phase dependencies with no valid assignment.
+func Figure1Layout() *Layout { return bench.Figure1Layout() }
+
+// Figure2Layout returns the layout used to contrast the PCG with the FG.
+func Figure2Layout() *Layout { return bench.Figure2Layout() }
+
+// Figure5Layout returns stacked aligned conflicts correctable by one
+// end-to-end vertical space.
+func Figure5Layout() *Layout { return bench.Figure5Layout() }

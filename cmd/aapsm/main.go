@@ -1,0 +1,221 @@
+// Command aapsm runs the bright-field AAPSM flow on a layout file:
+// conflict detection, phase assignment, DRC, and layout correction.
+//
+// Usage:
+//
+//	aapsm -cmd detect    -in design.txt [-graph pcg|fg] [-method gen|opt|lawler]
+//	aapsm -cmd correct   -in design.txt [-out fixed.txt]
+//	aapsm -cmd assign    -in design.txt
+//	aapsm -cmd drc       -in design.txt
+//	aapsm -cmd mask      -in design.txt -out design_mask.gds
+//	aapsm -cmd svg       -in design.txt -out design.svg
+//	aapsm -cmd junctions -in design.txt
+//
+// Layout files are the plain-text interchange format unless the name ends
+// in .gds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	aapsm "repro"
+)
+
+func main() {
+	var (
+		cmd     = flag.String("cmd", "detect", "detect | correct | assign | drc")
+		in      = flag.String("in", "", "input layout (.txt or .gds)")
+		out     = flag.String("out", "", "output layout for -cmd correct (default: stdout, text)")
+		graph   = flag.String("graph", "pcg", "graph representation: pcg | fg")
+		method  = flag.String("method", "gen", "T-join reduction: gen | opt | lawler")
+		imp     = flag.Bool("improved-recheck", false, "use parity-based crossing recheck")
+		verbose = flag.Bool("v", false, "verbose conflict listing")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatalf("missing -in; see -help")
+	}
+	l, err := readLayout(*in)
+	check(err)
+	rules := aapsm.Default90nmRules()
+
+	opt := aapsm.DetectOptions{ImprovedRecheck: *imp}
+	switch *graph {
+	case "pcg":
+		opt.Graph = aapsm.PCG
+	case "fg":
+		opt.Graph = aapsm.FG
+	default:
+		fatalf("unknown -graph %q", *graph)
+	}
+	switch *method {
+	case "gen":
+		opt.Method = aapsm.GeneralizedGadgets
+	case "opt":
+		opt.Method = aapsm.OptimizedGadgets
+	case "lawler":
+		opt.Method = aapsm.LawlerReduction
+	default:
+		fatalf("unknown -method %q", *method)
+	}
+
+	switch *cmd {
+	case "drc":
+		vs := aapsm.CheckDRC(l, rules)
+		fmt.Printf("%s: %d features, %d DRC violations\n", l.Name, len(l.Features), len(vs))
+		for _, v := range vs {
+			fmt.Println("  ", v)
+		}
+		if len(vs) > 0 {
+			os.Exit(1)
+		}
+
+	case "detect":
+		res, err := aapsm.Detect(l, rules, opt)
+		check(err)
+		s := res.Detection.Stats
+		fmt.Printf("%s: %d features, graph %d nodes / %d edges (%s)\n",
+			l.Name, len(l.Features), s.GraphNodes, s.GraphEdges, *graph)
+		fmt.Printf("  crossings removed: %d (of %d crossing pairs)\n",
+			len(res.Detection.CrossingsRemoved), s.CrossingPairs)
+		fmt.Printf("  dual: %d faces / %d edges, %d odd faces; gadget %d nodes\n",
+			s.DualNodes, s.DualEdges, s.OddFaces, s.GadgetNodes)
+		fmt.Printf("  conflicts: %d (bipartization %d) in %v (matching %v)\n",
+			len(res.Conflicts()), len(res.Detection.BipartizationEdges), s.TotalTime, s.MatchTime)
+		if res.Assignable() {
+			fmt.Println("  layout is phase-assignable")
+		}
+		if *verbose {
+			for _, c := range res.Conflicts() {
+				fmt.Printf("    conflict: shifters %d,%d deficit %d\n", c.Meta.S1, c.Meta.S2, c.Deficit)
+			}
+		}
+
+	case "assign":
+		res, err := aapsm.Detect(l, rules, opt)
+		check(err)
+		a, err := aapsm.AssignPhases(res)
+		check(err)
+		if v := aapsm.VerifyAssignment(a, res); len(v) != 0 {
+			fatalf("assignment verification failed: %v", v)
+		}
+		fmt.Printf("%s: %d shifters assigned (%d conflicts waived)\n",
+			l.Name, len(a.Phases), len(a.Waived))
+		if *verbose {
+			for i, ph := range a.Phases {
+				sh := res.Graph.Set.Shifters[i]
+				fmt.Printf("  shifter %d (feature %d): phase %s at %v\n", i, sh.Feature, ph, sh.Rect)
+			}
+		}
+
+	case "correct":
+		res, err := aapsm.Detect(l, rules, opt)
+		check(err)
+		cor, err := aapsm.Correct(l, rules, res)
+		check(err)
+		fmt.Println(cor.Stats)
+		ok, err := aapsm.Assignable(cor.Layout, rules)
+		check(err)
+		if !ok && len(cor.Plan.Unfixable) == 0 {
+			fatalf("internal error: corrected layout still conflicts")
+		}
+		if dv := aapsm.CheckDRC(cor.Layout, rules); len(dv) != 0 {
+			fatalf("internal error: correction introduced DRC violations: %v", dv[0])
+		}
+		if *out != "" {
+			check(writeLayout(*out, cor.Layout))
+			fmt.Printf("wrote %s\n", *out)
+		}
+
+	case "mask":
+		if *out == "" {
+			fatalf("mask needs -out")
+		}
+		res, err := aapsm.Detect(l, rules, opt)
+		check(err)
+		a, err := aapsm.AssignPhases(res)
+		check(err)
+		if p := aapsm.ValidateMask(l, rules, res, a); len(p) != 0 {
+			fatalf("mask inconsistent: %v", p[0])
+		}
+		m, err := aapsm.BuildMask(l, res, a)
+		check(err)
+		check(writeLayout(*out, m))
+		fmt.Printf("wrote mask view %s (%d shapes; %d conflicts waived pending correction)\n",
+			*out, len(m.Features), len(res.Conflicts()))
+
+	case "svg":
+		if *out == "" {
+			fatalf("svg needs -out")
+		}
+		res, err := aapsm.Detect(l, rules, opt)
+		check(err)
+		a, err := aapsm.AssignPhases(res)
+		check(err)
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		check(aapsm.RenderSVG(f, l, aapsm.RenderOptions{Result: res, Assignment: a}))
+		fmt.Printf("wrote %s\n", *out)
+
+	case "junctions":
+		js := aapsm.FindJunctions(l)
+		fmt.Printf("%s: %d junctions\n", l.Name, len(js))
+		counts := map[string]int{}
+		for _, j := range js {
+			counts[j.Kind.String()]++
+			if *verbose {
+				fmt.Println("  ", j)
+			}
+		}
+		for k, n := range counts {
+			fmt.Printf("  %s: %d\n", k, n)
+		}
+		res, err := aapsm.Detect(l, rules, opt)
+		check(err)
+		plain, junctioned := aapsm.SplitConflictsByJunction(res, js)
+		fmt.Printf("  conflicts: %d plain (spacing-correctable class), %d junction-adjacent (widening/mask-split class)\n",
+			len(plain), len(junctioned))
+
+	default:
+		fatalf("unknown -cmd %q", *cmd)
+	}
+}
+
+func readLayout(path string) (*aapsm.Layout, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gds") {
+		return aapsm.ReadGDS(f)
+	}
+	return aapsm.ReadLayoutText(f)
+}
+
+func writeLayout(path string, l *aapsm.Layout) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gds") {
+		return aapsm.WriteGDS(f, l)
+	}
+	return l.WriteText(f)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "aapsm: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,96 @@
+// Command benchtab regenerates the paper's evaluation artifacts on the
+// synthetic benchmark suite:
+//
+//	benchtab -table 1 -n 5      # Table 1: conflict detection comparison
+//	benchtab -table 2 -n 5      # Table 2: layout modification results
+//	benchtab -fig 2             # Figure 2: PCG vs FG graph statistics
+//	benchtab -fig 3             # Figures 3/4: gadget construction sizes
+//
+// -n limits the number of suite designs (d1..dN); the full d8 run covers
+// ~160K polygons and takes a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/layout"
+)
+
+func main() {
+	var (
+		table = flag.Int("table", 0, "paper table to regenerate (1 or 2)")
+		fig   = flag.Int("fig", 0, "paper figure to regenerate (2, 3/4)")
+		n     = flag.Int("n", 5, "number of suite designs to run (1..8)")
+	)
+	flag.Parse()
+	rules := layout.Default90nm()
+	suite := bench.SmallSuite(*n)
+
+	switch {
+	case *table == 1:
+		fmt.Println("Table 1: AAPSM conflict detection (quality and matching runtime)")
+		fmt.Println(experiments.Table1Header())
+		var avgGain float64
+		for _, d := range suite {
+			row, err := experiments.RunTable1Row(d, rules)
+			check(err)
+			fmt.Println(row)
+			avgGain += row.Improvement()
+		}
+		fmt.Printf("average generalized-gadget matching gain: %.1f%% (paper: ~16%%)\n",
+			avgGain/float64(len(suite)))
+
+	case *table == 2:
+		fmt.Println("Table 2: layout modification for a variety of designs")
+		fmt.Println(experiments.Table2Header())
+		minInc, maxInc, sum := 1e18, -1e18, 0.0
+		for _, d := range suite {
+			row, err := experiments.RunTable2Row(d, rules)
+			check(err)
+			fmt.Println(row)
+			if row.AreaIncrease < minInc {
+				minInc = row.AreaIncrease
+			}
+			if row.AreaIncrease > maxInc {
+				maxInc = row.AreaIncrease
+			}
+			sum += row.AreaIncrease
+		}
+		fmt.Printf("area increase range %.2f%%..%.2f%%, average %.2f%% (paper: 0.7–11.8%%, avg ~4%%)\n",
+			minInc, maxInc, sum/float64(len(suite)))
+
+	case *fig == 2:
+		st, err := experiments.RunFigure2(rules)
+		check(err)
+		fmt.Println("Figure 2: phase conflict graph vs feature graph (same layout)")
+		fmt.Printf("  PCG: %3d nodes %3d edges %3d crossings\n", st.PCGNodes, st.PCGEdges, st.PCGCrossings)
+		fmt.Printf("  FG : %3d nodes %3d edges %3d crossings (%d detour bends)\n",
+			st.FGNodes, st.FGEdges, st.FGCrossings, st.FGBends)
+
+	case *fig == 3 || *fig == 4:
+		fmt.Println("Figures 3/4: gadget instance sizes by dual-node degree")
+		fmt.Printf("%8s %18s %18s\n", "degree", "generalized(n/e)", "optimized(n/e)")
+		for _, deg := range []int{3, 5, 8, 12, 20} {
+			st, err := experiments.RunFigure34(deg)
+			check(err)
+			fmt.Printf("%8d %12d/%-6d %12d/%-6d\n", st.Degree,
+				st.GeneralizedNodes, st.GeneralizedEdges,
+				st.OptimizedNodes, st.OptimizedEdges)
+		}
+
+	default:
+		fmt.Fprintln(os.Stderr, "benchtab: pass -table 1, -table 2, -fig 2 or -fig 3")
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+// Command layoutgen emits synthetic benchmark layouts: either a member of
+// the d1..d8 reproduction suite or a custom-sized standard-cell layout.
+//
+// Usage:
+//
+//	layoutgen -design d3 -out d3.txt
+//	layoutgen -rows 10 -gates 200 -seed 7 -out custom.gds
+//	layoutgen -fixture figure1 -out fig1.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	aapsm "repro"
+)
+
+func main() {
+	var (
+		design  = flag.String("design", "", "suite design name (d1..d8)")
+		fixture = flag.String("fixture", "", "figure fixture: figure1 | figure2 | figure5")
+		rows    = flag.Int("rows", 4, "rows (custom layout)")
+		gates   = flag.Int("gates", 100, "gates per row (custom layout)")
+		seed    = flag.Int64("seed", 1, "generator seed (custom layout)")
+		out     = flag.String("out", "", "output path (.txt or .gds); stdout when empty")
+	)
+	flag.Parse()
+
+	var l *aapsm.Layout
+	switch {
+	case *fixture != "":
+		switch *fixture {
+		case "figure1":
+			l = aapsm.Figure1Layout()
+		case "figure2":
+			l = aapsm.Figure2Layout()
+		case "figure5":
+			l = aapsm.Figure5Layout()
+		default:
+			fatalf("unknown fixture %q", *fixture)
+		}
+	case *design != "":
+		for _, d := range aapsm.BenchmarkSuite() {
+			if d.Name == *design {
+				l = aapsm.GenerateBenchmark(d.Name, d.Params)
+				break
+			}
+		}
+		if l == nil {
+			fatalf("unknown design %q (want d1..d8)", *design)
+		}
+	default:
+		l = aapsm.GenerateBenchmark(fmt.Sprintf("custom-%dx%d", *rows, *gates),
+			aapsm.DefaultBenchmarkParams(*seed, *rows, *gates))
+	}
+
+	fmt.Fprintf(os.Stderr, "generated %s: %d features\n", l.Name, len(l.Features))
+	if *out == "" {
+		if err := aapsm.WriteLayoutText(os.Stdout, l); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(*out, ".gds") {
+		err = aapsm.WriteGDS(f, l)
+	} else {
+		err = aapsm.WriteLayoutText(f, l)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "layoutgen: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,67 @@
+// Figures: regenerates the paper's illustrative figures as SVG files from
+// live data — Figure 1 (odd phase-dependency cycle), Figure 2 (phase
+// conflict graph vs feature graph on the same layout) and Figure 5 (one
+// end-to-end space correcting multiple conflicts).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	aapsm "repro"
+)
+
+func main() {
+	rules := aapsm.Default90nmRules()
+
+	// Figure 1: the motivating odd cycle, conflicts highlighted in red.
+	fig1 := aapsm.Figure1Layout()
+	res1, err := aapsm.Detect(fig1, rules, aapsm.DetectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a1, err := aapsm.AssignPhases(res1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeSVG("figure1.svg", fig1, aapsm.RenderOptions{Result: res1, Assignment: a1})
+
+	// Figure 2: the same layout under both graph representations.
+	fig2 := aapsm.Figure2Layout()
+	resPCG, err := aapsm.Detect(fig2, rules, aapsm.DetectOptions{Graph: aapsm.PCG})
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeSVG("figure2_pcg.svg", fig2, aapsm.RenderOptions{Result: resPCG})
+	resFG, err := aapsm.Detect(fig2, rules, aapsm.DetectOptions{Graph: aapsm.FG})
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeSVG("figure2_fg.svg", fig2, aapsm.RenderOptions{Result: resFG})
+
+	// Figure 5: stacked conflicts plus the single correcting cut line.
+	fig5 := aapsm.Figure5Layout()
+	res5, err := aapsm.Detect(fig5, rules, aapsm.DetectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cor5, err := aapsm.Correct(fig5, rules, res5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeSVG("figure5.svg", fig5, aapsm.RenderOptions{Result: res5, Plan: cor5.Plan})
+
+	fmt.Println("wrote figure1.svg figure2_pcg.svg figure2_fg.svg figure5.svg")
+}
+
+func writeSVG(path string, l *aapsm.Layout, opt aapsm.RenderOptions) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := aapsm.RenderSVG(f, l, opt); err != nil {
+		log.Fatal(err)
+	}
+}

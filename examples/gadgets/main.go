@@ -1,0 +1,56 @@
+// Gadgets: a walkthrough of the paper's §3.1.2 — reducing the dual T-join
+// problem to minimum-weight perfect matching with generalized gadgets
+// (Figure 3) and the divide-node decomposition for high-degree nodes
+// (Figure 4), contrasted with the optimized gadgets of TCAD'99.
+//
+// This example uses the library's exported detection options to run the
+// same layout through both reductions and reports the matching instance
+// sizes and the (identical) optimal results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	aapsm "repro"
+)
+
+func main() {
+	rules := aapsm.Default90nmRules()
+	// A conflict-rich layout: several dense clusters.
+	l := aapsm.GenerateBenchmark("gadgetdemo", aapsm.DefaultBenchmarkParams(11, 4, 120))
+
+	fmt.Println("reduction of the dual T-join to minimum-weight perfect matching")
+	fmt.Println()
+	type variant struct {
+		name   string
+		method aapsm.TJoinMethod
+	}
+	variants := []variant{
+		{"generalized gadgets (this paper)", aapsm.GeneralizedGadgets},
+		{"optimized gadgets (TCAD'99)", aapsm.OptimizedGadgets},
+		{"Lawler metric closure (reference)", aapsm.LawlerReduction},
+	}
+	var firstConflicts int
+	for i, v := range variants {
+		res, err := aapsm.Detect(l, rules, aapsm.DetectOptions{Method: v.method})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Detection.Stats
+		fmt.Printf("%-34s conflicts=%d", v.name, len(res.Conflicts()))
+		if s.GadgetNodes > 0 {
+			fmt.Printf("  matching instance: %d nodes / %d edges", s.GadgetNodes, s.GadgetEdges)
+		}
+		fmt.Printf("  matching time %v\n", s.MatchTime)
+		if i == 0 {
+			firstConflicts = len(res.Conflicts())
+		} else if len(res.Conflicts()) != firstConflicts {
+			log.Fatalf("reductions disagree: %d vs %d conflicts", len(res.Conflicts()), firstConflicts)
+		}
+	}
+	fmt.Println()
+	fmt.Println("all reductions select the same minimal conflict set; the generalized")
+	fmt.Println("gadget materializes fewer matching nodes (no divide chains for most")
+	fmt.Println("dual degrees), which is where the paper's ~16% runtime gain comes from.")
+}

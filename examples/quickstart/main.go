@@ -1,0 +1,62 @@
+// Quickstart: the paper's Figure 1 situation — three critical wires whose
+// shifters form an odd cycle of phase dependencies, making the layout
+// non-phase-assignable; detection pinpoints the minimal conflicts and phase
+// assignment succeeds once they are waived.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	aapsm "repro"
+)
+
+func main() {
+	rules := aapsm.Default90nmRules()
+
+	// Three parallel 100 nm poly wires at a 350 nm pitch: the left shifter
+	// of each inner wire merges with BOTH shifters of its neighbor —
+	// Condition 1 (opposite flank phases) and Condition 2 (merged shifters
+	// share a phase) cannot hold simultaneously.
+	l := aapsm.Figure1Layout()
+
+	ok, err := aapsm.Assignable(l, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("layout %q: %d features, phase-assignable: %v\n", l.Name, len(l.Features), ok)
+
+	res, err := aapsm.Detect(l, rules, aapsm.DetectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conflict graph: %d nodes, %d edges\n",
+		res.Detection.Stats.GraphNodes, res.Detection.Stats.GraphEdges)
+	fmt.Printf("detected %d AAPSM conflicts:\n", len(res.Conflicts()))
+	for _, c := range res.Conflicts() {
+		s1 := res.Graph.Set.Shifters[c.Meta.S1]
+		s2 := res.Graph.Set.Shifters[c.Meta.S2]
+		fmt.Printf("  shifters of features %d and %d need %d nm more space (at %v / %v)\n",
+			s1.Feature, s2.Feature, c.Deficit, s1.Rect, s2.Rect)
+	}
+
+	a, err := aapsm.AssignPhases(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v := aapsm.VerifyAssignment(a, res); len(v) != 0 {
+		log.Fatalf("assignment verification failed: %v", v)
+	}
+	fmt.Println("phase assignment (conflicts waived for correction):")
+	for i, ph := range a.Phases {
+		sh := res.Graph.Set.Shifters[i]
+		fmt.Printf("  feature %d %s flank: %3s°\n", sh.Feature, side(sh), ph)
+	}
+}
+
+func side(s aapsm.Shifter) string {
+	if s.Side == 0 {
+		return "left/lower"
+	}
+	return "right/upper"
+}

@@ -1,0 +1,117 @@
+package aapsm
+
+// Extensions beyond the paper's core flow: junction (T-shape) analysis,
+// feature widening, mask-view synthesis and SVG rendering. The first two
+// implement directions the paper explicitly names as future work (§4, §5);
+// the last two are the output paths a production flow needs.
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/correct"
+	"repro/internal/mask"
+	"repro/internal/render"
+	"repro/internal/tshape"
+)
+
+// Junction is a contact between two features (corner, L, T or overlap).
+type Junction = tshape.Junction
+
+// Junction kinds.
+const (
+	JunctionCorner  = tshape.Corner
+	JunctionEll     = tshape.Ell
+	JunctionTee     = tshape.Tee
+	JunctionOverlap = tshape.Overlap
+)
+
+// FindJunctions locates all touching-feature junctions in the layout.
+func FindJunctions(l *Layout) []Junction { return tshape.Find(l) }
+
+// SplitConflictsByJunction partitions detected conflicts into plain spacing
+// conflicts and junction-adjacent (T-shape class) ones, which the paper
+// routes to widening or mask splitting. Returned slices index into
+// r.Conflicts().
+func SplitConflictsByJunction(r *Result, junctions []Junction) (plain, junctioned []int) {
+	return tshape.SplitConflicts(r.Detection.FinalConflicts, r.Graph.Set, junctions)
+}
+
+// WidenPlan selects features to widen past the critical-width threshold.
+type WidenPlan = correct.WidenPlan
+
+// PlanWidening chooses a minimum-added-area feature-widening set that
+// dissolves the given conflicts (indices into r.Conflicts(), typically a
+// correction plan's Unfixable list).
+func PlanWidening(l *Layout, rules Rules, r *Result, target []int) (*WidenPlan, error) {
+	return correct.PlanWidening(l, rules, r.Graph.Set, r.Detection.FinalConflicts, target)
+}
+
+// ApplyWidening returns a copy of l with the plan's features widened.
+func ApplyWidening(l *Layout, p *WidenPlan) *Layout { return correct.ApplyWidening(l, p) }
+
+// Mask layer numbers of the emitted manufacturing view.
+const (
+	MaskLayerChrome     = mask.LayerChrome
+	MaskLayerShifter0   = mask.LayerShifter0
+	MaskLayerShifter180 = mask.LayerShifter180
+)
+
+// BuildMask combines the layout, its shifters and a phase assignment into a
+// multi-layer mask view (chrome + 0°/180° aperture layers) suitable for
+// WriteGDS.
+func BuildMask(l *Layout, r *Result, a *Assignment) (*Layout, error) {
+	return mask.Build(l, r.Graph.Set, a.Phases)
+}
+
+// ValidateMask re-checks a mask view's phase consistency; it returns
+// human-readable problems (empty = consistent).
+func ValidateMask(l *Layout, rules Rules, r *Result, a *Assignment) []string {
+	return mask.Validate(l, r.Graph.Set, a.Phases, a.Waived, rules)
+}
+
+// RenderOptions selects the overlays drawn by RenderSVG.
+type RenderOptions struct {
+	// Result draws the conflict graph and highlights detected conflicts.
+	Result *Result
+	// Assignment colors shifters by phase.
+	Assignment *Assignment
+	// Plan draws chosen end-to-end cut lines.
+	Plan *Plan
+	// Scale in nm per SVG unit (0 = automatic).
+	Scale float64
+}
+
+// RenderSVG draws the layout (and any overlays) as an SVG document — the
+// mechanism that regenerates the paper's Figures 1, 2 and 5.
+func RenderSVG(w io.Writer, l *Layout, opt RenderOptions) error {
+	ro := render.Options{Scale: opt.Scale, Plan: opt.Plan}
+	if opt.Result != nil {
+		ro.Graph = opt.Result.Graph
+		ro.Set = opt.Result.Graph.Set
+		ro.Conflicts = opt.Result.Detection.FinalConflicts
+	}
+	if opt.Assignment != nil {
+		ro.Phases = opt.Assignment.Phases
+	}
+	return render.SVG(w, l, ro)
+}
+
+// RecheckParityOption exposes the improved step-3 recheck for ablations.
+var _ = core.RecheckParity
+
+// CutRegions restricts where end-to-end spaces may be inserted
+// (standard-cell aware correction, paper §5 future work).
+type CutRegions = correct.CutRegions
+
+// CorrectRestricted is Correct with cut positions limited to the given
+// regions (e.g. routing channels between cell rows); conflicts unreachable
+// inside the windows are reported unfixable for widening or mask splitting.
+func CorrectRestricted(l *Layout, rules Rules, r *Result, regions CutRegions) (*Correction, error) {
+	plan, err := correct.BuildPlanRestricted(l, rules, r.Graph.Set, r.Detection.FinalConflicts, regions)
+	if err != nil {
+		return nil, err
+	}
+	mod := correct.Apply(l, plan)
+	return &Correction{Plan: plan, Layout: mod, Stats: correct.Summarize(l, plan, mod)}, nil
+}

@@ -1,0 +1,230 @@
+// Package bench generates the deterministic synthetic layouts used to
+// reproduce the paper's experiments. The paper evaluates on proprietary
+// 90 nm industrial designs (up to ~160 K polygons); these generators build
+// standard-cell-style polysilicon layouts that exercise the same code paths:
+// rows of vertical poly gates at mixed pitches, occasional horizontal
+// straps, and dense clusters whose shifters form odd phase-dependency
+// cycles.
+//
+// All generators are seeded and reproducible.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Params controls a synthetic standard-cell layout.
+type Params struct {
+	Seed int64
+	// Rows and GatesPerRow set the overall size (features ≈ Rows*GatesPerRow
+	// plus straps).
+	Rows        int
+	GatesPerRow int
+	// GateWidth/GateHeight are the poly gate dimensions (critical features).
+	GateWidth  int64
+	GateHeight int64
+	// SafePitch is the default gate pitch; DensePitch is used inside dense
+	// clusters (choose < GateWidth+2*ShifterWidth+MinShifterSpacing to
+	// force conflicts).
+	SafePitch  int64
+	DensePitch int64
+	// DenseClusterEvery inserts a dense cluster of DenseClusterSize gates
+	// after every this many safe gates (0 disables clusters).
+	DenseClusterEvery int
+	DenseClusterSize  int
+	// StrapEvery adds a wide horizontal strap after every this many rows
+	// (0 disables). Straps are non-critical.
+	StrapEvery int
+	// RowGap is the vertical space between rows.
+	RowGap int64
+	// PitchJitter randomizes pitches by ±PitchJitter nm.
+	PitchJitter int64
+	// YJitter offsets each gate vertically by ±YJitter nm and HeightSteps
+	// varies gate heights in ±HeightSteps*100 nm increments, breaking the
+	// collinearity of shifter centers (real cells mix transistor sizes; a
+	// perfectly 1-D row makes every conflict edge collinear and forces the
+	// planarizer — not the bipartizer — to resolve everything).
+	YJitter     int64
+	HeightSteps int
+}
+
+// DefaultParams returns a balanced parameter set under the Default90nm
+// rules: safe pitch 560 keeps chains legal, dense pitch 380 forces the
+// classic skip-overlap odd cycles.
+func DefaultParams(seed int64, rows, gatesPerRow int) Params {
+	return Params{
+		Seed:              seed,
+		Rows:              rows,
+		GatesPerRow:       gatesPerRow,
+		GateWidth:         100,
+		GateHeight:        1000,
+		SafePitch:         560,
+		DensePitch:        380,
+		DenseClusterEvery: 37,
+		DenseClusterSize:  3,
+		StrapEvery:        4,
+		RowGap:            1300,
+		PitchJitter:       25,
+		YJitter:           80,
+		HeightSteps:       2,
+	}
+}
+
+// Generate builds the layout described by p. Gates sit on a per-design
+// column grid shared by all rows — as placed standard cells do — so
+// end-to-end vertical spaces between columns exist; per-row variation comes
+// from skipped columns, y offsets and height steps.
+func Generate(name string, p Params) *layout.Layout {
+	rng := rand.New(rand.NewSource(p.Seed))
+	l := layout.New(name)
+	jitter := func() int64 {
+		if p.PitchJitter == 0 {
+			return 0
+		}
+		return rng.Int63n(2*p.PitchJitter+1) - p.PitchJitter
+	}
+
+	// Column grid: x positions for every gate slot, with dense clusters of
+	// varying size and pitch (heterogeneous odd-cycle structures).
+	cols := make([]int64, 0, p.GatesPerRow)
+	x := int64(0)
+	sinceCluster := 0
+	for len(cols) < p.GatesPerRow {
+		inCluster := p.DenseClusterEvery > 0 && sinceCluster >= p.DenseClusterEvery
+		if inCluster {
+			n := p.DenseClusterSize + rng.Intn(3)
+			if n > p.GatesPerRow-len(cols) {
+				n = p.GatesPerRow - len(cols)
+			}
+			for i := 0; i < n; i++ {
+				cols = append(cols, x)
+				x += p.DensePitch + rng.Int63n(60) - 10
+			}
+			sinceCluster = 0
+			// Extra margin after a cluster so clusters stay independent.
+			x += p.SafePitch
+			continue
+		}
+		cols = append(cols, x)
+		x += p.SafePitch + jitter()
+		sinceCluster++
+	}
+
+	y := int64(0)
+	for row := 0; row < p.Rows; row++ {
+		for _, cx := range cols {
+			// Occasional empty slots vary the per-row conflict structure.
+			if rng.Intn(12) == 0 {
+				continue
+			}
+			dy := int64(0)
+			if p.YJitter > 0 {
+				dy = rng.Int63n(2*p.YJitter+1) - p.YJitter
+			}
+			h := p.GateHeight
+			if p.HeightSteps > 0 {
+				h += int64(rng.Intn(2*p.HeightSteps+1)-p.HeightSteps) * 100
+			}
+			l.Add(geom.R(cx, y+dy, cx+p.GateWidth, y+dy+h))
+		}
+		if p.StrapEvery > 0 && (row+1)%p.StrapEvery == 0 {
+			// Wide horizontal strap above the row: non-critical (width
+			// 300), cleared above the tallest possible jittered gate.
+			sy := y + p.GateHeight + p.YJitter + int64(p.HeightSteps)*100 + 150
+			l.Add(geom.R(0, sy, x, sy+300))
+		}
+		y += p.GateHeight + p.RowGap
+	}
+	return l
+}
+
+// Design is one row of the benchmark suite.
+type Design struct {
+	Name   string
+	Params Params
+}
+
+// Suite returns the Table 1/2 design list: sizes grow from ~1 K to ~160 K
+// polygons, mirroring the paper's range ("the proposed flow ... could be
+// used on a full-chip layout with approximately 160 K polygons").
+func Suite() []Design {
+	type row struct {
+		name  string
+		rows  int
+		gates int
+		seed  int64
+	}
+	rows := []row{
+		{"d1", 4, 250, 101},
+		{"d2", 8, 315, 102},
+		{"d3", 10, 500, 103},
+		{"d4", 16, 625, 104},
+		{"d5", 25, 800, 105},
+		{"d6", 40, 1000, 106},
+		{"d7", 64, 1250, 107},
+		{"d8", 100, 1600, 108},
+	}
+	out := make([]Design, len(rows))
+	for i, r := range rows {
+		out[i] = Design{Name: r.name, Params: DefaultParams(r.seed, r.rows, r.gates)}
+	}
+	return out
+}
+
+// SmallSuite returns the first n designs (test-sized subsets of Suite).
+func SmallSuite(n int) []Design {
+	s := Suite()
+	if n > len(s) {
+		n = len(s)
+	}
+	return s[:n]
+}
+
+// Figure1Layout reproduces the paper's Figure 1 situation: a cluster of
+// three parallel critical wires whose shifters form a non-localized odd
+// cycle of phase dependencies, so no correct phase assignment exists.
+func Figure1Layout() *layout.Layout {
+	l := layout.New("figure1")
+	l.Add(geom.R(0, 0, 100, 1000))
+	l.Add(geom.R(350, 0, 450, 1000))
+	l.Add(geom.R(700, 0, 800, 1000))
+	return l
+}
+
+// Figure2Layout is the small layout used to contrast the phase conflict
+// graph with the feature graph: wires of unequal lengths whose overlap
+// regions sit away from the midpoints of the shifter center-lines, so the
+// FG conflict nodes detour off-line (bending their edges) while the PCG
+// stays straight.
+func Figure2Layout() *layout.Layout {
+	l := layout.New("figure2")
+	l.Add(geom.R(0, 0, 100, 900))       // short wire
+	l.Add(geom.R(380, 600, 480, 2400))  // long wire, asymmetric overlap
+	l.Add(geom.R(760, 0, 860, 1200))    // medium wire
+	l.Add(geom.R(1140, 300, 1240, 900)) // short offset wire
+	l.Add(geom.R(0, 2900, 1240, 3000))  // horizontal wire above
+	return l
+}
+
+// Figure5Layout stacks aligned conflict pairs so a single end-to-end
+// vertical space corrects several AAPSM conflicts at once (paper Figure 5).
+func Figure5Layout() *layout.Layout {
+	l := layout.New("figure5")
+	for row := int64(0); row < 5; row++ {
+		y := row * 1800
+		l.Add(geom.R(0, y, 100, y+1000))
+		l.Add(geom.R(380, y, 480, y+1000))
+	}
+	return l
+}
+
+// Stats summarizes a generated layout.
+func Stats(l *layout.Layout, r layout.Rules) string {
+	crit := len(l.CriticalIndices(r))
+	return fmt.Sprintf("%s: %d polygons (%d critical), bbox %v",
+		l.Name, len(l.Features), crit, l.BBox())
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/drc"
+	"repro/internal/layout"
+)
+
+func rules() layout.Rules { return layout.Default90nm() }
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultParams(42, 3, 100)
+	a := Generate("a", p)
+	b := Generate("b", p)
+	if len(a.Features) != len(b.Features) {
+		t.Fatal("nondeterministic feature count")
+	}
+	for i := range a.Features {
+		if a.Features[i] != b.Features[i] {
+			t.Fatalf("feature %d differs", i)
+		}
+	}
+}
+
+func TestGeneratedLayoutIsDRCClean(t *testing.T) {
+	l := Generate("clean", DefaultParams(7, 4, 120))
+	if v := drc.Check(l, rules()); len(v) != 0 {
+		t.Fatalf("generator produced DRC violations: %v (first of %d)", v[0], len(v))
+	}
+}
+
+func TestGeneratedLayoutHasConflicts(t *testing.T) {
+	l := Generate("conf", DefaultParams(7, 4, 120))
+	ok, err := core.IsPhaseAssignable(l, rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("default params must produce phase conflicts")
+	}
+	// Without dense clusters the layout must be assignable.
+	p := DefaultParams(7, 4, 120)
+	p.DenseClusterEvery = 0
+	safe := Generate("safe", p)
+	ok, err = core.IsPhaseAssignable(safe, rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("cluster-free layout must be assignable")
+	}
+}
+
+func TestSuiteSizesGrow(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 8 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	prev := 0
+	for _, d := range suite {
+		n := d.Params.Rows * d.Params.GatesPerRow
+		if n <= prev {
+			t.Errorf("%s: size %d does not grow", d.Name, n)
+		}
+		prev = n
+	}
+	// The largest design must be in the paper's "full-chip" range.
+	last := suite[len(suite)-1]
+	if n := last.Params.Rows * last.Params.GatesPerRow; n < 150000 {
+		t.Errorf("d8 gate count %d; want ~160K", n)
+	}
+	if got := SmallSuite(3); len(got) != 3 || got[0].Name != "d1" {
+		t.Errorf("SmallSuite = %v", got)
+	}
+}
+
+func TestFigureFixtures(t *testing.T) {
+	r := rules()
+	if ok, _ := core.IsPhaseAssignable(Figure1Layout(), r); ok {
+		t.Error("figure 1 must conflict")
+	}
+	f2 := Figure2Layout()
+	if len(f2.Features) != 5 {
+		t.Error("figure 2 layout shape")
+	}
+	f5 := Figure5Layout()
+	if ok, _ := core.IsPhaseAssignable(f5, r); ok {
+		t.Error("figure 5 must conflict")
+	}
+	if !drc.Clean(Figure1Layout(), r) || !drc.Clean(f2, r) || !drc.Clean(f5, r) {
+		t.Error("fixtures must be DRC clean")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats(Figure1Layout(), rules())
+	if s == "" {
+		t.Fatal("empty stats")
+	}
+}

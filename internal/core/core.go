@@ -1,0 +1,217 @@
+// Package core implements the paper's primary contribution: AAPSM phase
+// conflict detection on bright-field layouts.
+//
+// It builds the phase conflict graph (PCG, §3.1.1) — or the feature-graph
+// baseline (FG) — from a layout's synthesized shifters, runs the detection
+// flow (planarize → optimal bipartization via dual T-join → recheck removed
+// crossings), and produces the minimal set of AAPSM conflicts that, once
+// corrected, makes the layout phase-assignable. It also provides the greedy
+// baseline (Table 1 column GB) and phase assignment with full verification
+// of Conditions 1 and 2.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/layout"
+	"repro/internal/planar"
+	"repro/internal/shifter"
+)
+
+// GraphKind selects the layout-graph representation.
+type GraphKind int8
+
+const (
+	// PCG is the paper's phase conflict graph: overlap nodes on the
+	// center-line between shifters, straight drawing.
+	PCG GraphKind = iota
+	// FG is the feature-graph baseline: overlap ("conflict") nodes at the
+	// geometric center of the overlap region and feature edges routed
+	// through a feature-center bend — the detour drawing that planarizes
+	// worse (paper §3.1.1, Figure 2).
+	FG
+)
+
+func (k GraphKind) String() string {
+	if k == FG {
+		return "FG"
+	}
+	return "PCG"
+}
+
+// EdgeKind classifies conflict-graph edges.
+type EdgeKind int8
+
+const (
+	// FeatureEdge joins the two flanks of one critical feature
+	// (Condition 1: opposite phases).
+	FeatureEdge EdgeKind = iota
+	// OverlapEdge is one of the two edges of an overlap-node path
+	// (Condition 2: same phase for the pair; deleting either edge cancels
+	// the constraint).
+	OverlapEdge
+)
+
+// EdgeMeta describes what a conflict-graph edge stands for in the layout.
+type EdgeMeta struct {
+	Kind EdgeKind
+	// S1, S2 are the shifters the constraint relates (for an OverlapEdge,
+	// the full pair of the overlap even though the edge touches only one of
+	// them plus the overlap node).
+	S1, S2 int
+	// Feature is the critical feature index (FeatureEdge only, else -1).
+	Feature int
+	// Overlap is the index into Set.Overlaps (OverlapEdge only, else -1).
+	Overlap int
+}
+
+// ConflictGraph is a drawn layout graph whose bipartiteness is equivalent to
+// phase-assignability (Theorem 1).
+type ConflictGraph struct {
+	Kind    GraphKind
+	Drawing *planar.Drawing
+	Set     *shifter.Set
+	Rules   layout.Rules
+	// Meta is indexed like Drawing.G.Edges().
+	Meta []EdgeMeta
+	// ShifterNode maps shifter index -> graph node.
+	ShifterNode []int
+	// AuxNodes counts overlap/conflict nodes (nodes beyond the shifters).
+	AuxNodes int
+	// BendNodes counts drawing-only bend points (FG feature detours).
+	BendNodes int
+}
+
+// Nodes returns the graph node count (drawing bends excluded).
+func (cg *ConflictGraph) Nodes() int { return cg.Drawing.G.N() }
+
+// Edges returns the graph edge count.
+func (cg *ConflictGraph) Edges() int { return cg.Drawing.G.M() }
+
+// BuildGraph constructs the selected representation from a layout. The
+// shifter set is synthesized internally.
+func BuildGraph(l *layout.Layout, r layout.Rules, kind GraphKind) (*ConflictGraph, error) {
+	set, err := shifter.Generate(l, r)
+	if err != nil {
+		return nil, err
+	}
+	return BuildGraphFromSet(l, r, set, kind)
+}
+
+// BuildGraphFromSet constructs the graph from an existing shifter set.
+func BuildGraphFromSet(l *layout.Layout, r layout.Rules, set *shifter.Set, kind GraphKind) (*ConflictGraph, error) {
+	g := graph.New(0)
+	cg := &ConflictGraph{Kind: kind, Set: set, Rules: r}
+	reg := newPosRegistry()
+	pos := make([]geom.Point, 0, len(set.Shifters)*2)
+
+	cg.ShifterNode = make([]int, len(set.Shifters))
+	for i, sh := range set.Shifters {
+		n := g.AddNode()
+		p := reg.claim(sh.Center())
+		pos = append(pos, p)
+		cg.ShifterNode[i] = n
+	}
+
+	// Condition-2 constraints: overlap node + two edges per overlapping
+	// pair.
+	for oi, ov := range set.Overlaps {
+		var q geom.Point
+		if kind == PCG {
+			// Paper §3.1.1: "place it at the center of the line connecting"
+			// the two edge shifter nodes — collinear, crossing-minimal.
+			q = geom.Seg(pos[cg.ShifterNode[ov.A]], pos[cg.ShifterNode[ov.B]]).Midpoint()
+		} else {
+			// FG detour: geometric center of the overlap region.
+			q = overlapRegionCenter(set.Shifters[ov.A].Rect, set.Shifters[ov.B].Rect, r)
+		}
+		n := g.AddNode()
+		pos = append(pos, reg.claim(q))
+		cg.AuxNodes++
+		w := ov.Deficit
+		g.AddEdge(cg.ShifterNode[ov.A], n, w)
+		cg.Meta = append(cg.Meta, EdgeMeta{Kind: OverlapEdge, S1: ov.A, S2: ov.B, Overlap: oi, Feature: -1})
+		g.AddEdge(n, cg.ShifterNode[ov.B], w)
+		cg.Meta = append(cg.Meta, EdgeMeta{Kind: OverlapEdge, S1: ov.A, S2: ov.B, Overlap: oi, Feature: -1})
+	}
+
+	d := planar.NewDrawing(g, pos)
+
+	// Condition-1 constraints: one edge per critical feature between its
+	// flanks; FG routes it through the feature center.
+	for fi := 0; fi < len(l.Features); fi++ {
+		pair, ok := set.PairOf[fi]
+		if !ok {
+			continue
+		}
+		e := g.AddEdge(cg.ShifterNode[pair[0]], cg.ShifterNode[pair[1]], r.FeatureConflictWeight)
+		cg.Meta = append(cg.Meta, EdgeMeta{Kind: FeatureEdge, S1: pair[0], S2: pair[1], Feature: fi, Overlap: -1})
+		if kind == FG {
+			d.SetBends(e, l.Features[fi].Rect.Center())
+			cg.BendNodes++
+		}
+	}
+	if len(cg.Meta) != g.M() {
+		return nil, fmt.Errorf("core: meta/edge count mismatch %d != %d", len(cg.Meta), g.M())
+	}
+	cg.Drawing = d
+	return cg, nil
+}
+
+// overlapRegionCenter returns the geometric center of the interaction region
+// of two shifters: the intersection of both rectangles expanded by half the
+// minimum shifter spacing (non-empty whenever the pair overlaps by
+// Condition 2).
+func overlapRegionCenter(a, b geom.Rect, r layout.Rules) geom.Point {
+	h := r.MinShifterSpacing/2 + 1
+	reg := a.Expand(h).Intersect(b.Expand(h))
+	if reg.Empty() {
+		// Defensive: fall back to the midpoint of centers.
+		return geom.Seg(a.Center(), b.Center()).Midpoint()
+	}
+	return reg.Center()
+}
+
+// posRegistry hands out distinct node positions: a drawing with coincident
+// nodes has degenerate geometry, so claimed duplicates are nudged by 1 nm
+// steps in a small spiral until free.
+type posRegistry struct {
+	used map[geom.Point]bool
+}
+
+func newPosRegistry() *posRegistry {
+	return &posRegistry{used: make(map[geom.Point]bool)}
+}
+
+var nudges = []geom.Point{
+	{X: 1, Y: 0}, {X: 0, Y: 1}, {X: -1, Y: 0}, {X: 0, Y: -1},
+	{X: 1, Y: 1}, {X: -1, Y: 1}, {X: 1, Y: -1}, {X: -1, Y: -1},
+}
+
+func (pr *posRegistry) claim(p geom.Point) geom.Point {
+	if !pr.used[p] {
+		pr.used[p] = true
+		return p
+	}
+	for radius := int64(1); ; radius++ {
+		for _, d := range nudges {
+			q := geom.Pt(p.X+d.X*radius, p.Y+d.Y*radius)
+			if !pr.used[q] {
+				pr.used[q] = true
+				return q
+			}
+		}
+	}
+}
+
+// IsPhaseAssignable implements Theorem 1 directly: the layout admits a valid
+// phase assignment iff its phase conflict graph is bipartite.
+func IsPhaseAssignable(l *layout.Layout, r layout.Rules) (bool, error) {
+	cg, err := BuildGraph(l, r, PCG)
+	if err != nil {
+		return false, err
+	}
+	return cg.Drawing.G.IsBipartite(), nil
+}

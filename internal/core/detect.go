@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/planar"
+	"repro/internal/tjoin"
+)
+
+// Conflict is one detected AAPSM conflict: a constraint edge whose removal
+// was selected, resolved back to the pair of shifters that must be pulled
+// apart (OverlapEdge) or the feature whose phase shifting must be abandoned
+// (FeatureEdge — only chosen when a layout is unfixable by spacing alone).
+type Conflict struct {
+	Edge    int // edge index in the conflict graph
+	Meta    EdgeMeta
+	Deficit int64 // extra spacing needed to legalize the pair (OverlapEdge)
+}
+
+// Detection is the output of the full flow on one graph representation.
+type Detection struct {
+	Graph *ConflictGraph
+	// CrossingsRemoved (the paper's potential set P): edges deleted so that
+	// the drawing becomes an embedded planar graph (flow step 1b).
+	CrossingsRemoved []int
+	// BipartizationEdges: the minimal deletion set found by the optimal
+	// bipartization of the planarized graph (flow step 2). Its size is
+	// Table 1's "NP" count when run on the PCG.
+	BipartizationEdges []int
+	// FinalConflicts: bipartization edges plus those members of P that
+	// still violate the two-coloring (flow step 3). Its size is Table 1's
+	// PCG/FG count.
+	FinalConflicts []Conflict
+	// Stats for the benchmark tables.
+	Stats Stats
+}
+
+// Stats collects the size and runtime figures reported in Table 1.
+type Stats struct {
+	GraphNodes    int
+	GraphEdges    int
+	CrossingPairs int
+	DualNodes     int
+	DualEdges     int
+	OddFaces      int
+	GadgetNodes   int
+	GadgetEdges   int
+	MatchTime     time.Duration
+	TotalTime     time.Duration
+}
+
+// RecheckMode selects how flow step 3 decides which planarization-removed
+// edges are real conflicts.
+type RecheckMode int8
+
+const (
+	// RecheckColoring is the paper's method: two-color the bipartized
+	// planar graph once, then flag every removed edge whose endpoints got
+	// the same color. Simple but pessimistic — the fixed coloring cannot be
+	// adjusted per edge.
+	RecheckColoring RecheckMode = iota
+	// RecheckParity is this implementation's improvement: seed a parity
+	// union-find with the kept edges and re-admit removed edges from
+	// heaviest to lightest, flagging only those that genuinely close an odd
+	// cycle. Never worse than RecheckColoring (ablation bench
+	// BenchmarkRecheckModes).
+	RecheckParity
+)
+
+// Options configures the detection flow.
+type Options struct {
+	// Method/GroupCap select the T-join reduction (see tjoin.Options).
+	TJoin tjoin.Options
+	// Recheck selects the flow step 3 strategy.
+	Recheck RecheckMode
+}
+
+// Detect runs the complete flow of §3 on a prebuilt conflict graph:
+//
+//  1. planarize the drawing, collecting removed crossing edges P;
+//  2. optimally bipartize the embedded planar remainder via the dual
+//     T-join, solved by gadget reduction to minimum-weight perfect matching;
+//  3. re-check P against a two-coloring and add violators to the final
+//     conflict set.
+func Detect(cg *ConflictGraph, opt Options) (*Detection, error) {
+	start := time.Now()
+	det := &Detection{Graph: cg}
+	det.Stats.GraphNodes = cg.Nodes()
+	det.Stats.GraphEdges = cg.Edges()
+
+	// Step 1b: planar embedding by greedy crossing removal.
+	crossPairs := cg.Drawing.Crossings()
+	det.Stats.CrossingPairs = len(crossPairs)
+	removed := cg.Drawing.Planarize()
+	det.CrossingsRemoved = append([]int(nil), removed...)
+	removedSet := make(map[int]bool, len(removed))
+	for _, e := range removed {
+		removedSet[e] = true
+	}
+	planarDrawing, oldIdx := cg.Drawing.WithoutEdges(removedSet)
+
+	// Step 2: optimal bipartization of the embedded planar graph = minimum
+	// T-join on its geometric dual with T = odd faces.
+	em, err := planar.BuildEmbedding(planarDrawing)
+	if err != nil {
+		return nil, fmt.Errorf("core: embedding after planarization: %w", err)
+	}
+	dual, primalOf, T := em.Dual()
+	det.Stats.DualNodes = dual.N()
+	det.Stats.DualEdges = dual.M()
+	det.Stats.OddFaces = len(T)
+
+	mStart := time.Now()
+	join, err := tjoin.Solve(dual, T, opt.TJoin)
+	if err != nil {
+		return nil, fmt.Errorf("core: dual T-join: %w", err)
+	}
+	det.Stats.MatchTime = time.Since(mStart)
+	det.Stats.GadgetNodes = join.GadgetNodes
+	det.Stats.GadgetEdges = join.GadgetEdges
+
+	bipartSet := make(map[int]bool, len(join.Edges))
+	for _, de := range join.Edges {
+		orig := oldIdx[primalOf[de]]
+		det.BipartizationEdges = append(det.BipartizationEdges, orig)
+		bipartSet[orig] = true
+	}
+	sort.Ints(det.BipartizationEdges)
+
+	// Step 3: the edges removed for planarity (P) may themselves close odd
+	// cycles against the bipartized remainder.
+	g := cg.Drawing.G
+	finalSet := make(map[int]bool, len(bipartSet))
+	for e := range bipartSet {
+		finalSet[e] = true
+	}
+	switch opt.Recheck {
+	case RecheckParity:
+		// Improvement over the paper: re-admit P members from heaviest to
+		// lightest into a parity union-find seeded with the kept edges;
+		// only edges that genuinely close an odd cycle become conflicts.
+		uf := graph.NewParityUF(g.N())
+		for ei, e := range g.Edges() {
+			if removedSet[ei] || bipartSet[ei] {
+				continue
+			}
+			if e.U == e.V || !uf.UnionDiffer(e.U, e.V) {
+				return nil, fmt.Errorf("core: bipartization left an odd cycle at edge %d", ei)
+			}
+		}
+		orderedP := append([]int(nil), removed...)
+		sort.Slice(orderedP, func(a, b int) bool {
+			wa, wb := g.Edge(orderedP[a]).Weight, g.Edge(orderedP[b]).Weight
+			if wa != wb {
+				return wa > wb
+			}
+			return orderedP[a] < orderedP[b]
+		})
+		for _, ei := range orderedP {
+			e := g.Edge(ei)
+			if e.U == e.V || !uf.UnionDiffer(e.U, e.V) {
+				finalSet[ei] = true
+			}
+		}
+	default: // RecheckColoring — the paper's flow step 3
+		drop := make(map[int]bool, len(removedSet)+len(bipartSet))
+		for e := range removedSet {
+			drop[e] = true
+		}
+		for e := range bipartSet {
+			drop[e] = true
+		}
+		colors, ok := g.VerifyBipartition(drop)
+		if !ok {
+			return nil, fmt.Errorf("core: bipartization left an odd cycle")
+		}
+		for _, ei := range removed {
+			e := g.Edge(ei)
+			if e.U == e.V || colors[e.U] == colors[e.V] {
+				finalSet[ei] = true
+			}
+		}
+	}
+
+	finals := make([]int, 0, len(finalSet))
+	for e := range finalSet {
+		finals = append(finals, e)
+	}
+	sort.Ints(finals)
+	for _, ei := range finals {
+		det.FinalConflicts = append(det.FinalConflicts, conflictFor(cg, ei))
+	}
+	det.Stats.TotalTime = time.Since(start)
+
+	// Self-check: removing the final conflicts must leave a bipartite graph.
+	if _, ok := g.VerifyBipartition(finalSet); !ok {
+		return nil, fmt.Errorf("core: final conflict set does not bipartize the graph")
+	}
+	return det, nil
+}
+
+func conflictFor(cg *ConflictGraph, edge int) Conflict {
+	m := cg.Meta[edge]
+	c := Conflict{Edge: edge, Meta: m}
+	if m.Kind == OverlapEdge {
+		c.Deficit = cg.Set.Overlaps[m.Overlap].Deficit
+	}
+	return c
+}
+
+// ConflictEdgeSet returns the final conflict edges as a set, for graph
+// operations.
+func (d *Detection) ConflictEdgeSet() map[int]bool {
+	s := make(map[int]bool, len(d.FinalConflicts))
+	for _, c := range d.FinalConflicts {
+		s[c.Edge] = true
+	}
+	return s
+}
+
+// GreedyDetect runs the Table 1 "GB" baseline on the same graph: greedy
+// bipartization by descending edge weight with a parity union-find.
+func GreedyDetect(cg *ConflictGraph) *Detection {
+	det := &Detection{Graph: cg}
+	det.Stats.GraphNodes = cg.Nodes()
+	det.Stats.GraphEdges = cg.Edges()
+	start := time.Now()
+	for _, ei := range graph.GreedyBipartization(cg.Drawing.G) {
+		det.FinalConflicts = append(det.FinalConflicts, conflictFor(cg, ei))
+	}
+	det.Stats.TotalTime = time.Since(start)
+	return det
+}

@@ -1,0 +1,318 @@
+// Package correct implements the paper's layout modification scheme
+// (§3.2): AAPSM conflicts selected by the detection step are corrected by
+// inserting end-to-end horizontal and/or vertical spaces across the whole
+// layout. Cut lines and widths are chosen by a weighted set cover over the
+// conflicts' correction intervals; applying the cuts stretches only feature
+// lengths, never widths, so the modification cannot introduce DRC errors.
+package correct
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/setcover"
+	"repro/internal/shifter"
+)
+
+// Direction of an end-to-end space.
+type Direction int8
+
+const (
+	// VerticalCut is a vertical line at X=Pos: everything with x >= Pos
+	// shifts right by Width (adds horizontal space).
+	VerticalCut Direction = iota
+	// HorizontalCut is a horizontal line at Y=Pos: everything with y >= Pos
+	// shifts up by Width.
+	HorizontalCut
+)
+
+func (d Direction) String() string {
+	if d == HorizontalCut {
+		return "horizontal"
+	}
+	return "vertical"
+}
+
+// Cut is one chosen end-to-end space.
+type Cut struct {
+	Dir      Direction
+	Pos      int64
+	Width    int64
+	Corrects []int // indices into the plan's Conflicts
+}
+
+// Plan is a complete layout modification: the cuts to insert and the
+// conflicts they resolve.
+type Plan struct {
+	Conflicts []core.Conflict
+	Cuts      []Cut
+	// Unfixable conflicts cannot be corrected by spacing in either axis
+	// (feature-edge conflicts and T-shape-like overlaps); the paper routes
+	// these to mask splitting.
+	Unfixable []int
+	// AddedWidth/AddedHeight are the summed cut widths per axis.
+	AddedWidth  int64
+	AddedHeight int64
+	// GridLines is the number of candidate lines considered (Table 2's
+	// "Grid" column reports the chosen count; see Stats).
+	GridLines int
+}
+
+// MaxPerLine returns the largest number of conflicts corrected by a single
+// cut (Table 2's "Max" column).
+func (p *Plan) MaxPerLine() int {
+	best := 0
+	for _, c := range p.Cuts {
+		if len(c.Corrects) > best {
+			best = len(c.Corrects)
+		}
+	}
+	return best
+}
+
+// interval is a candidate correction range for one conflict along one axis.
+type interval struct {
+	conflict int
+	dir      Direction
+	lo, hi   int64 // valid cut positions (inclusive)
+	need     int64 // required inserted width
+}
+
+// BuildPlan chooses cuts correcting the given conflicts on layout l.
+// Conflicts must come from a detection on the same layout and rules.
+func BuildPlan(l *layout.Layout, r layout.Rules, set *shifter.Set, conflicts []core.Conflict) (*Plan, error) {
+	p := &Plan{Conflicts: conflicts}
+	var ivs []interval
+	for ci, c := range conflicts {
+		if c.Meta.Kind != core.OverlapEdge {
+			p.Unfixable = append(p.Unfixable, ci)
+			continue
+		}
+		sa := set.Shifters[c.Meta.S1]
+		sb := set.Shifters[c.Meta.S2]
+		fa := l.Features[sa.Feature].Rect
+		fb := l.Features[sb.Feature].Rect
+		got := 0
+		// A cut separates the conflicting shifters by moving one of their
+		// *features* (shifters are regenerated from features after
+		// modification). The cut must pass strictly between the two
+		// features' spans; the width must close the signed shifter gap —
+		// overlapping shifter projections need more than the nominal
+		// deficit.
+		if iv, need, ok := cutInterval(fa.X0, fa.X1, fb.X0, fb.X1,
+			sa.Rect.X0, sa.Rect.X1, sb.Rect.X0, sb.Rect.X1, r.MinShifterSpacing); ok {
+			ivs = append(ivs, interval{ci, VerticalCut, iv.Lo, iv.Hi, need})
+			got++
+		}
+		if iv, need, ok := cutInterval(fa.Y0, fa.Y1, fb.Y0, fb.Y1,
+			sa.Rect.Y0, sa.Rect.Y1, sb.Rect.Y0, sb.Rect.Y1, r.MinShifterSpacing); ok {
+			ivs = append(ivs, interval{ci, HorizontalCut, iv.Lo, iv.Hi, need})
+			got++
+		}
+		if got == 0 {
+			p.Unfixable = append(p.Unfixable, ci)
+		}
+	}
+	if len(ivs) == 0 {
+		return p, nil
+	}
+
+	// Candidate grid lines: interval endpoints (paper step 3), filtered so
+	// a cut never stretches a feature's width — a vertical line must not
+	// pass through the x-span of any vertical feature, and symmetrically.
+	type lineKey struct {
+		dir Direction
+		pos int64
+	}
+	cands := map[lineKey]bool{}
+	for _, iv := range ivs {
+		for _, pos := range []int64{iv.lo, iv.hi} {
+			if validCut(l, iv.dir, pos) {
+				cands[lineKey{iv.dir, pos}] = true
+			}
+		}
+	}
+	lines := make([]lineKey, 0, len(cands))
+	for k := range cands {
+		lines = append(lines, k)
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].dir != lines[j].dir {
+			return lines[i].dir < lines[j].dir
+		}
+		return lines[i].pos < lines[j].pos
+	})
+	p.GridLines = len(lines)
+
+	// Weighted set cover: each line covers the conflicts whose interval
+	// contains it; its weight is the largest width those conflicts need.
+	sets := make([]setcover.Set, len(lines))
+	covers := make([][]int, len(lines))
+	for li, lk := range lines {
+		var members []int
+		var w int64
+		for _, iv := range ivs {
+			if iv.dir == lk.dir && iv.lo <= lk.pos && lk.pos <= iv.hi {
+				members = append(members, iv.conflict)
+				if iv.need > w {
+					w = iv.need
+				}
+			}
+		}
+		sets[li] = setcover.Set{Weight: w, Members: members}
+		covers[li] = members
+	}
+	res := setcover.Solve(len(conflicts), sets)
+	// Elements uncovered by any line but having intervals: should not
+	// happen (their own endpoints are candidates unless filtered invalid);
+	// report them unfixable.
+	coveredByLine := map[int]bool{}
+	for _, li := range res.Chosen {
+		for _, m := range covers[li] {
+			coveredByLine[m] = true
+		}
+	}
+	hasInterval := map[int]bool{}
+	for _, iv := range ivs {
+		hasInterval[iv.conflict] = true
+	}
+	for ci := range conflicts {
+		if hasInterval[ci] && !coveredByLine[ci] {
+			p.Unfixable = append(p.Unfixable, ci)
+		}
+	}
+	sort.Ints(p.Unfixable)
+
+	for _, li := range res.Chosen {
+		lk := lines[li]
+		cut := Cut{Dir: lk.dir, Pos: lk.pos, Width: sets[li].Weight, Corrects: covers[li]}
+		p.Cuts = append(p.Cuts, cut)
+		if lk.dir == VerticalCut {
+			p.AddedWidth += cut.Width
+		} else {
+			p.AddedHeight += cut.Width
+		}
+	}
+	sort.Slice(p.Cuts, func(i, j int) bool {
+		if p.Cuts[i].Dir != p.Cuts[j].Dir {
+			return p.Cuts[i].Dir < p.Cuts[j].Dir
+		}
+		return p.Cuts[i].Pos < p.Cuts[j].Pos
+	})
+	return p, nil
+}
+
+// cutInterval computes the valid cut positions along one axis for a
+// conflict between shifters (spans [sa0,sa1], [sb0,sb1]) of features (spans
+// [fa0,fa1], [fb0,fb1]). The cut must fall strictly after the left feature
+// and at or before the right feature: positions in (leftF.hi, rightF.lo].
+// need is the inserted width that brings the trailing shifter's edge to the
+// minimum spacing from the leading one (the signed gap may be negative when
+// shifter projections overlap). ok is false when the features' spans overlap
+// or abut — then no space can pass between them on this axis.
+func cutInterval(fa0, fa1, fb0, fb1, sa0, sa1, sb0, sb1, minSpacing int64) (geom.Interval, int64, bool) {
+	clamp := func(w int64) int64 {
+		if w < 1 {
+			return 1 // defensive: a real conflict always needs positive width
+		}
+		return w
+	}
+	switch {
+	case fa1 < fb0: // feature A left/below, B moves
+		return geom.Interval{Lo: fa1 + 1, Hi: fb0}, clamp(minSpacing - (sb0 - sa1)), true
+	case fb1 < fa0: // feature B left/below, A moves
+		return geom.Interval{Lo: fb1 + 1, Hi: fa0}, clamp(minSpacing - (sa0 - sb1)), true
+	default:
+		return geom.Interval{}, 0, false
+	}
+}
+
+// validCut reports whether an end-to-end cut at pos only stretches feature
+// lengths: a vertical cut must not pass through the x-span of a vertical
+// feature (which would widen it), and symmetrically for horizontal cuts.
+func validCut(l *layout.Layout, dir Direction, pos int64) bool {
+	for _, f := range l.Features {
+		if dir == VerticalCut {
+			if f.Orient() == layout.Vertical && f.Rect.X0 < pos && pos <= f.Rect.X1 {
+				return false
+			}
+		} else {
+			if f.Orient() == layout.Horizontal && f.Rect.Y0 < pos && pos <= f.Rect.Y1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Apply executes the plan on a copy of the layout: coordinates at or beyond
+// a cut shift by its width; features spanning a cut stretch in length. The
+// original layout is untouched.
+func Apply(l *layout.Layout, p *Plan) *layout.Layout {
+	var vcuts, hcuts []Cut
+	for _, c := range p.Cuts {
+		if c.Dir == VerticalCut {
+			vcuts = append(vcuts, c)
+		} else {
+			hcuts = append(hcuts, c)
+		}
+	}
+	mapCoord := func(cuts []Cut, c int64) int64 {
+		var off int64
+		for _, cut := range cuts {
+			if cut.Pos <= c {
+				off += cut.Width
+			}
+		}
+		return c + off
+	}
+	out := layout.New(l.Name + "+spaces")
+	for _, f := range l.Features {
+		nr := geom.Rect{
+			X0: mapCoord(vcuts, f.Rect.X0),
+			Y0: mapCoord(hcuts, f.Rect.Y0),
+			X1: mapCoord(vcuts, f.Rect.X1),
+			Y1: mapCoord(hcuts, f.Rect.Y1),
+		}
+		out.AddOnLayer(nr, f.Layer)
+	}
+	return out
+}
+
+// Stats summarizes a correction for Table 2.
+type Stats struct {
+	Design       string
+	AreaBefore   int64
+	AreaAfter    int64
+	Conflicts    int
+	Cuts         int
+	MaxPerLine   int
+	Unfixable    int
+	AreaIncrease float64 // percent
+}
+
+// Summarize computes the Table 2 row for a plan applied to l.
+func Summarize(l *layout.Layout, p *Plan, modified *layout.Layout) Stats {
+	st := Stats{
+		Design:     l.Name,
+		AreaBefore: l.Area(),
+		AreaAfter:  modified.Area(),
+		Conflicts:  len(p.Conflicts),
+		Cuts:       len(p.Cuts),
+		MaxPerLine: p.MaxPerLine(),
+		Unfixable:  len(p.Unfixable),
+	}
+	if st.AreaBefore > 0 {
+		st.AreaIncrease = 100 * float64(st.AreaAfter-st.AreaBefore) / float64(st.AreaBefore)
+	}
+	return st
+}
+
+// String renders the stats like a Table 2 row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-14s area=%dµm² conflicts=%d cuts=%d max=%d unfixable=%d area+%.2f%%",
+		s.Design, s.AreaBefore/1e6, s.Conflicts, s.Cuts, s.MaxPerLine, s.Unfixable, s.AreaIncrease)
+}

@@ -1,0 +1,161 @@
+package correct
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/setcover"
+	"repro/internal/shifter"
+)
+
+// Widening implements the correction option the paper leaves as future work
+// (§5: "incorporate feature widening as an option for correcting AAPSM
+// conflicts"): widening a critical feature to the critical-width threshold
+// removes its need for shifters, dissolving every constraint its shifters
+// participate in. It is the fallback for conflicts that end-to-end spaces
+// cannot fix (overlapping feature spans, junction-adjacent features).
+
+// WidenPlan selects features to widen.
+type WidenPlan struct {
+	// Features to widen, with their new rectangles.
+	Widened map[int]geom.Rect
+	// Resolved lists the input conflict indices dissolved by the widening.
+	Resolved []int
+	// Remaining conflicts that still need mask splitting (widening was
+	// geometrically impossible without DRC damage).
+	Remaining []int
+	// AreaAdded is the total feature area increase in nm².
+	AreaAdded int64
+}
+
+// PlanWidening chooses a minimum-added-area set of features whose widening
+// dissolves the given conflicts (typically a correction plan's Unfixable
+// list). Candidate widenings that would collide with neighbors under the
+// DRC spacing rule are discarded.
+func PlanWidening(l *layout.Layout, r layout.Rules, set *shifter.Set, conflicts []core.Conflict, target []int) (*WidenPlan, error) {
+	p := &WidenPlan{Widened: make(map[int]geom.Rect)}
+	if len(target) == 0 {
+		return p, nil
+	}
+
+	// Candidate features: those involved in the target conflicts and
+	// widenable without breaking spacing.
+	candFeatures := map[int]geom.Rect{}
+	featConflicts := map[int][]int{} // feature -> positions in target
+	for ti, ci := range target {
+		c := conflicts[ci]
+		var feats []int
+		switch c.Meta.Kind {
+		case core.FeatureEdge:
+			feats = []int{c.Meta.Feature}
+		case core.OverlapEdge:
+			feats = []int{
+				set.Shifters[c.Meta.S1].Feature,
+				set.Shifters[c.Meta.S2].Feature,
+			}
+		}
+		for _, f := range feats {
+			if _, seen := candFeatures[f]; !seen {
+				if wr, ok := widenedRect(l, r, f); ok {
+					candFeatures[f] = wr
+				} else {
+					candFeatures[f] = geom.Rect{} // marked unusable
+				}
+			}
+			if !candFeatures[f].Empty() {
+				featConflicts[f] = append(featConflicts[f], ti)
+			}
+		}
+	}
+
+	// Weighted set cover: sets = widenable features, weight = added area.
+	var feats []int
+	for f, wr := range candFeatures {
+		if !wr.Empty() {
+			feats = append(feats, f)
+		}
+	}
+	sort.Ints(feats)
+	sets := make([]setcover.Set, len(feats))
+	for i, f := range feats {
+		added := candFeatures[f].Area() - l.Features[f].Rect.Area()
+		sets[i] = setcover.Set{Weight: added, Members: featConflicts[f]}
+	}
+	res := setcover.Solve(len(target), sets)
+	covered := map[int]bool{}
+	for _, si := range res.Chosen {
+		f := feats[si]
+		p.Widened[f] = candFeatures[f]
+		p.AreaAdded += sets[si].Weight
+		for _, m := range sets[si].Members {
+			covered[m] = true
+		}
+	}
+	for ti, ci := range target {
+		if covered[ti] {
+			p.Resolved = append(p.Resolved, ci)
+		} else {
+			p.Remaining = append(p.Remaining, ci)
+		}
+	}
+	return p, nil
+}
+
+// widenedRect computes the symmetric widening of feature f to the critical
+// width threshold and reports whether it stays DRC-legal against the rest
+// of the layout (spacing to every other feature and no new overlaps).
+func widenedRect(l *layout.Layout, r layout.Rules, f int) (geom.Rect, bool) {
+	rect := l.Features[f].Rect
+	need := r.CriticalWidth - rect.MinDim()
+	if need <= 0 {
+		return rect, false // already non-critical: widening cannot help
+	}
+	lo := need / 2
+	hi := need - lo
+	var wr geom.Rect
+	if l.Features[f].Orient() == layout.Vertical {
+		wr = geom.Rect{X0: rect.X0 - lo, Y0: rect.Y0, X1: rect.X1 + hi, Y1: rect.Y1}
+	} else {
+		wr = geom.Rect{X0: rect.X0, Y0: rect.Y0 - lo, X1: rect.X1, Y1: rect.Y1 + hi}
+	}
+	for i, g := range l.Features {
+		if i == f {
+			continue
+		}
+		sep := geom.Separation(wr, g.Rect)
+		origSep := geom.Separation(rect, g.Rect)
+		if origSep == 0 {
+			// Already touching (junction): widening must not swallow the
+			// neighbor's interior more than before.
+			if wr.Overlaps(g.Rect) && !rect.Overlaps(g.Rect) {
+				return geom.Rect{}, false
+			}
+			continue
+		}
+		if sep < r.MinFeatureSpacing {
+			return geom.Rect{}, false
+		}
+	}
+	return wr, true
+}
+
+// ApplyWidening returns a copy of l with the plan's features widened.
+func ApplyWidening(l *layout.Layout, p *WidenPlan) *layout.Layout {
+	out := layout.New(l.Name + "+widened")
+	for i, f := range l.Features {
+		if wr, ok := p.Widened[i]; ok {
+			out.AddOnLayer(wr, f.Layer)
+			continue
+		}
+		out.AddOnLayer(f.Rect, f.Layer)
+	}
+	return out
+}
+
+// drcCleanAfterWidening is a debug helper used by tests.
+func drcCleanAfterWidening(l *layout.Layout, r layout.Rules, p *WidenPlan) bool {
+	return drc.Clean(ApplyWidening(l, p), r)
+}

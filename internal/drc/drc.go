@@ -1,0 +1,85 @@
+// Package drc implements the design-rule checks the AAPSM flow relies on:
+// minimum feature width and minimum same-layer spacing. The layout
+// modification step uses it to prove that inserting end-to-end spaces never
+// introduces violations (paper §3.2).
+package drc
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Kind of rule violated.
+type Kind int8
+
+const (
+	// MinWidth: a feature narrower than the minimum drawn width.
+	MinWidth Kind = iota
+	// MinSpacing: two disjoint features closer than the minimum spacing.
+	MinSpacing
+)
+
+func (k Kind) String() string {
+	if k == MinSpacing {
+		return "min-spacing"
+	}
+	return "min-width"
+}
+
+// Violation is one DRC error.
+type Violation struct {
+	Kind   Kind
+	A, B   int // feature indices (B = -1 for width violations)
+	Actual int64
+	Limit  int64
+	Where  geom.Point
+}
+
+func (v Violation) String() string {
+	if v.Kind == MinWidth {
+		return fmt.Sprintf("%v: feature %d width %d < %d at %v", v.Kind, v.A, v.Actual, v.Limit, v.Where)
+	}
+	return fmt.Sprintf("%v: features %d,%d spaced %d < %d at %v", v.Kind, v.A, v.B, v.Actual, v.Limit, v.Where)
+}
+
+// Check runs all rules on the layout. Touching or overlapping features
+// count as merged (no spacing violation between them).
+func Check(l *layout.Layout, r layout.Rules) []Violation {
+	var out []Violation
+	for i, f := range l.Features {
+		if f.Rect.Empty() || f.Rect.MinDim() < r.MinFeatureWidth {
+			out = append(out, Violation{
+				Kind: MinWidth, A: i, B: -1,
+				Actual: f.Rect.MinDim(), Limit: r.MinFeatureWidth,
+				Where: f.Rect.Center(),
+			})
+		}
+	}
+	if len(l.Features) > 1 {
+		cell := r.MinFeatureSpacing * 4
+		if cell < 64 {
+			cell = 64
+		}
+		g := geom.NewGrid(cell)
+		for i, f := range l.Features {
+			g.Insert(int32(i), f.Rect.Expand(r.MinFeatureSpacing))
+		}
+		g.ForEachPair(func(i, j int32) {
+			a, b := l.Features[i].Rect, l.Features[j].Rect
+			sep := geom.Separation(a, b)
+			if sep > 0 && sep < r.MinFeatureSpacing {
+				out = append(out, Violation{
+					Kind: MinSpacing, A: int(i), B: int(j),
+					Actual: sep, Limit: r.MinFeatureSpacing,
+					Where: geom.Seg(a.Center(), b.Center()).Midpoint(),
+				})
+			}
+		})
+	}
+	return out
+}
+
+// Clean reports whether the layout passes all checks.
+func Clean(l *layout.Layout, r layout.Rules) bool { return len(Check(l, r)) == 0 }

@@ -1,0 +1,82 @@
+package drc
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+func rules() layout.Rules { return layout.Default90nm() }
+
+func TestCleanLayout(t *testing.T) {
+	l := layout.New("clean")
+	l.Add(geom.R(0, 0, 100, 1000))
+	l.Add(geom.R(300, 0, 400, 1000)) // spacing 200 >= 140
+	if v := Check(l, rules()); len(v) != 0 {
+		t.Fatalf("violations on clean layout: %v", v)
+	}
+	if !Clean(l, rules()) {
+		t.Error("Clean should report true")
+	}
+}
+
+func TestMinWidthViolation(t *testing.T) {
+	l := layout.New("thin")
+	l.Add(geom.R(0, 0, 50, 1000)) // 50 < 100
+	v := Check(l, rules())
+	if len(v) != 1 || v[0].Kind != MinWidth || v[0].A != 0 || v[0].B != -1 {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].Actual != 50 || v[0].Limit != 100 {
+		t.Errorf("actual/limit = %d/%d", v[0].Actual, v[0].Limit)
+	}
+}
+
+func TestMinSpacingViolation(t *testing.T) {
+	l := layout.New("close")
+	l.Add(geom.R(0, 0, 100, 1000))
+	l.Add(geom.R(200, 0, 300, 1000)) // spacing 100 < 140
+	v := Check(l, rules())
+	if len(v) != 1 || v[0].Kind != MinSpacing {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].Actual != 100 {
+		t.Errorf("actual = %d", v[0].Actual)
+	}
+}
+
+func TestTouchingFeaturesMerge(t *testing.T) {
+	l := layout.New("abut")
+	l.Add(geom.R(0, 0, 100, 1000))
+	l.Add(geom.R(100, 0, 500, 200)) // abuts the first: merged, no violation
+	if v := Check(l, rules()); len(v) != 0 {
+		t.Fatalf("abutting features must not violate spacing: %v", v)
+	}
+}
+
+func TestDegenerateFeature(t *testing.T) {
+	l := layout.New("deg")
+	l.Add(geom.R(5, 5, 5, 500))
+	v := Check(l, rules())
+	if len(v) != 1 || v[0].Kind != MinWidth {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestDiagonalSpacingUsesRectilinearSeparation(t *testing.T) {
+	l := layout.New("diag")
+	l.Add(geom.R(0, 0, 100, 100))
+	l.Add(geom.R(220, 220, 320, 320)) // both axis gaps 120 < 140
+	v := Check(l, rules())
+	if len(v) != 1 || v[0].Kind != MinSpacing || v[0].Actual != 120 {
+		t.Fatalf("violations = %v", v)
+	}
+	// Move one axis clear: legal.
+	l2 := layout.New("diag2")
+	l2.Add(geom.R(0, 0, 100, 100))
+	l2.Add(geom.R(400, 220, 500, 320)) // x gap 300 >= 140
+	if v := Check(l2, rules()); len(v) != 0 {
+		t.Fatalf("clear diagonal flagged: %v", v)
+	}
+}

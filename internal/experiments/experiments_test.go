@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/layout"
+)
+
+func TestTable1RowSmall(t *testing.T) {
+	d := bench.Design{Name: "t1", Params: bench.DefaultParams(5, 2, 60)}
+	row, err := RunTable1Row(d, layout.Default90nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Polygons == 0 || row.Nodes == 0 || row.Edges == 0 {
+		t.Fatalf("empty row: %+v", row)
+	}
+	if row.NP > row.PCG {
+		t.Errorf("NP %d must not exceed PCG %d", row.NP, row.PCG)
+	}
+	if row.PCG > row.GB {
+		t.Errorf("PCG %d must not exceed GB %d", row.PCG, row.GB)
+	}
+	if row.CrossingsFG < row.CrossingsPCG {
+		t.Errorf("FG crossings %d below PCG %d", row.CrossingsFG, row.CrossingsPCG)
+	}
+	if row.GGadgetNodes >= row.OGadgetNodes {
+		t.Errorf("generalized gadget nodes %d should be < optimized %d",
+			row.GGadgetNodes, row.OGadgetNodes)
+	}
+	if !strings.Contains(row.String(), "t1") {
+		t.Error("row rendering")
+	}
+	if !strings.Contains(Table1Header(), "PCG") {
+		t.Error("header rendering")
+	}
+}
+
+func TestTable2RowSmall(t *testing.T) {
+	d := bench.Design{Name: "t2", Params: bench.DefaultParams(6, 2, 60)}
+	row, err := RunTable2Row(d, layout.Default90nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.DRCClean {
+		t.Error("modified layout must be DRC clean")
+	}
+	if !row.Assignable {
+		t.Error("modified layout must be phase-assignable")
+	}
+	if row.Conflicts > 0 && (row.AreaIncrease <= 0 || row.GridLines == 0) {
+		t.Errorf("inconsistent row: %+v", row)
+	}
+	if row.MaxPerLine < 1 && row.Conflicts > 0 {
+		t.Errorf("max per line: %+v", row)
+	}
+	if !strings.Contains(row.String(), "t2") || !strings.Contains(Table2Header(), "grid") {
+		t.Error("rendering")
+	}
+}
+
+func TestRunFigure2Relations(t *testing.T) {
+	st, err := RunFigure2(layout.Default90nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FGNodes <= st.PCGNodes {
+		t.Errorf("FG nodes %d should exceed PCG nodes %d", st.FGNodes, st.PCGNodes)
+	}
+	if st.FGCrossings < st.PCGCrossings {
+		t.Errorf("FG crossings %d below PCG %d", st.FGCrossings, st.PCGCrossings)
+	}
+	if st.FGBends == 0 {
+		t.Error("FG must have detour bends")
+	}
+}
+
+func TestRunFigure34Monotone(t *testing.T) {
+	prevG, prevO := 0, 0
+	for _, deg := range []int{3, 5, 8, 12, 20} {
+		st, err := RunFigure34(deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.GeneralizedNodes <= prevG || st.OptimizedNodes <= prevO {
+			t.Errorf("degree %d: sizes must grow (%+v)", deg, st)
+		}
+		if deg > 3 && st.GeneralizedNodes >= st.OptimizedNodes {
+			t.Errorf("degree %d: generalized %d not smaller than optimized %d",
+				deg, st.GeneralizedNodes, st.OptimizedNodes)
+		}
+		prevG, prevO = st.GeneralizedNodes, st.OptimizedNodes
+	}
+}
+
+func TestImprovementPercent(t *testing.T) {
+	r := Table1Row{OGadgetTime: 100, GGadgetTime: 84}
+	if got := r.Improvement(); got < 15.9 || got > 16.1 {
+		t.Errorf("improvement = %f", got)
+	}
+	if (Table1Row{}).Improvement() != 0 {
+		t.Error("zero time improvement")
+	}
+}
+
+func TestRunCorrectionComparison(t *testing.T) {
+	d := bench.Design{Name: "cc", Params: bench.DefaultParams(8, 2, 60)}
+	cmp, err := RunCorrectionComparison(d, layout.Default90nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Conflicts == 0 {
+		t.Fatal("expected conflicts")
+	}
+	if cmp.EndToEndAreaPct <= 0 || cmp.CompactionAreaPct <= 0 {
+		t.Fatalf("both strategies must add area: %+v", cmp)
+	}
+	if cmp.CompactionMoved == 0 {
+		t.Error("compaction must move features")
+	}
+}

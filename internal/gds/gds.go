@@ -1,0 +1,329 @@
+// Package gds reads and writes the subset of the GDSII stream format the
+// AAPSM tools need: a single library with a single structure containing
+// axis-aligned rectangular BOUNDARY elements. Database units are 1 nm
+// (unit record: 0.001 user units, 1e-9 meters), matching the layout model's
+// integer nanometer coordinates.
+//
+// The record framing, data types and the excess-64 floating point encoding
+// follow the Calma GDSII Stream Format Manual, release 6.0.
+package gds
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Record types used by this subset.
+const (
+	recHEADER   = 0x00
+	recBGNLIB   = 0x01
+	recLIBNAME  = 0x02
+	recUNITS    = 0x03
+	recENDLIB   = 0x04
+	recBGNSTR   = 0x05
+	recSTRNAME  = 0x06
+	recENDSTR   = 0x07
+	recBOUNDARY = 0x08
+	recLAYER    = 0x0D
+	recDATATYPE = 0x0E
+	recXY       = 0x10
+	recENDEL    = 0x11
+)
+
+// Data type codes.
+const (
+	dtNone   = 0x00
+	dtInt16  = 0x02
+	dtInt32  = 0x03
+	dtReal8  = 0x05
+	dtString = 0x06
+)
+
+// ErrNotRectangle is returned when a BOUNDARY is not a closed axis-aligned
+// rectangle (the only polygon class the AAPSM layout model supports).
+var ErrNotRectangle = errors.New("gds: boundary is not an axis-aligned rectangle")
+
+// Write serializes the layout as a GDSII stream.
+func Write(w io.Writer, l *layout.Layout) error {
+	bw := bufio.NewWriter(w)
+	name := l.Name
+	if name == "" {
+		name = "TOP"
+	}
+	emit := func(rt, dt byte, payload []byte) error {
+		length := 4 + len(payload)
+		if length > 0xFFFF {
+			return fmt.Errorf("gds: record too long (%d)", length)
+		}
+		hdr := []byte{byte(length >> 8), byte(length), rt, dt}
+		if _, err := bw.Write(hdr); err != nil {
+			return err
+		}
+		_, err := bw.Write(payload)
+		return err
+	}
+	i16 := func(vals ...int16) []byte {
+		out := make([]byte, 2*len(vals))
+		for i, v := range vals {
+			binary.BigEndian.PutUint16(out[2*i:], uint16(v))
+		}
+		return out
+	}
+	i32 := func(vals ...int32) []byte {
+		out := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			binary.BigEndian.PutUint32(out[4*i:], uint32(v))
+		}
+		return out
+	}
+	str := func(s string) []byte {
+		b := []byte(s)
+		if len(b)%2 == 1 {
+			b = append(b, 0) // records are word-aligned
+		}
+		return b
+	}
+	// Fixed timestamp (modification/access): deterministic output.
+	ts := i16(2005, 3, 7, 0, 0, 0, 2005, 3, 7, 0, 0, 0)
+
+	if err := emit(recHEADER, dtInt16, i16(600)); err != nil {
+		return err
+	}
+	if err := emit(recBGNLIB, dtInt16, ts); err != nil {
+		return err
+	}
+	if err := emit(recLIBNAME, dtString, str(name)); err != nil {
+		return err
+	}
+	units := append(encodeReal8(1e-3), encodeReal8(1e-9)...)
+	if err := emit(recUNITS, dtReal8, units); err != nil {
+		return err
+	}
+	if err := emit(recBGNSTR, dtInt16, ts); err != nil {
+		return err
+	}
+	if err := emit(recSTRNAME, dtString, str(name)); err != nil {
+		return err
+	}
+	for i, f := range l.Features {
+		r := f.Rect
+		if r.X0 < math.MinInt32 || r.X1 > math.MaxInt32 || r.Y0 < math.MinInt32 || r.Y1 > math.MaxInt32 {
+			return fmt.Errorf("gds: feature %d exceeds int32 coordinate range", i)
+		}
+		if err := emit(recBOUNDARY, dtNone, nil); err != nil {
+			return err
+		}
+		if err := emit(recLAYER, dtInt16, i16(int16(f.Layer))); err != nil {
+			return err
+		}
+		if err := emit(recDATATYPE, dtInt16, i16(0)); err != nil {
+			return err
+		}
+		xy := i32(
+			int32(r.X0), int32(r.Y0),
+			int32(r.X1), int32(r.Y0),
+			int32(r.X1), int32(r.Y1),
+			int32(r.X0), int32(r.Y1),
+			int32(r.X0), int32(r.Y0),
+		)
+		if err := emit(recXY, dtInt32, xy); err != nil {
+			return err
+		}
+		if err := emit(recENDEL, dtNone, nil); err != nil {
+			return err
+		}
+	}
+	if err := emit(recENDSTR, dtNone, nil); err != nil {
+		return err
+	}
+	if err := emit(recENDLIB, dtNone, nil); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses a GDSII stream written by Write (or any stream limited to the
+// supported subset). All BOUNDARY elements across all structures are
+// collected into one layout.
+func Read(r io.Reader) (*layout.Layout, error) {
+	br := bufio.NewReader(r)
+	l := layout.New("")
+	sawHeader := false
+	var curLayer int16
+	var inBoundary bool
+	var haveXY bool
+	var xy []int32
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("gds: missing ENDLIB")
+			}
+			return nil, err
+		}
+		length := int(hdr[0])<<8 | int(hdr[1])
+		rt, dt := hdr[2], hdr[3]
+		if length < 4 {
+			return nil, fmt.Errorf("gds: record length %d < 4", length)
+		}
+		payload := make([]byte, length-4)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("gds: truncated record 0x%02x: %v", rt, err)
+		}
+		if !sawHeader && rt != recHEADER {
+			return nil, fmt.Errorf("gds: stream does not start with HEADER")
+		}
+		switch rt {
+		case recHEADER:
+			sawHeader = true
+		case recLIBNAME, recSTRNAME:
+			name := string(trimPad(payload))
+			if l.Name == "" {
+				l.Name = name
+			}
+		case recUNITS:
+			if dt != dtReal8 || len(payload) != 16 {
+				return nil, fmt.Errorf("gds: malformed UNITS")
+			}
+			meters := decodeReal8(payload[8:16])
+			// Expect a 1 nm database unit (tolerate rounding).
+			if meters < 0.5e-9 || meters > 2e-9 {
+				return nil, fmt.Errorf("gds: unsupported database unit %g m (want 1e-9)", meters)
+			}
+		case recBOUNDARY:
+			inBoundary = true
+			haveXY = false
+			curLayer = 0
+		case recLAYER:
+			if len(payload) >= 2 {
+				curLayer = int16(binary.BigEndian.Uint16(payload))
+			}
+		case recXY:
+			if !inBoundary {
+				break // XY of unsupported elements is ignored
+			}
+			if dt != dtInt32 || len(payload)%8 != 0 {
+				return nil, fmt.Errorf("gds: malformed XY")
+			}
+			xy = xy[:0]
+			for i := 0; i+4 <= len(payload); i += 4 {
+				xy = append(xy, int32(binary.BigEndian.Uint32(payload[i:])))
+			}
+			haveXY = true
+		case recENDEL:
+			if inBoundary {
+				if !haveXY {
+					return nil, fmt.Errorf("gds: boundary without XY")
+				}
+				rects, err := rectsFromXY(xy)
+				if err != nil {
+					return nil, err
+				}
+				for _, rect := range rects {
+					l.AddOnLayer(rect, int(curLayer))
+				}
+			}
+			inBoundary = false
+		case recENDLIB:
+			return l, nil
+		case recBGNLIB, recBGNSTR, recENDSTR, recDATATYPE:
+			// Accepted and ignored.
+		default:
+			if inBoundary {
+				return nil, fmt.Errorf("gds: unsupported record 0x%02x inside boundary", rt)
+			}
+			// Unknown top-level records are skipped for tolerance.
+		}
+	}
+}
+
+// rectsFromXY converts a BOUNDARY vertex list to layout rectangles:
+// axis-aligned rectangles pass through directly; any other simple
+// rectilinear polygon is decomposed into covering rectangles. Non-
+// rectilinear boundaries yield ErrNotRectangle.
+func rectsFromXY(xy []int32) ([]geom.Rect, error) {
+	n := len(xy) / 2
+	if n < 4 {
+		return nil, ErrNotRectangle
+	}
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = geom.Pt(int64(xy[2*i]), int64(xy[2*i+1]))
+	}
+	rects, err := geom.DecomposeRectilinear(pts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotRectangle, err)
+	}
+	return rects, nil
+}
+
+// encodeReal8 converts a float64 to the GDSII excess-64 base-16 real.
+func encodeReal8(v float64) []byte {
+	out := make([]byte, 8)
+	if v == 0 {
+		return out
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	exp := 0
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	mant := uint64(v * (1 << 56))
+	if mant == 1<<56 { // rounding overflow
+		mant >>= 4
+		exp++
+	}
+	b0 := byte(exp + 64)
+	if neg {
+		b0 |= 0x80
+	}
+	out[0] = b0
+	for i := 6; i >= 0; i-- {
+		out[1+i] = byte(mant)
+		mant >>= 8
+	}
+	return out
+}
+
+// decodeReal8 converts a GDSII excess-64 real to float64.
+func decodeReal8(b []byte) float64 {
+	if len(b) != 8 {
+		return math.NaN()
+	}
+	neg := b[0]&0x80 != 0
+	exp := int(b[0]&0x7F) - 64
+	var mant uint64
+	for i := 1; i < 8; i++ {
+		mant = mant<<8 | uint64(b[i])
+	}
+	if mant == 0 {
+		return 0
+	}
+	v := float64(mant) / float64(uint64(1)<<56) * math.Pow(16, float64(exp))
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+func trimPad(b []byte) []byte {
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return b
+}

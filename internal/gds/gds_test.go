@@ -1,0 +1,233 @@
+package gds
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+func TestReal8RoundTrip(t *testing.T) {
+	vals := []float64{0, 1, -1, 1e-9, 1e-3, 0.25, 1234.5, -6.25e-7, 16, 1.0 / 16}
+	for _, v := range vals {
+		got := decodeReal8(encodeReal8(v))
+		if v == 0 {
+			if got != 0 {
+				t.Errorf("zero encoded to %g", got)
+			}
+			continue
+		}
+		if math.Abs(got-v) > math.Abs(v)*1e-14 {
+			t.Errorf("real8 roundtrip %g -> %g", v, got)
+		}
+	}
+}
+
+func TestReal8RoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		v := (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(20)-10))
+		if v == 0 {
+			return true
+		}
+		got := decodeReal8(encodeReal8(v))
+		return math.Abs(got-v) <= math.Abs(v)*1e-13
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutRoundTrip(t *testing.T) {
+	l := layout.New("TESTCHIP")
+	l.Add(geom.R(0, 0, 100, 1000))
+	l.AddOnLayer(geom.R(-500, -700, -100, -200), 7)
+	l.Add(geom.R(1<<30, 0, 1<<30+50, 60))
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "TESTCHIP" {
+		t.Errorf("name = %q", got.Name)
+	}
+	if len(got.Features) != len(l.Features) {
+		t.Fatalf("features = %d, want %d", len(got.Features), len(l.Features))
+	}
+	for i := range l.Features {
+		if got.Features[i] != l.Features[i] {
+			t.Errorf("feature %d: %+v != %+v", i, got.Features[i], l.Features[i])
+		}
+	}
+}
+
+func TestEmptyLayoutRoundTrip(t *testing.T) {
+	l := layout.New("")
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Features) != 0 || got.Name != "TOP" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestCoordinateRangeCheck(t *testing.T) {
+	l := layout.New("big")
+	l.Add(geom.R(0, 0, int64(math.MaxInt32)+10, 100))
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err == nil {
+		t.Fatal("out-of-range coordinates must be rejected")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Truncated stream.
+	l := layout.New("x")
+	l.Add(geom.R(0, 0, 10, 10))
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 5, len(full) / 2, len(full) - 3} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+	// Garbage.
+	if _, err := Read(bytes.NewReader([]byte{0, 8, 0x99, 0, 1, 2, 3, 4})); err == nil {
+		t.Error("stream without HEADER must fail")
+	}
+	// Empty.
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream must fail")
+	}
+}
+
+func TestNonRectangularBoundaryRejected(t *testing.T) {
+	// Handcraft a triangle boundary.
+	var buf bytes.Buffer
+	w := func(b ...byte) { buf.Write(b) }
+	rec := func(rt, dt byte, payload []byte) {
+		n := 4 + len(payload)
+		w(byte(n>>8), byte(n), rt, dt)
+		buf.Write(payload)
+	}
+	rec(recHEADER, dtInt16, []byte{2, 88})
+	units := append(encodeReal8(1e-3), encodeReal8(1e-9)...)
+	rec(recUNITS, dtReal8, units)
+	rec(recBOUNDARY, dtNone, nil)
+	xy := make([]byte, 0, 32)
+	pts := []int32{0, 0, 100, 0, 50, 100, 0, 0}
+	for _, v := range pts {
+		xy = append(xy, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	rec(recXY, dtInt32, xy)
+	rec(recENDEL, dtNone, nil)
+	rec(recENDLIB, dtNone, nil)
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("triangle boundary must be rejected")
+	}
+}
+
+func TestManyFeaturesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	l := layout.New("MANY")
+	for i := 0; i < 5000; i++ {
+		x := int64(rng.Intn(1 << 20))
+		y := int64(rng.Intn(1 << 20))
+		l.AddOnLayer(geom.R(x, y, x+int64(rng.Intn(1000)+1), y+int64(rng.Intn(1000)+1)), rng.Intn(64))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Features) != 5000 {
+		t.Fatalf("features = %d", len(got.Features))
+	}
+	for i := range l.Features {
+		if got.Features[i] != l.Features[i] {
+			t.Fatalf("feature %d mismatch", i)
+		}
+	}
+}
+
+// writeRawBoundary emits a minimal GDS stream containing one boundary with
+// the given vertices.
+func writeRawBoundary(pts []int32) *bytes.Buffer {
+	var buf bytes.Buffer
+	rec := func(rt, dt byte, payload []byte) {
+		n := 4 + len(payload)
+		buf.Write([]byte{byte(n >> 8), byte(n), rt, dt})
+		buf.Write(payload)
+	}
+	rec(recHEADER, dtInt16, []byte{2, 88})
+	units := append(encodeReal8(1e-3), encodeReal8(1e-9)...)
+	rec(recUNITS, dtReal8, units)
+	rec(recBOUNDARY, dtNone, nil)
+	xy := make([]byte, 0, 4*len(pts))
+	for _, v := range pts {
+		xy = append(xy, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	rec(recXY, dtInt32, xy)
+	rec(recENDEL, dtNone, nil)
+	rec(recENDLIB, dtNone, nil)
+	return &buf
+}
+
+func TestRectilinearPolygonBoundaryDecomposed(t *testing.T) {
+	// L-shaped boundary: must come back as two rectangles covering it.
+	buf := writeRawBoundary([]int32{
+		0, 0, 200, 0, 200, 100, 100, 100, 100, 300, 0, 300, 0, 0,
+	})
+	l, err := Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Features) != 2 {
+		t.Fatalf("features = %d, want 2 (decomposed L)", len(l.Features))
+	}
+	var area int64
+	for _, f := range l.Features {
+		area += f.Rect.Area()
+	}
+	if area != 200*100+100*200 {
+		t.Fatalf("area = %d", area)
+	}
+}
+
+func TestPolygonBoundaryCrossShape(t *testing.T) {
+	// Plus/cross shape: 3 slabs.
+	buf := writeRawBoundary([]int32{
+		100, 0, 200, 0, 200, 100, 300, 100, 300, 200,
+		200, 200, 200, 300, 100, 300, 100, 200, 0, 200,
+		0, 100, 100, 100, 100, 0,
+	})
+	l, err := Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var area int64
+	for _, f := range l.Features {
+		area += f.Rect.Area()
+	}
+	if area != 100*100*5 {
+		t.Fatalf("cross area = %d, want %d", area, 100*100*5)
+	}
+}

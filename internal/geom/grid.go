@@ -1,0 +1,110 @@
+package geom
+
+import "sort"
+
+// Grid is a uniform spatial hash over int64 space used to prune candidate
+// pairs for rectangle-proximity and segment-crossing queries. Items are
+// referenced by dense integer ids supplied by the caller.
+//
+// The zero Grid is not usable; construct with NewGrid. Cell size should be
+// on the order of the query distance (rect proximity) or the median segment
+// length (crossing detection); a poor choice affects only performance, never
+// correctness.
+type Grid struct {
+	cell  int64
+	cells map[cellKey][]int32
+}
+
+type cellKey struct{ cx, cy int32 }
+
+// NewGrid creates a grid with the given cell edge length in nm.
+// cell must be positive.
+func NewGrid(cell int64) *Grid {
+	if cell <= 0 {
+		panic("geom: grid cell size must be positive")
+	}
+	return &Grid{cell: cell, cells: make(map[cellKey][]int32)}
+}
+
+func (g *Grid) cellRange(r Rect) (cx0, cy0, cx1, cy1 int32) {
+	return int32(floorDiv(r.X0, g.cell)), int32(floorDiv(r.Y0, g.cell)),
+		int32(floorDiv(r.X1, g.cell)), int32(floorDiv(r.Y1, g.cell))
+}
+
+// Insert registers id with bounding box r in every cell it overlaps.
+func (g *Grid) Insert(id int32, r Rect) {
+	cx0, cy0, cx1, cy1 := g.cellRange(r)
+	for cx := cx0; cx <= cx1; cx++ {
+		for cy := cy0; cy <= cy1; cy++ {
+			k := cellKey{cx, cy}
+			g.cells[k] = append(g.cells[k], id)
+		}
+	}
+}
+
+// Query calls fn once per distinct id whose inserted bounds overlap a cell
+// touched by r. The same id is never reported twice per call; candidates are
+// a superset of true hits and must be filtered by the caller. seen is scratch
+// storage reused across calls when non-nil: it must have capacity for all
+// ids and be all-false on entry (Query resets it before returning).
+func (g *Grid) Query(r Rect, seen []bool, fn func(id int32)) {
+	cx0, cy0, cx1, cy1 := g.cellRange(r)
+	var touched []int32
+	for cx := cx0; cx <= cx1; cx++ {
+		for cy := cy0; cy <= cy1; cy++ {
+			for _, id := range g.cells[cellKey{cx, cy}] {
+				if seen != nil {
+					if seen[id] {
+						continue
+					}
+					seen[id] = true
+					touched = append(touched, id)
+				}
+				fn(id)
+			}
+		}
+	}
+	for _, id := range touched {
+		seen[id] = false
+	}
+}
+
+// ForEachPair calls fn for every unordered candidate pair (i < j) that share
+// at least one grid cell. Pairs are deduplicated (collected, sorted and
+// uniqued, so memory is proportional to the candidate count).
+func (g *Grid) ForEachPair(fn func(i, j int32)) {
+	var pairs []uint64
+	for _, ids := range g.cells {
+		for a := 0; a < len(ids); a++ {
+			for b := a + 1; b < len(ids); b++ {
+				i, j := ids[a], ids[b]
+				if i == j {
+					continue
+				}
+				if i > j {
+					i, j = j, i
+				}
+				pairs = append(pairs, uint64(i)<<32|uint64(uint32(j)))
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a] < pairs[b] })
+	var prev uint64
+	for k, p := range pairs {
+		if k > 0 && p == prev {
+			continue
+		}
+		prev = p
+		fn(int32(p>>32), int32(uint32(p)))
+	}
+}
+
+// floorDiv divides rounding toward negative infinity, so the grid is
+// well-defined for negative coordinates.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,141 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkDecomposition(t *testing.T, pts []Point, wantArea int64) []Rect {
+	t.Helper()
+	rects, err := DecomposeRectilinear(pts)
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	var sum int64
+	for i, r := range rects {
+		if r.Empty() {
+			t.Fatalf("rect %d empty: %v", i, r)
+		}
+		sum += r.Area()
+		for j := i + 1; j < len(rects); j++ {
+			if r.Overlaps(rects[j]) {
+				t.Fatalf("rects %d and %d overlap: %v %v", i, j, r, rects[j])
+			}
+		}
+	}
+	if sum != wantArea {
+		t.Fatalf("area %d, want %d (rects %v)", sum, wantArea, rects)
+	}
+	return rects
+}
+
+func TestDecomposeRectangle(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(10, 0), Pt(10, 5), Pt(0, 5)}
+	rects := checkDecomposition(t, pts, 50)
+	if len(rects) != 1 || rects[0] != R(0, 0, 10, 5) {
+		t.Fatalf("rects = %v", rects)
+	}
+	// Closed form and reversed orientation.
+	closed := append(append([]Point{}, pts...), pts[0])
+	checkDecomposition(t, closed, 50)
+	rev := []Point{Pt(0, 5), Pt(10, 5), Pt(10, 0), Pt(0, 0)}
+	checkDecomposition(t, rev, 50)
+}
+
+func TestDecomposeLShape(t *testing.T) {
+	// L: 20x10 base with a 10x10 tower on the left.
+	pts := []Point{Pt(0, 0), Pt(20, 0), Pt(20, 10), Pt(10, 10), Pt(10, 20), Pt(0, 20)}
+	rects := checkDecomposition(t, pts, 20*10+10*10)
+	if len(rects) != 2 {
+		t.Fatalf("want 2 rects after merge, got %v", rects)
+	}
+}
+
+func TestDecomposeTShape(t *testing.T) {
+	// T: horizontal bar 30x10 on top of a vertical stem 10x20.
+	pts := []Point{
+		Pt(0, 20), Pt(30, 20), Pt(30, 30), Pt(0, 30), // drawn as closed loop below
+	}
+	_ = pts
+	loop := []Point{
+		Pt(10, 0), Pt(20, 0), Pt(20, 20), Pt(30, 20), Pt(30, 30),
+		Pt(0, 30), Pt(0, 20), Pt(10, 20),
+	}
+	checkDecomposition(t, loop, 10*20+30*10)
+}
+
+func TestDecomposeUShape(t *testing.T) {
+	loop := []Point{
+		Pt(0, 0), Pt(30, 0), Pt(30, 20), Pt(20, 20), Pt(20, 10),
+		Pt(10, 10), Pt(10, 20), Pt(0, 20),
+	}
+	checkDecomposition(t, loop, 30*10+2*10*10)
+}
+
+func TestDecomposeCollinearAndDuplicateVertices(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(5, 0), Pt(10, 0), Pt(10, 0), Pt(10, 5), Pt(0, 5), Pt(0, 2),
+	}
+	rects := checkDecomposition(t, pts, 50)
+	if len(rects) != 1 {
+		t.Fatalf("rects = %v", rects)
+	}
+}
+
+func TestDecomposeRejectsBad(t *testing.T) {
+	cases := [][]Point{
+		{Pt(0, 0), Pt(10, 10), Pt(0, 10)}, // diagonal
+		{Pt(0, 0), Pt(10, 0)},             // too few
+		nil,                               // empty
+		{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(20, 10), Pt(20, 0), Pt(30, 0), Pt(30, -10), Pt(0, -10), Pt(0, 0), Pt(5, 5)}, // junk tail diagonal
+	}
+	for i, pts := range cases {
+		if _, err := DecomposeRectilinear(pts); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestDecomposeStaircaseRandom(t *testing.T) {
+	// Random staircase polygons: x steps up then close along the top.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(6) + 2
+		var pts []Point
+		x, y := int64(0), int64(0)
+		var area int64
+		tops := make([][2]int64, 0, n) // x-range and height per column
+		for i := 0; i < n; i++ {
+			w := int64(rng.Intn(9) + 1)
+			h := int64(rng.Intn(9) + 1)
+			// staircase going up: each column [x, x+w) with height cumulative
+			pts = append(pts, Pt(x, y))
+			y += h
+			pts = append(pts, Pt(x, y))
+			x += w
+			tops = append(tops, [2]int64{w, y})
+			_ = tops
+		}
+		// close: right side down to 0, bottom back to origin
+		pts = append(pts, Pt(x, y), Pt(x, 0))
+		// area: Σ w_i * cumheight_i
+		cum := int64(0)
+		xx := int64(0)
+		ptsIdx := 0
+		_ = ptsIdx
+		rngArea := func() int64 {
+			a := int64(0)
+			cum = 0
+			xx = 0
+			for i := 0; i < n; i++ {
+				w := tops[i][0]
+				cum = tops[i][1]
+				a += w * cum
+				xx += w
+			}
+			return a
+		}
+		area = rngArea()
+		checkDecomposition(t, pts, area)
+	}
+}

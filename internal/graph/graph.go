@@ -1,0 +1,303 @@
+// Package graph provides the weighted undirected multigraph substrate shared
+// by the AAPSM conflict-detection flow: connected components, bipartiteness
+// testing with odd-cycle extraction, a parity (bipartite) union–find, and
+// greedy spanning structures.
+//
+// Nodes are dense ints 0..N-1; edges are identified by their index in the
+// edge list so parallel edges and self-loops are representable (self-loops
+// make a graph non-bipartite and are reported as their own odd cycles).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected weighted edge.
+type Edge struct {
+	U, V   int
+	Weight int64
+}
+
+// Graph is an undirected multigraph with int64 edge weights.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]Arc // Arc.To, Arc.Edge index
+	dirty bool
+}
+
+// Arc is a directed half-edge in an adjacency list.
+type Arc struct {
+	To   int // head node
+	Edge int // index into Edges()
+}
+
+// New creates a graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{n: n}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddNode appends a new node and returns its id.
+func (g *Graph) AddNode() int {
+	g.n++
+	g.dirty = true
+	return g.n - 1
+}
+
+// AddEdge appends an undirected edge and returns its index.
+func (g *Graph) AddEdge(u, v int, w int64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, g.n))
+	}
+	g.edges = append(g.edges, Edge{u, v, w})
+	g.dirty = true
+	return len(g.edges) - 1
+}
+
+// Edges returns the backing edge slice. Callers must not append; mutating
+// weights is allowed before the next algorithm call.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns edge i.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Adj returns the adjacency list of node u, rebuilding lazily after
+// mutation. Self-loops appear twice (once per end).
+func (g *Graph) Adj(u int) []Arc {
+	g.build()
+	return g.adj[u]
+}
+
+func (g *Graph) build() {
+	if !g.dirty && g.adj != nil {
+		return
+	}
+	deg := make([]int, g.n)
+	for _, e := range g.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	g.adj = make([][]Arc, g.n)
+	for u := range g.adj {
+		g.adj[u] = make([]Arc, 0, deg[u])
+	}
+	for i, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], Arc{e.V, i})
+		g.adj[e.V] = append(g.adj[e.V], Arc{e.U, i})
+	}
+	g.dirty = false
+}
+
+// Degree returns the degree of node u (self-loops count twice).
+func (g *Graph) Degree(u int) int { return len(g.Adj(u)) }
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := New(g.n)
+	out.edges = append([]Edge(nil), g.edges...)
+	out.dirty = true
+	return out
+}
+
+// SubgraphWithoutEdges returns a copy of g with the given edge indices
+// removed and a mapping from new edge index to old edge index.
+func (g *Graph) SubgraphWithoutEdges(removed map[int]bool) (*Graph, []int) {
+	out := New(g.n)
+	oldIdx := make([]int, 0, len(g.edges))
+	for i, e := range g.edges {
+		if removed[i] {
+			continue
+		}
+		out.AddEdge(e.U, e.V, e.Weight)
+		oldIdx = append(oldIdx, i)
+	}
+	return out, oldIdx
+}
+
+// Components labels each node with a component id in [0, count) and returns
+// (labels, count). Isolated nodes form their own components.
+func (g *Graph) Components() ([]int, int) {
+	g.build()
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	count := 0
+	stack := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = count
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range g.adj[u] {
+				if comp[a.To] < 0 {
+					comp[a.To] = count
+					stack = append(stack, a.To)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// TwoColor attempts to 2-color the graph by BFS. It returns the coloring
+// (0/1 per node, deterministic: each component root gets color 0) and true
+// when the graph is bipartite. When it is not, ok is false and colors holds
+// the partial coloring at the point of failure.
+func (g *Graph) TwoColor() (colors []int8, ok bool) {
+	g.build()
+	colors = make([]int8, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if colors[s] >= 0 {
+			continue
+		}
+		colors[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range g.adj[u] {
+				if a.To == u { // self-loop: never 2-colorable
+					return colors, false
+				}
+				if colors[a.To] < 0 {
+					colors[a.To] = 1 - colors[u]
+					queue = append(queue, a.To)
+				} else if colors[a.To] == colors[u] {
+					return colors, false
+				}
+			}
+		}
+	}
+	return colors, true
+}
+
+// IsBipartite reports whether the graph is 2-colorable.
+func (g *Graph) IsBipartite() bool {
+	_, ok := g.TwoColor()
+	return ok
+}
+
+// OddCycle returns one odd cycle as a sequence of edge indices, or nil when
+// the graph is bipartite. A self-loop is returned as a length-1 cycle.
+func (g *Graph) OddCycle() []int {
+	g.build()
+	color := make([]int8, g.n)
+	parentArc := make([]Arc, g.n) // arc used to reach each node
+	for i := range color {
+		color[i] = -1
+	}
+	for s := 0; s < g.n; s++ {
+		if color[s] >= 0 {
+			continue
+		}
+		color[s] = 0
+		parentArc[s] = Arc{-1, -1}
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range g.adj[u] {
+				if a.To == u {
+					return []int{a.Edge}
+				}
+				if color[a.To] < 0 {
+					color[a.To] = 1 - color[u]
+					parentArc[a.To] = Arc{u, a.Edge}
+					queue = append(queue, a.To)
+					continue
+				}
+				if color[a.To] != color[u] {
+					continue
+				}
+				// Same-color contact: combine the two tree paths plus this
+				// edge into an odd closed walk, then trim to the lowest
+				// common ancestor to obtain a simple odd cycle.
+				return oddCycleFrom(u, a.To, a.Edge, parentArc)
+			}
+		}
+	}
+	return nil
+}
+
+// oddCycleFrom builds the odd cycle through BFS-tree ancestors of u and v
+// joined by edge uv (edge index e).
+func oddCycleFrom(u, v, e int, parentArc []Arc) []int {
+	pathEdges := func(x int) (nodes []int, edges []int) {
+		for parentArc[x].To >= 0 {
+			nodes = append(nodes, x)
+			edges = append(edges, parentArc[x].Edge)
+			x = parentArc[x].To
+		}
+		nodes = append(nodes, x)
+		return
+	}
+	un, ue := pathEdges(u)
+	vn, ve := pathEdges(v)
+	// Find LCA: walk from the roots (ends of the slices) while equal.
+	i, j := len(un)-1, len(vn)-1
+	for i > 0 && j > 0 && un[i-1] == vn[j-1] {
+		i--
+		j--
+	}
+	// Cycle: u ... lca via ue[0..i-1], then lca ... v reversed via ve, then e.
+	cycle := append([]int{}, ue[:i]...)
+	for k := j - 1; k >= 0; k-- {
+		cycle = append(cycle, ve[k])
+	}
+	cycle = append(cycle, e)
+	return cycle
+}
+
+// VerifyBipartition checks that removing the edges in removed leaves a
+// bipartite graph; it returns the resulting 2-coloring of the remaining
+// graph and ok.
+func (g *Graph) VerifyBipartition(removed map[int]bool) ([]int8, bool) {
+	sub, _ := g.SubgraphWithoutEdges(removed)
+	return sub.TwoColor()
+}
+
+// TotalWeight sums the weights of the given edge indices.
+func (g *Graph) TotalWeight(edgeIdx []int) int64 {
+	var s int64
+	for _, i := range edgeIdx {
+		s += g.edges[i].Weight
+	}
+	return s
+}
+
+// SortedEdgeIndicesByWeightDesc returns edge indices ordered by decreasing
+// weight (ties by index for determinism).
+func (g *Graph) SortedEdgeIndicesByWeightDesc() []int {
+	idx := make([]int, len(g.edges))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ea, eb := g.edges[idx[a]], g.edges[idx[b]]
+		if ea.Weight != eb.Weight {
+			return ea.Weight > eb.Weight
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}

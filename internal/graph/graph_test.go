@@ -1,0 +1,289 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func cycle(n int) *Graph {
+	g := path(n)
+	g.AddEdge(n-1, 0, 1)
+	return g
+}
+
+func TestBasics(t *testing.T) {
+	g := New(3)
+	if g.N() != 3 || g.M() != 0 {
+		t.Fatal("empty graph counts")
+	}
+	e0 := g.AddEdge(0, 1, 5)
+	e1 := g.AddEdge(1, 2, 7)
+	if e0 != 0 || e1 != 1 {
+		t.Fatal("edge indices")
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Error("degrees")
+	}
+	id := g.AddNode()
+	if id != 3 || g.N() != 4 {
+		t.Error("AddNode")
+	}
+	g.AddEdge(3, 3, 2) // self loop
+	if g.Degree(3) != 2 {
+		t.Errorf("self loop degree = %d, want 2", g.Degree(3))
+	}
+	if g.TotalWeight([]int{0, 1}) != 12 {
+		t.Error("TotalWeight")
+	}
+	c := g.Clone()
+	c.AddEdge(0, 2, 1)
+	if g.M() == c.M() {
+		t.Error("clone not independent")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	comp, n := g.Components()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Error("3,4 separate component")
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Error("5 isolated")
+	}
+}
+
+func TestTwoColor(t *testing.T) {
+	if _, ok := cycle(4).TwoColor(); !ok {
+		t.Error("even cycle should be bipartite")
+	}
+	if _, ok := cycle(5).TwoColor(); ok {
+		t.Error("odd cycle should not be bipartite")
+	}
+	colors, ok := path(4).TwoColor()
+	if !ok {
+		t.Fatal("path bipartite")
+	}
+	for i := 0; i+1 < 4; i++ {
+		if colors[i] == colors[i+1] {
+			t.Error("adjacent same color")
+		}
+	}
+	// Self loop.
+	g := New(1)
+	g.AddEdge(0, 0, 1)
+	if g.IsBipartite() {
+		t.Error("self loop should break bipartiteness")
+	}
+	// Parallel edges keep bipartiteness.
+	h := New(2)
+	h.AddEdge(0, 1, 1)
+	h.AddEdge(0, 1, 2)
+	if !h.IsBipartite() {
+		t.Error("parallel edges are fine")
+	}
+}
+
+func TestOddCycle(t *testing.T) {
+	if got := cycle(4).OddCycle(); got != nil {
+		t.Errorf("even cycle returned odd cycle %v", got)
+	}
+	for _, n := range []int{3, 5, 7, 9} {
+		g := cycle(n)
+		oc := g.OddCycle()
+		if len(oc)%2 == 0 || len(oc) == 0 {
+			t.Fatalf("cycle(%d): odd cycle len %d", n, len(oc))
+		}
+		checkClosedOddWalk(t, g, oc)
+	}
+	// Self loop.
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 1, 1)
+	oc := g.OddCycle()
+	if len(oc) != 1 || g.Edge(oc[0]).U != g.Edge(oc[0]).V {
+		t.Errorf("self loop odd cycle = %v", oc)
+	}
+	// Two triangles sharing a node.
+	h := New(5)
+	h.AddEdge(0, 1, 1)
+	h.AddEdge(1, 2, 1)
+	h.AddEdge(2, 0, 1)
+	h.AddEdge(2, 3, 1)
+	h.AddEdge(3, 4, 1)
+	h.AddEdge(4, 2, 1)
+	oc = h.OddCycle()
+	if len(oc)%2 == 0 || oc == nil {
+		t.Fatalf("odd cycle %v", oc)
+	}
+	checkClosedOddWalk(t, h, oc)
+}
+
+// checkClosedOddWalk verifies the returned edge sequence is a closed walk of
+// odd length whose consecutive edges share endpoints.
+func checkClosedOddWalk(t *testing.T, g *Graph, cyc []int) {
+	t.Helper()
+	if len(cyc)%2 == 0 {
+		t.Fatalf("cycle length %d is even", len(cyc))
+	}
+	// Each node must be touched an even number of times by cycle edge
+	// endpoints (it is a closed walk).
+	touch := map[int]int{}
+	for _, ei := range cyc {
+		e := g.Edge(ei)
+		touch[e.U]++
+		touch[e.V]++
+	}
+	for n, c := range touch {
+		if c%2 != 0 {
+			t.Fatalf("node %d touched %d times; not a closed walk: %v", n, c, cyc)
+		}
+	}
+}
+
+func TestOddCycleQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		n := rng.Intn(12) + 2
+		g := New(n)
+		m := rng.Intn(2 * n)
+		for i := 0; i < m; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), int64(rng.Intn(10)+1))
+		}
+		oc := g.OddCycle()
+		bip := g.IsBipartite()
+		if bip != (oc == nil) {
+			return false
+		}
+		if oc != nil && len(oc)%2 == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubgraphWithoutEdges(t *testing.T) {
+	g := cycle(5)
+	sub, oldIdx := g.SubgraphWithoutEdges(map[int]bool{2: true})
+	if sub.M() != 4 {
+		t.Fatalf("subgraph edges = %d", sub.M())
+	}
+	if !sub.IsBipartite() {
+		t.Error("odd cycle minus an edge should be bipartite")
+	}
+	for newI, oldI := range oldIdx {
+		if g.Edge(oldI) != sub.Edge(newI) {
+			t.Error("edge mapping broken")
+		}
+	}
+	if _, ok := g.VerifyBipartition(map[int]bool{2: true}); !ok {
+		t.Error("VerifyBipartition")
+	}
+	if _, ok := g.VerifyBipartition(nil); ok {
+		t.Error("VerifyBipartition on intact odd cycle should fail")
+	}
+}
+
+func TestParityUF(t *testing.T) {
+	uf := NewParityUF(4)
+	if !uf.UnionDiffer(0, 1) || !uf.UnionDiffer(1, 2) {
+		t.Fatal("chain unions should succeed")
+	}
+	// 0 and 2 are now constrained equal.
+	if same, eq := uf.SameSet(0, 2); !same || !eq {
+		t.Error("0 and 2 should be same-color")
+	}
+	if same, eq := uf.SameSet(0, 1); !same || eq {
+		t.Error("0 and 1 should be different-color")
+	}
+	if uf.UnionDiffer(0, 2) {
+		t.Error("forcing 0 != 2 should fail (odd triangle)")
+	}
+	if !uf.UnionDiffer(0, 3) {
+		t.Error("fresh union should succeed")
+	}
+	if same, _ := uf.SameSet(3, 2); !same {
+		t.Error("all connected now")
+	}
+}
+
+func TestGreedyBipartization(t *testing.T) {
+	// Odd cycle with one light edge: greedy keeps heavy edges, rejects the
+	// last edge that would close the odd cycle (the lightest).
+	g := New(3)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 0, 1)
+	conf := GreedyBipartization(g)
+	if len(conf) != 1 || conf[0] != 2 {
+		t.Fatalf("conflicts = %v, want [2]", conf)
+	}
+	removed := map[int]bool{}
+	for _, c := range conf {
+		removed[c] = true
+	}
+	if _, ok := g.VerifyBipartition(removed); !ok {
+		t.Error("greedy result must be bipartite")
+	}
+	// Even cycle: nothing rejected.
+	if got := GreedyBipartization(cycle(6)); len(got) != 0 {
+		t.Errorf("even cycle conflicts = %v", got)
+	}
+	// Tree variant rejects chords of even cycles too.
+	if got := GreedyTreeBipartization(cycle(6)); len(got) != 1 {
+		t.Errorf("tree baseline on even cycle = %v, want one chord", got)
+	}
+}
+
+func TestGreedyBipartizationAlwaysBipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		n := rng.Intn(15) + 2
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			g.AddEdge(u, v, int64(rng.Intn(50)+1))
+		}
+		removed := map[int]bool{}
+		for _, c := range GreedyBipartization(g) {
+			removed[c] = true
+		}
+		_, ok := g.VerifyBipartition(removed)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedEdgeIndices(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 9)
+	g.AddEdge(2, 0, 2)
+	idx := g.SortedEdgeIndicesByWeightDesc()
+	if idx[0] != 1 || idx[1] != 0 || idx[2] != 2 {
+		t.Errorf("order = %v", idx)
+	}
+}

@@ -1,0 +1,228 @@
+// Package layout models the polysilicon-layer layouts the AAPSM flow
+// operates on: axis-aligned rectangular features plus the process rules
+// (critical width threshold, shifter dimensions and spacing, DRC minima)
+// that drive shifter synthesis and conflict detection.
+//
+// Coordinates are int64 nanometers throughout.
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Feature is a drawn rectangle on the critical (poly) layer.
+type Feature struct {
+	Rect  geom.Rect
+	Layer int // GDSII layer number; 0 is the default poly layer
+}
+
+// Orientation of a feature, derived from its aspect ratio.
+type Orientation int
+
+const (
+	// Horizontal features run left-right (width >= height): shifters go
+	// above and below.
+	Horizontal Orientation = iota
+	// Vertical features run bottom-top (height > width): shifters go left
+	// and right.
+	Vertical
+)
+
+// Orient classifies a feature: ties count as Horizontal.
+func (f Feature) Orient() Orientation {
+	if f.Rect.Height() > f.Rect.Width() {
+		return Vertical
+	}
+	return Horizontal
+}
+
+// Layout is a named collection of features.
+type Layout struct {
+	Name     string
+	Features []Feature
+}
+
+// New creates an empty layout.
+func New(name string) *Layout { return &Layout{Name: name} }
+
+// Add appends a feature rectangle on layer 0 and returns its index.
+func (l *Layout) Add(r geom.Rect) int {
+	l.Features = append(l.Features, Feature{Rect: r})
+	return len(l.Features) - 1
+}
+
+// AddOnLayer appends a feature on an explicit layer.
+func (l *Layout) AddOnLayer(r geom.Rect, layer int) int {
+	l.Features = append(l.Features, Feature{Rect: r, Layer: layer})
+	return len(l.Features) - 1
+}
+
+// BBox returns the bounding box of all features (zero Rect when empty).
+func (l *Layout) BBox() geom.Rect {
+	var bb geom.Rect
+	for _, f := range l.Features {
+		bb = bb.Union(f.Rect)
+	}
+	return bb
+}
+
+// Area returns the bounding-box area in nm² — the quantity Table 2's
+// "% area increase" is measured against.
+func (l *Layout) Area() int64 { return l.BBox().Area() }
+
+// Clone returns a deep copy.
+func (l *Layout) Clone() *Layout {
+	out := &Layout{Name: l.Name, Features: append([]Feature(nil), l.Features...)}
+	return out
+}
+
+// Rules holds the process parameters of the flow. All lengths in nm.
+type Rules struct {
+	// CriticalWidth: features whose drawn width (smaller rectangle
+	// dimension) is strictly below this threshold are critical and must be
+	// phase-shifted.
+	CriticalWidth int64
+	// ShifterWidth is the width of each flanking phase shifter.
+	ShifterWidth int64
+	// ShifterGap is the clearance between a critical feature's edge and its
+	// shifter (0: shifters abut the feature).
+	ShifterGap int64
+	// MinShifterSpacing: shifters closer than this must carry the same
+	// phase (the paper's "overlapping shifters", Condition 2).
+	MinShifterSpacing int64
+	// MinFeatureWidth and MinFeatureSpacing are the DRC minima used to
+	// validate layouts before and after modification.
+	MinFeatureWidth   int64
+	MinFeatureSpacing int64
+	// FeatureConflictWeight is the bipartization cost of deleting a
+	// Condition-1 edge (giving up phase shifting of a feature, which the
+	// flow must avoid); it dominates any spacing cost.
+	FeatureConflictWeight int64
+}
+
+// Default90nm returns representative 90 nm-node rules (the paper's
+// experiments are "90 nm designs with typical values of threshold width,
+// shifter dimensions and shifter spacing").
+func Default90nm() Rules {
+	return Rules{
+		CriticalWidth:         150,
+		ShifterWidth:          200,
+		ShifterGap:            0,
+		MinShifterSpacing:     300,
+		MinFeatureWidth:       100,
+		MinFeatureSpacing:     140,
+		FeatureConflictWeight: 1 << 20,
+	}
+}
+
+// Validate sanity-checks the rule values.
+func (r Rules) Validate() error {
+	if r.CriticalWidth <= 0 || r.ShifterWidth <= 0 || r.MinShifterSpacing <= 0 {
+		return fmt.Errorf("layout: non-positive rule values: %+v", r)
+	}
+	if r.ShifterGap < 0 {
+		return fmt.Errorf("layout: negative shifter gap")
+	}
+	if r.MinFeatureWidth <= 0 || r.MinFeatureSpacing <= 0 {
+		return fmt.Errorf("layout: non-positive DRC minima")
+	}
+	if r.FeatureConflictWeight <= r.MinShifterSpacing {
+		return fmt.Errorf("layout: FeatureConflictWeight must dominate spacing costs")
+	}
+	return nil
+}
+
+// IsCritical reports whether a feature must be phase-shifted under r.
+func (r Rules) IsCritical(f Feature) bool {
+	return f.Rect.MinDim() < r.CriticalWidth && !f.Rect.Empty()
+}
+
+// CriticalIndices returns the indices of critical features.
+func (l *Layout) CriticalIndices(r Rules) []int {
+	var out []int
+	for i, f := range l.Features {
+		if r.IsCritical(f) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WriteText serializes the layout to the plain-text interchange format:
+// one header line "layout <name>", then one "rect x0 y0 x1 y1 [layer]" line
+// per feature.
+func (l *Layout) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "layout %s\n", sanitizeName(l.Name)); err != nil {
+		return err
+	}
+	for _, f := range l.Features {
+		if _, err := fmt.Fprintf(bw, "rect %d %d %d %d %d\n",
+			f.Rect.X0, f.Rect.Y0, f.Rect.X1, f.Rect.Y1, f.Layer); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the plain-text format written by WriteText.
+func ReadText(r io.Reader) (*Layout, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var l *Layout
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "layout":
+			if l != nil {
+				return nil, fmt.Errorf("layout: line %d: duplicate header", line)
+			}
+			name := ""
+			if len(fields) > 1 {
+				name = fields[1]
+			}
+			l = New(name)
+		case "rect":
+			if l == nil {
+				return nil, fmt.Errorf("layout: line %d: rect before header", line)
+			}
+			if len(fields) != 5 && len(fields) != 6 {
+				return nil, fmt.Errorf("layout: line %d: want 4 or 5 rect args", line)
+			}
+			var v [5]int64
+			for i := 1; i < len(fields); i++ {
+				if _, err := fmt.Sscanf(fields[i], "%d", &v[i-1]); err != nil {
+					return nil, fmt.Errorf("layout: line %d: %v", line, err)
+				}
+			}
+			l.AddOnLayer(geom.R(v[0], v[1], v[2], v[3]), int(v[4]))
+		default:
+			return nil, fmt.Errorf("layout: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if l == nil {
+		return nil, fmt.Errorf("layout: empty input")
+	}
+	return l, nil
+}
+
+func sanitizeName(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.ReplaceAll(s, " ", "_")
+}

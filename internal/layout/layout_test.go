@@ -1,0 +1,126 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestOrient(t *testing.T) {
+	if (Feature{Rect: geom.R(0, 0, 100, 10)}).Orient() != Horizontal {
+		t.Error("wide feature should be horizontal")
+	}
+	if (Feature{Rect: geom.R(0, 0, 10, 100)}).Orient() != Vertical {
+		t.Error("tall feature should be vertical")
+	}
+	if (Feature{Rect: geom.R(0, 0, 50, 50)}).Orient() != Horizontal {
+		t.Error("square ties to horizontal")
+	}
+}
+
+func TestBBoxAndArea(t *testing.T) {
+	l := New("t")
+	if l.Area() != 0 {
+		t.Error("empty layout area")
+	}
+	l.Add(geom.R(0, 0, 100, 100))
+	l.Add(geom.R(200, 300, 250, 400))
+	if got := l.BBox(); got != geom.R(0, 0, 250, 400) {
+		t.Errorf("bbox = %v", got)
+	}
+	if l.Area() != 250*400 {
+		t.Errorf("area = %d", l.Area())
+	}
+	c := l.Clone()
+	c.Add(geom.R(-50, 0, 0, 10))
+	if l.BBox() == c.BBox() {
+		t.Error("clone must be independent")
+	}
+}
+
+func TestRulesValidate(t *testing.T) {
+	r := Default90nm()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := r
+	bad.ShifterWidth = 0
+	if bad.Validate() == nil {
+		t.Error("zero shifter width must fail")
+	}
+	bad = r
+	bad.ShifterGap = -1
+	if bad.Validate() == nil {
+		t.Error("negative gap must fail")
+	}
+	bad = r
+	bad.FeatureConflictWeight = 10
+	if bad.Validate() == nil {
+		t.Error("non-dominating feature weight must fail")
+	}
+}
+
+func TestIsCritical(t *testing.T) {
+	r := Default90nm() // critical width 150
+	if !r.IsCritical(Feature{Rect: geom.R(0, 0, 100, 1000)}) {
+		t.Error("100nm wire is critical")
+	}
+	if r.IsCritical(Feature{Rect: geom.R(0, 0, 200, 1000)}) {
+		t.Error("200nm wire is not critical")
+	}
+	if r.IsCritical(Feature{Rect: geom.R(0, 0, 0, 1000)}) {
+		t.Error("degenerate feature is not critical")
+	}
+	l := New("c")
+	l.Add(geom.R(0, 0, 100, 1000))
+	l.Add(geom.R(500, 0, 800, 1000))
+	l.Add(geom.R(1000, 0, 1100, 400))
+	idx := l.CriticalIndices(r)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Errorf("critical = %v", idx)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	l := New("round trip")
+	l.Add(geom.R(0, 0, 100, 1000))
+	l.AddOnLayer(geom.R(-5, -7, 3, 4), 12)
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "round_trip" {
+		t.Errorf("name = %q", got.Name)
+	}
+	if len(got.Features) != 2 || got.Features[0] != l.Features[0] || got.Features[1] != l.Features[1] {
+		t.Errorf("features = %+v", got.Features)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"rect 0 0 1 1",
+		"layout a\nlayout b",
+		"layout a\nbogus 1 2",
+		"layout a\nrect 1 2 3",
+		"layout a\nrect a b c d",
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q should fail", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# header\n\nlayout x\n# body\nrect 0 0 10 10 0\n"
+	l, err := ReadText(strings.NewReader(ok))
+	if err != nil || len(l.Features) != 1 {
+		t.Errorf("comment handling: %v %v", l, err)
+	}
+}

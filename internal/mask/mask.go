@@ -1,0 +1,95 @@
+// Package mask synthesizes the manufacturing view of a phase-assigned
+// layout: the chrome (feature) layer plus the 0° and 180° shifter aperture
+// layers, emitted as one GDSII-compatible layout. This is the artifact a
+// bright-field AAPSM flow hands to mask data preparation once conflicts are
+// detected and corrected.
+package mask
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/shifter"
+)
+
+// Conventional layer numbers for the emitted mask view.
+const (
+	// LayerChrome carries the drawn features.
+	LayerChrome = 0
+	// LayerShifter0 carries 0° shifter apertures.
+	LayerShifter0 = 10
+	// LayerShifter180 carries 180° shifter apertures.
+	LayerShifter180 = 11
+)
+
+// ErrPhaseCount is returned when the assignment does not cover the shifter
+// set.
+var ErrPhaseCount = errors.New("mask: phase assignment does not match shifter set")
+
+// Build combines a layout, its shifter set and a phase assignment into a
+// single multi-layer layout. Features keep their original layers when
+// non-zero; layer-0 features move to LayerChrome (which is also 0).
+func Build(l *layout.Layout, set *shifter.Set, phases []core.Phase) (*layout.Layout, error) {
+	if len(phases) != len(set.Shifters) {
+		return nil, fmt.Errorf("%w: %d phases for %d shifters", ErrPhaseCount, len(phases), len(set.Shifters))
+	}
+	out := layout.New(l.Name + ".mask")
+	for _, f := range l.Features {
+		out.AddOnLayer(f.Rect, f.Layer)
+	}
+	for i, s := range set.Shifters {
+		layerNum := LayerShifter0
+		if phases[i] == core.Phase180 {
+			layerNum = LayerShifter180
+		}
+		out.AddOnLayer(s.Rect, layerNum)
+	}
+	return out, nil
+}
+
+// Stats summarizes a mask view.
+type Stats struct {
+	Chrome, Phase0, Phase180 int
+}
+
+// Count tallies shapes per mask layer.
+func Count(l *layout.Layout) Stats {
+	var s Stats
+	for _, f := range l.Features {
+		switch f.Layer {
+		case LayerShifter0:
+			s.Phase0++
+		case LayerShifter180:
+			s.Phase180++
+		default:
+			s.Chrome++
+		}
+	}
+	return s
+}
+
+// Validate checks the mask view's physical consistency: every critical
+// chrome feature is flanked by exactly two apertures of opposite phase, and
+// no two opposite-phase apertures violate the shifter spacing rule unless
+// the pair was waived by detection.
+func Validate(l *layout.Layout, set *shifter.Set, phases []core.Phase, waived map[int]bool, r layout.Rules) []string {
+	var problems []string
+	for fi, pair := range set.PairOf {
+		if phases[pair[0]] == phases[pair[1]] {
+			problems = append(problems,
+				fmt.Sprintf("feature %d flanked by same-phase apertures", fi))
+		}
+	}
+	for oi, ov := range set.Overlaps {
+		if waived[oi] {
+			continue
+		}
+		if phases[ov.A] != phases[ov.B] {
+			problems = append(problems,
+				fmt.Sprintf("overlapping apertures %d,%d carry opposite phases", ov.A, ov.B))
+		}
+	}
+	return problems
+}

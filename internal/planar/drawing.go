@@ -1,0 +1,219 @@
+// Package planar implements the geometric planarization step of the AAPSM
+// flow (paper flow step 1b) and the embedded-planar machinery needed by the
+// optimal bipartization step (flow step 2): exact crossing detection between
+// drawn edges, greedy minimum-weight crossing removal, rotation-system face
+// tracing, and geometric-dual construction with the odd-face terminal set T.
+//
+// A Drawing is a graph whose nodes carry plane positions and whose edges are
+// drawn as polylines (straight by default). The phase conflict graph draws
+// every edge straight; the feature-graph baseline routes some edges through
+// detour bend points, which is exactly why it planarizes worse (paper §3.1.1).
+package planar
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Drawing couples a graph with a straight-line/polyline plane drawing.
+type Drawing struct {
+	G   *graph.Graph
+	Pos []geom.Point // node positions, indexed by node id
+	// Bends holds optional intermediate points per edge (same index space as
+	// G.Edges()); nil entries mean the edge is drawn straight.
+	Bends map[int][]geom.Point
+}
+
+// NewDrawing builds a Drawing over g with the given node positions.
+func NewDrawing(g *graph.Graph, pos []geom.Point) *Drawing {
+	if len(pos) != g.N() {
+		panic(fmt.Sprintf("planar: %d positions for %d nodes", len(pos), g.N()))
+	}
+	return &Drawing{G: g, Pos: pos}
+}
+
+// SetBends routes edge e through the given intermediate points.
+func (d *Drawing) SetBends(e int, pts ...geom.Point) {
+	if d.Bends == nil {
+		d.Bends = make(map[int][]geom.Point)
+	}
+	d.Bends[e] = pts
+}
+
+// Polyline returns the full point sequence of edge e, endpoints included.
+func (d *Drawing) Polyline(e int) []geom.Point {
+	ed := d.G.Edge(e)
+	pts := make([]geom.Point, 0, 2+len(d.Bends[e]))
+	pts = append(pts, d.Pos[ed.U])
+	pts = append(pts, d.Bends[e]...)
+	pts = append(pts, d.Pos[ed.V])
+	return pts
+}
+
+// Segments returns the drawn segments of edge e.
+func (d *Drawing) Segments(e int) []geom.Segment {
+	pts := d.Polyline(e)
+	segs := make([]geom.Segment, len(pts)-1)
+	for i := range segs {
+		segs[i] = geom.Seg(pts[i], pts[i+1])
+	}
+	return segs
+}
+
+// EdgesCross reports whether drawn edges e1 and e2 conflict: they touch at
+// any point other than the position of a graph node they share. Collinear
+// overlaps always conflict.
+func (d *Drawing) EdgesCross(e1, e2 int) bool {
+	return d.segmentsConflict(e1, e2, d.Segments(e1), d.Segments(e2))
+}
+
+func (d *Drawing) segmentsConflict(e1, e2 int, segs1, segs2 []geom.Segment) bool {
+	a, b := d.G.Edge(e1), d.G.Edge(e2)
+	var sharedPos []geom.Point
+	for _, u := range []int{a.U, a.V} {
+		if u == b.U || u == b.V {
+			sharedPos = append(sharedPos, d.Pos[u])
+		}
+	}
+	for _, s := range segs1 {
+		for _, t := range segs2 {
+			if !geom.SegmentsIntersect(s, t) {
+				continue
+			}
+			if geom.CollinearOverlap(s, t) {
+				return true
+			}
+			// Single intersection point: allowed only when it is a shared
+			// graph node's position (then that position lies on both
+			// segments and is the unique contact).
+			allowed := false
+			for _, q := range sharedPos {
+				if geom.PointOnSegment(q, s) && geom.PointOnSegment(q, t) {
+					allowed = true
+					break
+				}
+			}
+			if !allowed {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Crossings returns all unordered pairs of edges that conflict in the
+// drawing, using a uniform grid over segment bounding boxes to prune
+// candidates.
+func (d *Drawing) Crossings() [][2]int {
+	m := d.G.M()
+	if m == 0 {
+		return nil
+	}
+	// Precompute segment lists once; candidate pruning via a uniform grid
+	// with cells near the average edge bbox extent.
+	segs := make([][]geom.Segment, m)
+	var sum int64
+	for e := 0; e < m; e++ {
+		segs[e] = d.Segments(e)
+		for _, s := range segs[e] {
+			b := s.Bounds()
+			sum += b.Width() + b.Height()
+		}
+	}
+	cell := sum/int64(2*m) + 1
+	if cell < 16 {
+		cell = 16
+	}
+	g := geom.NewGrid(cell)
+	for e := 0; e < m; e++ {
+		bb := geom.Rect{}
+		for _, s := range segs[e] {
+			bb = bb.Union(s.Bounds())
+		}
+		g.Insert(int32(e), bb)
+	}
+	var out [][2]int
+	g.ForEachPair(func(i, j int32) {
+		if d.segmentsConflict(int(i), int(j), segs[i], segs[j]) {
+			out = append(out, [2]int{int(i), int(j)})
+		}
+	})
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// Planarize greedily removes crossing edges until the drawing is
+// crossing-free, returning the removed edge indices in removal order. At
+// each step the crossing edge with minimum weight is removed (ties: more
+// remaining crossings first, then lower index), per the paper's "greedily
+// removing minimum weight edges that cross other edges".
+func (d *Drawing) Planarize() []int {
+	pairs := d.Crossings()
+	if len(pairs) == 0 {
+		return nil
+	}
+	// partners[e] = set of edges e currently crosses.
+	partners := make(map[int]map[int]bool)
+	add := func(a, b int) {
+		if partners[a] == nil {
+			partners[a] = make(map[int]bool)
+		}
+		partners[a][b] = true
+	}
+	for _, p := range pairs {
+		add(p[0], p[1])
+		add(p[1], p[0])
+	}
+	var removed []int
+	for {
+		best := -1
+		for e, ps := range partners {
+			if len(ps) == 0 {
+				continue
+			}
+			if best == -1 {
+				best = e
+				continue
+			}
+			we, wb := d.G.Edge(e).Weight, d.G.Edge(best).Weight
+			switch {
+			case we < wb:
+				best = e
+			case we == wb && len(ps) > len(partners[best]):
+				best = e
+			case we == wb && len(ps) == len(partners[best]) && e < best:
+				best = e
+			}
+		}
+		if best == -1 {
+			break
+		}
+		removed = append(removed, best)
+		for p := range partners[best] {
+			delete(partners[p], best)
+		}
+		delete(partners, best)
+	}
+	return removed
+}
+
+// WithoutEdges returns a new Drawing with the given edges removed, plus the
+// mapping from new edge index to old edge index.
+func (d *Drawing) WithoutEdges(removed map[int]bool) (*Drawing, []int) {
+	sub, oldIdx := d.G.SubgraphWithoutEdges(removed)
+	nd := NewDrawing(sub, d.Pos)
+	for newI, oldI := range oldIdx {
+		if pts := d.Bends[oldI]; len(pts) > 0 {
+			nd.SetBends(newI, pts...)
+		}
+	}
+	return nd, oldIdx
+}

@@ -1,0 +1,122 @@
+// Package render draws layouts, shifters, conflict graphs and correction
+// plans as SVG — the mechanism used to regenerate the paper's illustrative
+// figures (1, 2 and 5) from live data structures.
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/correct"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/shifter"
+)
+
+// Options selects what to draw on top of the layout features.
+type Options struct {
+	// Set draws the shifter apertures.
+	Set *shifter.Set
+	// Phases colors shifters by assigned phase (requires Set).
+	Phases []core.Phase
+	// Graph draws the conflict-graph edges over the geometry.
+	Graph *core.ConflictGraph
+	// Conflicts highlights the detected conflict edges (requires Graph).
+	Conflicts []core.Conflict
+	// Plan draws chosen end-to-end cut lines.
+	Plan *correct.Plan
+	// Scale in nm per SVG unit; 0 chooses automatically (~1000 px wide).
+	Scale float64
+}
+
+// SVG renders the layout and overlays to w.
+func SVG(w io.Writer, l *layout.Layout, opt Options) error {
+	bw := bufio.NewWriter(w)
+	bb := l.BBox()
+	if opt.Set != nil {
+		for _, s := range opt.Set.Shifters {
+			bb = bb.Union(s.Rect)
+		}
+	}
+	bb = bb.Expand(200)
+	scale := opt.Scale
+	if scale <= 0 {
+		scale = float64(bb.Width()) / 1000
+		if scale < 1 {
+			scale = 1
+		}
+	}
+	px := func(v int64) float64 { return float64(v-bb.X0) / scale }
+	// SVG y grows downward; flip so layout +y is up.
+	py := func(v int64) float64 { return float64(bb.Y1-v) / scale }
+	rect := func(r geom.Rect, style string) {
+		fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" %s/>`+"\n",
+			px(r.X0), py(r.Y1), float64(r.Width())/scale, float64(r.Height())/scale, style)
+	}
+	line := func(a, b geom.Point, style string) {
+		fmt.Fprintf(bw, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" %s/>`+"\n",
+			px(a.X), py(a.Y), px(b.X), py(b.Y), style)
+	}
+
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
+		float64(bb.Width())/scale, float64(bb.Height())/scale,
+		float64(bb.Width())/scale, float64(bb.Height())/scale)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	// Shifters under features.
+	if opt.Set != nil {
+		for i, s := range opt.Set.Shifters {
+			style := `fill="#cfe8ff" stroke="#7aa7d9" stroke-width="0.5"`
+			if opt.Phases != nil && i < len(opt.Phases) && opt.Phases[i] == core.Phase180 {
+				style = `fill="#ffd9b3" stroke="#d98c4a" stroke-width="0.5"`
+			}
+			rect(s.Rect, style)
+		}
+	}
+	for _, f := range l.Features {
+		rect(f.Rect, `fill="#444" stroke="black" stroke-width="0.5"`)
+	}
+
+	// Conflict-graph edges.
+	if opt.Graph != nil {
+		d := opt.Graph.Drawing
+		conflictSet := map[int]bool{}
+		for _, c := range opt.Conflicts {
+			conflictSet[c.Edge] = true
+		}
+		for e := 0; e < d.G.M(); e++ {
+			pts := d.Polyline(e)
+			style := `stroke="#2b7a2b" stroke-width="0.8" fill="none"`
+			if opt.Graph.Meta[e].Kind == core.FeatureEdge {
+				style = `stroke="#555" stroke-width="0.8" stroke-dasharray="3,2" fill="none"`
+			}
+			if conflictSet[e] {
+				style = `stroke="red" stroke-width="1.6" fill="none"`
+			}
+			for i := 0; i+1 < len(pts); i++ {
+				line(pts[i], pts[i+1], style)
+			}
+		}
+		for n := 0; n < d.G.N(); n++ {
+			p := d.Pos[n]
+			fmt.Fprintf(bw, `<circle cx="%.2f" cy="%.2f" r="1.6" fill="#2b7a2b"/>`+"\n", px(p.X), py(p.Y))
+		}
+	}
+
+	// Cut lines.
+	if opt.Plan != nil {
+		for _, c := range opt.Plan.Cuts {
+			style := `stroke="#b300b3" stroke-width="1.4" stroke-dasharray="6,3"`
+			if c.Dir == correct.VerticalCut {
+				line(geom.Pt(c.Pos, bb.Y0), geom.Pt(c.Pos, bb.Y1), style)
+			} else {
+				line(geom.Pt(bb.X0, c.Pos), geom.Pt(bb.X1, c.Pos), style)
+			}
+		}
+	}
+
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}

@@ -1,0 +1,113 @@
+package render
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/correct"
+	"repro/internal/layout"
+)
+
+// parseSVG checks the output is well-formed XML and counts element names.
+func parseSVG(t *testing.T, data []byte) map[string]int {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	counts := map[string]int{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("svg not well-formed: %v", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			counts[se.Name.Local]++
+		}
+	}
+	return counts
+}
+
+func TestSVGPlainLayout(t *testing.T) {
+	l := bench.Figure1Layout()
+	var buf bytes.Buffer
+	if err := SVG(&buf, l, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	counts := parseSVG(t, buf.Bytes())
+	if counts["svg"] != 1 {
+		t.Fatal("missing svg root")
+	}
+	// 3 features + 1 background.
+	if counts["rect"] != len(l.Features)+1 {
+		t.Errorf("rects = %d, want %d", counts["rect"], len(l.Features)+1)
+	}
+}
+
+func TestSVGFullOverlay(t *testing.T) {
+	r := layout.Default90nm()
+	l := bench.Figure5Layout()
+	cg, err := core.BuildGraph(l, r, core.PCG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.Detect(cg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.AssignPhases(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := correct.BuildPlan(l, r, cg.Set, det.FinalConflicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = SVG(&buf, l, Options{
+		Set: cg.Set, Phases: a.Phases, Graph: cg,
+		Conflicts: det.FinalConflicts, Plan: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := parseSVG(t, buf.Bytes())
+	wantRects := 1 + len(l.Features) + len(cg.Set.Shifters)
+	if counts["rect"] != wantRects {
+		t.Errorf("rects = %d, want %d", counts["rect"], wantRects)
+	}
+	if counts["circle"] != cg.Nodes() {
+		t.Errorf("graph nodes drawn = %d, want %d", counts["circle"], cg.Nodes())
+	}
+	if counts["line"] == 0 {
+		t.Error("no edges or cuts drawn")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "red") {
+		t.Error("conflicts should be highlighted")
+	}
+	if !strings.Contains(out, "#ffd9b3") || !strings.Contains(out, "#cfe8ff") {
+		t.Error("both phases should appear")
+	}
+	if !strings.Contains(out, "stroke-dasharray=\"6,3\"") {
+		t.Error("cut lines should be drawn")
+	}
+}
+
+func TestSVGScaleOption(t *testing.T) {
+	l := bench.Figure1Layout()
+	var a, b bytes.Buffer
+	if err := SVG(&a, l, Options{Scale: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SVG(&b, l, Options{Scale: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || b.Len() == 0 || a.String() == b.String() {
+		t.Error("scale must affect output")
+	}
+}

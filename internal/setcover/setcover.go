@@ -1,0 +1,185 @@
+// Package setcover solves the weighted set covering problem used by the
+// layout modification step (paper §3.2): choosing end-to-end cut lines
+// (sets) that together correct every detected AAPSM conflict (universe
+// elements) at minimum total inserted width.
+//
+// It stands in for the Berkeley espresso/mincov solver referenced by the
+// paper: an exact branch-and-bound is used for small instances and the
+// classical greedy H_n-approximation beyond that.
+package setcover
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Set is one candidate subset with a selection cost.
+type Set struct {
+	Weight  int64
+	Members []int
+}
+
+// Result of a cover computation.
+type Result struct {
+	Chosen    []int // indices into the sets slice, ascending
+	Weight    int64
+	Uncovered []int // universe elements no set contains (never coverable)
+}
+
+// ExactThreshold is the largest set count Solve hands to the exact
+// branch-and-bound before falling back to greedy.
+const ExactThreshold = 22
+
+// Solve covers universe elements 0..n-1 with the given sets: exactly when
+// the instance is small, greedily otherwise. Elements contained in no set
+// are reported in Uncovered and exempted from the cover.
+func Solve(n int, sets []Set) Result {
+	if len(sets) <= ExactThreshold && n <= 63 {
+		return Exact(n, sets)
+	}
+	return Greedy(n, sets)
+}
+
+// Greedy implements the classical ratio rule: repeatedly pick the set
+// minimizing weight per newly covered element. Ties break toward more new
+// elements, then lower index, making the result deterministic.
+func Greedy(n int, sets []Set) Result {
+	var res Result
+	coverable := make([]bool, n)
+	for _, s := range sets {
+		for _, m := range s.Members {
+			coverable[m] = true
+		}
+	}
+	covered := make([]bool, n)
+	remaining := 0
+	for i := 0; i < n; i++ {
+		if coverable[i] {
+			remaining++
+		} else {
+			res.Uncovered = append(res.Uncovered, i)
+		}
+	}
+	used := make([]bool, len(sets))
+	for remaining > 0 {
+		best, bestNew := -1, 0
+		for i, s := range sets {
+			if used[i] {
+				continue
+			}
+			nw := 0
+			for _, m := range s.Members {
+				if !covered[m] {
+					nw++
+				}
+			}
+			if nw == 0 {
+				continue
+			}
+			if best == -1 || better(s.Weight, nw, sets[best].Weight, bestNew) {
+				best, bestNew = i, nw
+			}
+		}
+		if best == -1 {
+			break // should not happen: coverable elements remain
+		}
+		used[best] = true
+		res.Chosen = append(res.Chosen, best)
+		res.Weight += sets[best].Weight
+		for _, m := range sets[best].Members {
+			if !covered[m] {
+				covered[m] = true
+				remaining--
+			}
+		}
+	}
+	sort.Ints(res.Chosen)
+	return res
+}
+
+// better reports whether (w1, n1) is a strictly better greedy pick than
+// (w2, n2): lower weight-per-new-element ratio, compared exactly as
+// w1*n2 < w2*n1.
+func better(w1 int64, n1 int, w2 int64, n2 int) bool {
+	l := w1 * int64(n2)
+	r := w2 * int64(n1)
+	if l != r {
+		return l < r
+	}
+	return n1 > n2
+}
+
+// Exact finds a minimum-weight cover by branch and bound over sets, in
+// decreasing coverage order with a greedy upper bound. n must be <= 63.
+func Exact(n int, sets []Set) Result {
+	var res Result
+	var coverableMask uint64
+	memberMask := make([]uint64, len(sets))
+	for i, s := range sets {
+		for _, m := range s.Members {
+			memberMask[i] |= 1 << uint(m)
+		}
+		coverableMask |= memberMask[i]
+	}
+	for i := 0; i < n; i++ {
+		if coverableMask&(1<<uint(i)) == 0 {
+			res.Uncovered = append(res.Uncovered, i)
+		}
+	}
+	target := coverableMask
+
+	// Upper bound from greedy.
+	g := Greedy(n, sets)
+	bestW := g.Weight
+	bestChoice := append([]int(nil), g.Chosen...)
+
+	// Order sets by weight ascending for effective pruning.
+	order := make([]int, len(sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sets[order[a]].Weight != sets[order[b]].Weight {
+			return sets[order[a]].Weight < sets[order[b]].Weight
+		}
+		return bits.OnesCount64(memberMask[order[a]]) > bits.OnesCount64(memberMask[order[b]])
+	})
+
+	var cur []int
+	var rec func(pos int, covered uint64, w int64)
+	rec = func(pos int, covered uint64, w int64) {
+		if covered == target {
+			if w < bestW {
+				bestW = w
+				bestChoice = append(bestChoice[:0], cur...)
+			}
+			return
+		}
+		if w >= bestW || pos == len(order) {
+			return
+		}
+		// Bound: if remaining sets cannot cover the deficit, prune.
+		var reach uint64
+		for i := pos; i < len(order); i++ {
+			reach |= memberMask[order[i]]
+		}
+		if (covered|reach)&target != target {
+			return
+		}
+		si := order[pos]
+		// Branch 1: take it (only if it helps).
+		if memberMask[si]&^covered != 0 {
+			cur = append(cur, si)
+			rec(pos+1, covered|memberMask[si], w+sets[si].Weight)
+			cur = cur[:len(cur)-1]
+		}
+		// Branch 2: skip it.
+		rec(pos+1, covered, w)
+	}
+	rec(0, 0, 0)
+
+	res.Chosen = bestChoice
+	res.Weight = bestW
+	sort.Ints(res.Chosen)
+	return res
+}

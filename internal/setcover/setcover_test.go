@@ -1,0 +1,159 @@
+package setcover
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGreedySimple(t *testing.T) {
+	sets := []Set{
+		{Weight: 10, Members: []int{0, 1, 2}},
+		{Weight: 3, Members: []int{0}},
+		{Weight: 3, Members: []int{1}},
+		{Weight: 3, Members: []int{2}},
+	}
+	r := Greedy(3, sets)
+	if len(r.Uncovered) != 0 {
+		t.Fatalf("uncovered = %v", r.Uncovered)
+	}
+	if r.Weight != 9 {
+		// Greedy ratio: set 0 ratio 10/3 vs singles 3/1: singles win.
+		t.Errorf("greedy weight = %d, want 9", r.Weight)
+	}
+}
+
+func TestExactBeatsGreedyTrap(t *testing.T) {
+	// Classic greedy trap: one big cheap-enough set vs overlapping pieces.
+	sets := []Set{
+		{Weight: 9, Members: []int{0, 1, 2, 3}},
+		{Weight: 4, Members: []int{0, 1}},
+		{Weight: 4, Members: []int{2, 3}},
+		{Weight: 1, Members: []int{0, 2}},
+	}
+	// Greedy picks set 3 (ratio 0.5), then needs 1 and 2 (total 9);
+	// exact picks set 1+2 (8) or set 0 (9) → 8.
+	g := Greedy(4, sets)
+	e := Exact(4, sets)
+	if e.Weight > g.Weight {
+		t.Fatalf("exact %d worse than greedy %d", e.Weight, g.Weight)
+	}
+	if e.Weight != 8 {
+		t.Errorf("exact weight = %d, want 8", e.Weight)
+	}
+}
+
+func TestUncoveredElements(t *testing.T) {
+	sets := []Set{{Weight: 1, Members: []int{0}}}
+	for _, r := range []Result{Greedy(3, sets), Exact(3, sets), Solve(3, sets)} {
+		if len(r.Uncovered) != 2 || r.Uncovered[0] != 1 || r.Uncovered[1] != 2 {
+			t.Errorf("uncovered = %v", r.Uncovered)
+		}
+		if len(r.Chosen) != 1 || r.Weight != 1 {
+			t.Errorf("cover = %+v", r)
+		}
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	r := Solve(0, nil)
+	if len(r.Chosen) != 0 || len(r.Uncovered) != 0 || r.Weight != 0 {
+		t.Errorf("empty instance: %+v", r)
+	}
+}
+
+func coverWeightBrute(n int, sets []Set) int64 {
+	var coverable uint64
+	masks := make([]uint64, len(sets))
+	for i, s := range sets {
+		for _, m := range s.Members {
+			masks[i] |= 1 << uint(m)
+		}
+		coverable |= masks[i]
+	}
+	best := int64(1) << 60
+	for pick := 0; pick < 1<<len(sets); pick++ {
+		var got uint64
+		var w int64
+		for i := range sets {
+			if pick&(1<<i) != 0 {
+				got |= masks[i]
+				w += sets[i].Weight
+			}
+		}
+		if got == coverable && w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestExactOptimalRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(10) + 1
+		ns := rng.Intn(10) + 1
+		sets := make([]Set, ns)
+		for i := range sets {
+			sets[i].Weight = int64(rng.Intn(20) + 1)
+			for m := 0; m < n; m++ {
+				if rng.Intn(3) == 0 {
+					sets[i].Members = append(sets[i].Members, m)
+				}
+			}
+		}
+		want := coverWeightBrute(n, sets)
+		got := Exact(n, sets)
+		if got.Weight != want {
+			t.Fatalf("trial %d: exact %d, brute %d (%+v)", trial, got.Weight, want, sets)
+		}
+		// Verify chosen really covers everything coverable.
+		cov := map[int]bool{}
+		for _, si := range got.Chosen {
+			for _, m := range sets[si].Members {
+				cov[m] = true
+			}
+		}
+		unc := map[int]bool{}
+		for _, u := range got.Uncovered {
+			unc[u] = true
+		}
+		for m := 0; m < n; m++ {
+			if !cov[m] && !unc[m] {
+				t.Fatalf("trial %d: element %d neither covered nor uncovered", trial, m)
+			}
+		}
+		// Greedy must be feasible too and never better than exact.
+		gr := Greedy(n, sets)
+		if gr.Weight < got.Weight {
+			t.Fatalf("trial %d: greedy %d beat exact %d", trial, gr.Weight, got.Weight)
+		}
+	}
+}
+
+func TestSolveSwitchesToGreedy(t *testing.T) {
+	// Above the exact threshold the solver must still return a feasible
+	// cover quickly.
+	n := 100
+	sets := make([]Set, 50)
+	for i := range sets {
+		sets[i] = Set{Weight: int64(i%7 + 1), Members: []int{2 * i % n, (2*i + 1) % n, (3 * i) % n}}
+	}
+	r := Solve(n, sets)
+	cov := map[int]bool{}
+	for _, si := range r.Chosen {
+		for _, m := range sets[si].Members {
+			cov[m] = true
+		}
+	}
+	for m := 0; m < n; m++ {
+		isUnc := false
+		for _, u := range r.Uncovered {
+			if u == m {
+				isUnc = true
+			}
+		}
+		if !cov[m] && !isUnc {
+			t.Fatalf("element %d missing", m)
+		}
+	}
+}

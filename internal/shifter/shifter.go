@@ -1,0 +1,137 @@
+// Package shifter synthesizes the phase shifters that flank every critical
+// feature and detects "overlapping" shifter pairs — pairs closer than the
+// minimum shifter spacing, which Condition 2 of the phase assignment problem
+// forces onto the same phase.
+package shifter
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Side identifies which flank of its feature a shifter occupies.
+type Side int8
+
+const (
+	// LowSide is below a horizontal feature or left of a vertical one.
+	LowSide Side = iota
+	// HighSide is above a horizontal feature or right of a vertical one.
+	HighSide
+)
+
+// Shifter is a synthesized phase-shift aperture.
+type Shifter struct {
+	Rect    geom.Rect
+	Feature int // index of the flanked critical feature in the layout
+	Side    Side
+}
+
+// Center returns the shifter's node position for graph drawings.
+func (s Shifter) Center() geom.Point { return s.Rect.Center() }
+
+// Overlap records a pair of shifters separated by less than the minimum
+// shifter spacing (Condition 2). Deficit is the extra space needed to pull
+// them apart to legality — the edge weight used by conflict detection.
+type Overlap struct {
+	A, B    int // shifter indices
+	Deficit int64
+}
+
+// Set is the result of shifter synthesis on a layout.
+type Set struct {
+	Shifters []Shifter
+	// PairOf[f] gives the two shifter indices flanking critical feature f;
+	// absent for non-critical features.
+	PairOf   map[int][2]int
+	Overlaps []Overlap
+}
+
+// Generate synthesizes two flanking shifters for every critical feature of
+// l and detects all overlapping pairs under rules r.
+func Generate(l *layout.Layout, r layout.Rules) (*Set, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Set{PairOf: make(map[int][2]int)}
+	for fi, f := range l.Features {
+		if !r.IsCritical(f) {
+			continue
+		}
+		lo, hi := flanks(f, r)
+		a := len(s.Shifters)
+		s.Shifters = append(s.Shifters,
+			Shifter{Rect: lo, Feature: fi, Side: LowSide},
+			Shifter{Rect: hi, Feature: fi, Side: HighSide},
+		)
+		s.PairOf[fi] = [2]int{a, a + 1}
+	}
+	s.findOverlaps(r)
+	return s, nil
+}
+
+// flanks computes the two shifter rectangles for critical feature f: they
+// run the full feature length on both sides of its narrow dimension,
+// separated from the feature edge by the shifter gap.
+func flanks(f layout.Feature, r layout.Rules) (lo, hi geom.Rect) {
+	rect := f.Rect
+	if f.Orient() == layout.Horizontal {
+		lo = geom.R(rect.X0, rect.Y0-r.ShifterGap-r.ShifterWidth, rect.X1, rect.Y0-r.ShifterGap)
+		hi = geom.R(rect.X0, rect.Y1+r.ShifterGap, rect.X1, rect.Y1+r.ShifterGap+r.ShifterWidth)
+		return lo, hi
+	}
+	lo = geom.R(rect.X0-r.ShifterGap-r.ShifterWidth, rect.Y0, rect.X0-r.ShifterGap, rect.Y1)
+	hi = geom.R(rect.X1+r.ShifterGap, rect.Y0, rect.X1+r.ShifterGap+r.ShifterWidth, rect.Y1)
+	return lo, hi
+}
+
+// findOverlaps fills s.Overlaps with every pair of shifters whose
+// rectilinear separation is below the minimum shifter spacing, excluding the
+// two flanks of the same feature (those are kept apart by the feature itself
+// and are governed by Condition 1 instead). A uniform grid prunes candidate
+// pairs.
+func (s *Set) findOverlaps(r layout.Rules) {
+	if len(s.Shifters) == 0 {
+		return
+	}
+	cell := r.MinShifterSpacing + r.ShifterWidth
+	g := geom.NewGrid(cell)
+	for i, sh := range s.Shifters {
+		g.Insert(int32(i), sh.Rect.Expand(r.MinShifterSpacing/2))
+	}
+	g.ForEachPair(func(i, j int32) {
+		a, b := s.Shifters[i], s.Shifters[j]
+		if a.Feature == b.Feature {
+			return
+		}
+		sep := geom.Separation(a.Rect, b.Rect)
+		if sep >= r.MinShifterSpacing {
+			return
+		}
+		s.Overlaps = append(s.Overlaps, Overlap{
+			A: int(i), B: int(j), Deficit: r.MinShifterSpacing - sep,
+		})
+	})
+	// Deterministic order for downstream graph construction.
+	sortOverlaps(s.Overlaps)
+}
+
+func sortOverlaps(o []Overlap) {
+	sort.Slice(o, func(i, j int) bool {
+		if o[i].A != o[j].A {
+			return o[i].A < o[j].A
+		}
+		return o[i].B < o[j].B
+	})
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s Shifter) String() string {
+	side := "low"
+	if s.Side == HighSide {
+		side = "high"
+	}
+	return fmt.Sprintf("shifter{f%d %s %v}", s.Feature, side, s.Rect)
+}

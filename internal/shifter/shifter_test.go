@@ -1,0 +1,176 @@
+package shifter
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+func rules() layout.Rules { return layout.Default90nm() }
+
+func TestFlanksVertical(t *testing.T) {
+	l := layout.New("v")
+	l.Add(geom.R(0, 0, 100, 1000)) // vertical critical wire
+	s, err := Generate(l, rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Shifters) != 2 {
+		t.Fatalf("shifters = %d", len(s.Shifters))
+	}
+	lo, hi := s.Shifters[0], s.Shifters[1]
+	if lo.Side != LowSide || hi.Side != HighSide {
+		t.Error("side labels")
+	}
+	if lo.Rect != geom.R(-200, 0, 0, 1000) {
+		t.Errorf("left shifter = %v", lo.Rect)
+	}
+	if hi.Rect != geom.R(100, 0, 300, 1000) {
+		t.Errorf("right shifter = %v", hi.Rect)
+	}
+	if len(s.Overlaps) != 0 {
+		t.Errorf("overlaps = %v", s.Overlaps)
+	}
+	if p, ok := s.PairOf[0]; !ok || p != [2]int{0, 1} {
+		t.Errorf("PairOf = %v", s.PairOf)
+	}
+}
+
+func TestFlanksHorizontal(t *testing.T) {
+	l := layout.New("h")
+	l.Add(geom.R(0, 0, 1000, 100))
+	r := rules()
+	r.ShifterGap = 20
+	s, err := Generate(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := s.Shifters[0], s.Shifters[1]
+	if lo.Rect != geom.R(0, -220, 1000, -20) {
+		t.Errorf("below shifter = %v", lo.Rect)
+	}
+	if hi.Rect != geom.R(0, 120, 1000, 320) {
+		t.Errorf("above shifter = %v", hi.Rect)
+	}
+}
+
+func TestNonCriticalSkipped(t *testing.T) {
+	l := layout.New("wide")
+	l.Add(geom.R(0, 0, 400, 1000)) // 400nm wide: not critical
+	l.Add(geom.R(600, 0, 700, 1000))
+	s, err := Generate(l, rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Shifters) != 2 {
+		t.Fatalf("only the narrow wire gets shifters, got %d", len(s.Shifters))
+	}
+	if s.Shifters[0].Feature != 1 {
+		t.Error("wrong feature index")
+	}
+	if _, ok := s.PairOf[0]; ok {
+		t.Error("non-critical feature must not appear in PairOf")
+	}
+}
+
+func TestOverlapDetection(t *testing.T) {
+	// Two wires at pitch 500: exactly one overlapping pair (facing
+	// shifters, separation 0 → deficit = full spacing).
+	l := layout.New("pair")
+	l.Add(geom.R(0, 0, 100, 1000))
+	l.Add(geom.R(500, 0, 600, 1000))
+	s, err := Generate(l, rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Overlaps) != 1 {
+		t.Fatalf("overlaps = %+v", s.Overlaps)
+	}
+	ov := s.Overlaps[0]
+	if ov.A != 1 || ov.B != 2 {
+		t.Errorf("pair = (%d,%d), want (1,2)", ov.A, ov.B)
+	}
+	if ov.Deficit != 300 {
+		t.Errorf("deficit = %d, want full 300 (shifters touch)", ov.Deficit)
+	}
+}
+
+func TestOverlapDeficitPartial(t *testing.T) {
+	// Gap between facing shifters = 100 → deficit 200.
+	l := layout.New("partial")
+	l.Add(geom.R(0, 0, 100, 1000))
+	l.Add(geom.R(600, 0, 700, 1000))
+	s, _ := Generate(l, rules())
+	if len(s.Overlaps) != 1 || s.Overlaps[0].Deficit != 200 {
+		t.Fatalf("overlaps = %+v", s.Overlaps)
+	}
+}
+
+func TestSameFeaturePairExcluded(t *testing.T) {
+	// A very narrow feature: its two flanks are 40nm apart — but they are
+	// the same feature's pair and must not be an overlap.
+	l := layout.New("narrow")
+	l.Add(geom.R(0, 0, 40, 1000))
+	s, _ := Generate(l, rules())
+	if len(s.Overlaps) != 0 {
+		t.Fatalf("same-feature flanks must not overlap: %+v", s.Overlaps)
+	}
+}
+
+func TestDiagonalSeparationUsesMaxGap(t *testing.T) {
+	// Shifters diagonal to each other: rectilinear separation is the larger
+	// axis gap; here gapX=600 keeps them legal even though gapY is small.
+	l := layout.New("diag")
+	l.Add(geom.R(0, 0, 100, 1000))
+	l.Add(geom.R(900, 1100, 1000, 2100))
+	s, _ := Generate(l, rules())
+	if len(s.Overlaps) != 0 {
+		t.Fatalf("diagonal wires should be clear: %+v", s.Overlaps)
+	}
+}
+
+func TestCrossOrientationOverlap(t *testing.T) {
+	// A vertical and a horizontal wire near each other: the vertical's
+	// right shifter and the horizontal's bottom shifter interact.
+	l := layout.New("cross")
+	l.Add(geom.R(0, 0, 100, 1000))     // vertical
+	l.Add(geom.R(350, 400, 1350, 500)) // horizontal, to the right
+	s, _ := Generate(l, rules())
+	if len(s.Overlaps) == 0 {
+		t.Fatal("expected cross-orientation overlaps")
+	}
+	for _, ov := range s.Overlaps {
+		a, b := s.Shifters[ov.A], s.Shifters[ov.B]
+		if got := rules().MinShifterSpacing - geom.Separation(a.Rect, b.Rect); got != ov.Deficit {
+			t.Errorf("deficit mismatch: %d vs %d", got, ov.Deficit)
+		}
+	}
+}
+
+func TestOverlapsDeterministic(t *testing.T) {
+	l := layout.New("det")
+	for i := int64(0); i < 8; i++ {
+		l.Add(geom.R(i*350, 0, i*350+100, 1000))
+	}
+	a, _ := Generate(l, rules())
+	b, _ := Generate(l, rules())
+	if len(a.Overlaps) != len(b.Overlaps) {
+		t.Fatal("nondeterministic overlap count")
+	}
+	for i := range a.Overlaps {
+		if a.Overlaps[i] != b.Overlaps[i] {
+			t.Fatalf("nondeterministic order at %d", i)
+		}
+	}
+}
+
+func TestBadRulesRejected(t *testing.T) {
+	l := layout.New("bad")
+	l.Add(geom.R(0, 0, 100, 1000))
+	r := rules()
+	r.MinShifterSpacing = 0
+	if _, err := Generate(l, r); err == nil {
+		t.Fatal("invalid rules must be rejected")
+	}
+}

@@ -1,0 +1,113 @@
+package tjoin
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Method selects a T-join algorithm for Solve.
+type Method int
+
+const (
+	// MethodGeneralizedGadget uses the paper's generalized gadgets
+	// (unbounded complete groups) — the default.
+	MethodGeneralizedGadget Method = iota
+	// MethodOptimizedGadget uses the TCAD'99 optimized gadgets (groups of
+	// at most 3) — the runtime baseline of Table 1.
+	MethodOptimizedGadget
+	// MethodLawler uses the shortest-path metric-closure reduction.
+	MethodLawler
+)
+
+// Options configures Solve.
+type Options struct {
+	Method Method
+	// GroupCap overrides the gadget group size when positive (ablation
+	// studies); ignored for MethodLawler.
+	GroupCap int
+}
+
+func (o Options) groupCap() int {
+	if o.GroupCap > 0 {
+		return o.GroupCap
+	}
+	switch o.Method {
+	case MethodOptimizedGadget:
+		return 3
+	default:
+		return Unbounded
+	}
+}
+
+// Solve computes a minimum-weight T-join of g, decomposing the problem per
+// connected component so that the matching instances stay small (conflict
+// graphs of real layouts consist of many local components). Gadget
+// statistics are accumulated across components.
+func Solve(g *graph.Graph, T []int, opt Options) (Result, error) {
+	comp, nc := g.Components()
+	tByComp := make([][]int, nc)
+	for _, t := range T {
+		c := comp[t]
+		tByComp[c] = append(tByComp[c], t)
+	}
+	// Node and edge remapping per component, only for components with
+	// terminals.
+	var total Result
+	for c := 0; c < nc; c++ {
+		if len(tByComp[c]) == 0 {
+			continue
+		}
+		sub, nodeOf, edgeOf := inducedComponent(g, comp, c)
+		subT := make([]int, len(tByComp[c]))
+		for i, t := range tByComp[c] {
+			subT[i] = nodeOf[t]
+		}
+		sort.Ints(subT)
+		var (
+			r   Result
+			err error
+		)
+		if opt.Method == MethodLawler {
+			r, err = SolveLawler(sub, subT)
+		} else {
+			r, err = SolveGadget(sub, subT, opt.groupCap())
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		for _, ei := range r.Edges {
+			total.Edges = append(total.Edges, edgeOf[ei])
+		}
+		total.Weight += r.Weight
+		total.GadgetNodes += r.GadgetNodes
+		total.GadgetEdges += r.GadgetEdges
+	}
+	sort.Ints(total.Edges)
+	return total, nil
+}
+
+// inducedComponent extracts component c of g as a standalone graph plus the
+// node mapping (old->new) and edge mapping (new edge index -> old).
+func inducedComponent(g *graph.Graph, comp []int, c int) (*graph.Graph, []int, []int) {
+	nodeOf := make([]int, g.N())
+	for i := range nodeOf {
+		nodeOf[i] = -1
+	}
+	n := 0
+	for v := 0; v < g.N(); v++ {
+		if comp[v] == c {
+			nodeOf[v] = n
+			n++
+		}
+	}
+	sub := graph.New(n)
+	var edgeOf []int
+	for ei, e := range g.Edges() {
+		if comp[e.U] == c {
+			sub.AddEdge(nodeOf[e.U], nodeOf[e.V], e.Weight)
+			edgeOf = append(edgeOf, ei)
+		}
+	}
+	return sub, nodeOf, edgeOf
+}

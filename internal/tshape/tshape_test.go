@@ -1,0 +1,109 @@
+package tshape
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/shifter"
+)
+
+func TestClassifyKinds(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b geom.Rect
+		want Kind
+	}{
+		{"corner", geom.R(0, 0, 10, 10), geom.R(10, 10, 20, 20), Corner},
+		{"ell", geom.R(0, 0, 10, 10), geom.R(10, 0, 20, 10), Ell},
+		{"tee vertical stem", geom.R(0, 10, 30, 20), geom.R(10, 0, 20, 10), Tee},
+		{"tee horizontal stem", geom.R(10, 0, 20, 30), geom.R(20, 10, 40, 20), Tee},
+		{"overlap", geom.R(0, 0, 10, 10), geom.R(5, 5, 15, 15), Overlap},
+		{"partial edge both inside", geom.R(0, 0, 10, 10), geom.R(10, 2, 20, 8), Tee},
+	}
+	for _, tc := range tests {
+		got := classify(0, 1, tc.a, tc.b)
+		if got.Kind != tc.want {
+			t.Errorf("%s: kind = %v, want %v", tc.name, got.Kind, tc.want)
+		}
+	}
+}
+
+func TestFindJunctions(t *testing.T) {
+	l := layout.New("j")
+	l.Add(geom.R(0, 0, 100, 1000))     // 0: vertical
+	l.Add(geom.R(100, 450, 600, 550))  // 1: horizontal, T against 0's right side
+	l.Add(geom.R(600, 450, 700, 1000)) // 2: vertical, L bend with 1's right end
+	l.Add(geom.R(2000, 0, 2100, 1000)) // 3: isolated
+	js := Find(l)
+	if len(js) != 2 {
+		t.Fatalf("junctions = %v", js)
+	}
+	if js[0].A != 0 || js[0].B != 1 || js[0].Kind != Tee {
+		t.Errorf("first junction = %v", js[0])
+	}
+	if js[1].A != 1 || js[1].B != 2 || js[1].Kind != Ell {
+		t.Errorf("second junction = %v", js[1])
+	}
+	jf := JunctionFeatures(js)
+	if len(jf) != 3 || jf[3] {
+		t.Errorf("junction features = %v", jf)
+	}
+}
+
+func TestFindEmptyAndSingle(t *testing.T) {
+	if js := Find(layout.New("e")); js != nil {
+		t.Error("empty layout junctions")
+	}
+	l := layout.New("s")
+	l.Add(geom.R(0, 0, 10, 10))
+	if js := Find(l); js != nil {
+		t.Error("single feature junctions")
+	}
+}
+
+func TestSplitConflicts(t *testing.T) {
+	// Features: 0 and 1 form a T; 2 and 3 are a plain dense pair.
+	l := layout.New("split")
+	l.Add(geom.R(0, 0, 100, 1000))
+	l.Add(geom.R(100, 450, 500, 550))
+	l.Add(geom.R(3000, 0, 3100, 1000))
+	l.Add(geom.R(3350, 0, 3450, 1000))
+	r := layout.Default90nm()
+	set, err := shifter.Generate(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := Find(l)
+	if len(js) != 1 {
+		t.Fatalf("junctions = %v", js)
+	}
+	// Fake conflicts: one between shifters of features 2/3, one touching
+	// feature 0.
+	var c23, c0 core.Conflict
+	found23, found0 := false, false
+	for si, sh := range set.Shifters {
+		for sj := si + 1; sj < len(set.Shifters); sj++ {
+			fa, fb := sh.Feature, set.Shifters[sj].Feature
+			if fa == 2 && fb == 3 && !found23 {
+				c23 = core.Conflict{Meta: core.EdgeMeta{Kind: core.OverlapEdge, S1: si, S2: sj}}
+				found23 = true
+			}
+			if fa == 0 && fb == 1 && !found0 {
+				c0 = core.Conflict{Meta: core.EdgeMeta{Kind: core.OverlapEdge, S1: si, S2: sj}}
+				found0 = true
+			}
+		}
+	}
+	if !found23 || !found0 {
+		t.Fatal("could not build synthetic conflicts")
+	}
+	plain, junctioned := SplitConflicts([]core.Conflict{c23, c0}, set, js)
+	if len(plain) != 1 || plain[0] != 0 {
+		t.Errorf("plain = %v", plain)
+	}
+	if len(junctioned) != 1 || junctioned[0] != 1 {
+		t.Errorf("junctioned = %v", junctioned)
+	}
+}
