@@ -13,18 +13,32 @@
 //   - layout correction by inserting end-to-end spaces chosen through a
 //     weighted set cover over the detected conflicts.
 //
-// Quick start:
+// Quick start — configure an Engine once, then drive per-layout Sessions;
+// each pipeline stage is computed exactly once per session and later stages
+// reuse earlier results:
 //
+//	eng := aapsm.NewEngine()            // Default90nmRules, PCG, generalized gadgets
 //	l := aapsm.NewLayout("demo")
 //	l.Add(aapsm.R(0, 0, 100, 1000))     // a critical poly wire
 //	l.Add(aapsm.R(350, 0, 450, 1000))   // too close: phase conflict
-//	res, err := aapsm.Detect(l, aapsm.Default90nmRules(), aapsm.DetectOptions{})
+//
+//	s := eng.NewSession(l)
+//	res, err := s.Detect(ctx)           // conflict graph + detection flow
 //	...
-//	cor, err := aapsm.Correct(l, aapsm.Default90nmRules(), res)
-//	fixed := cor.Layout // phase-assignable, DRC-clean
+//	cor, err := s.Correction(ctx)       // reuses the detection
+//	fixed := cor.Layout                 // phase-assignable, DRC-clean
+//
+// Engines and Sessions are safe for concurrent use; Engine.DetectBatch runs
+// many layouts on a bounded worker pool. All stage methods honor context
+// cancellation and return typed, errors.Is/As-friendly errors (*FlowError,
+// ErrNotAssignable, ErrUnfixable, ErrMaskInconsistent).
+//
+// The package-level one-shot functions (Detect, Correct, AssignPhases, …)
+// predate the Engine/Session API and remain as thin wrappers.
 package aapsm
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -140,18 +154,23 @@ func (r *Result) Conflicts() []Conflict { return r.Detection.FinalConflicts }
 // Assignable reports whether the layout needed no repairs.
 func (r *Result) Assignable() bool { return len(r.Detection.FinalConflicts) == 0 }
 
+// engineFor builds a throwaway Engine matching the legacy one-shot options.
+func engineFor(rules Rules, opt DetectOptions) *Engine {
+	return NewEngine(
+		WithRules(rules),
+		WithGraph(opt.Graph),
+		WithTJoinMethod(opt.Method),
+		WithImprovedRecheck(opt.ImprovedRecheck),
+	)
+}
+
 // Detect synthesizes shifters for l, builds the conflict graph, and runs
 // the full detection flow of the paper's §3.
+//
+// Deprecated: use NewEngine(...).NewSession(l).Detect(ctx), which memoizes
+// the result for later stages and honors cancellation.
 func Detect(l *Layout, rules Rules, opt DetectOptions) (*Result, error) {
-	cg, err := core.BuildGraph(l, rules, opt.Graph)
-	if err != nil {
-		return nil, err
-	}
-	det, err := core.Detect(cg, opt.coreOptions())
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Graph: cg, Detection: det}, nil
+	return engineFor(rules, opt).Detect(context.Background(), l)
 }
 
 // DetectGreedy runs the greedy-bipartization baseline (Table 1 column GB).
@@ -171,6 +190,9 @@ func Assignable(l *Layout, rules Rules) (bool, error) {
 
 // AssignPhases extracts 0°/180° shifter phases after detection; conflicts
 // are waived pending correction.
+//
+// Deprecated: use Session.Assignment, which reuses the session's detection
+// and verifies the assignment.
 func AssignPhases(r *Result) (*Assignment, error) {
 	return core.AssignPhases(r.Detection)
 }
@@ -190,16 +212,16 @@ type Correction struct {
 
 // Correct plans and applies end-to-end spaces fixing every correctable
 // conflict in r (paper §3.2). The input layout is not modified.
+//
+// Deprecated: use Session.Correction (or Session.CorrectedLayout for a typed
+// ErrUnfixable), which reuses the session's detection.
 func Correct(l *Layout, rules Rules, r *Result) (*Correction, error) {
-	plan, err := correct.BuildPlan(l, rules, r.Graph.Set, r.Detection.FinalConflicts)
-	if err != nil {
-		return nil, err
-	}
-	mod := correct.Apply(l, plan)
-	return &Correction{Plan: plan, Layout: mod, Stats: correct.Summarize(l, plan, mod)}, nil
+	return buildCorrection(l, rules, r)
 }
 
 // CheckDRC runs the design-rule checks.
+//
+// Deprecated: use Session.DRC, which memoizes the result per layout.
 func CheckDRC(l *Layout, rules Rules) []DRCViolation { return drc.Check(l, rules) }
 
 // ReadLayoutText parses the plain-text layout interchange format.

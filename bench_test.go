@@ -1,4 +1,8 @@
-package aapsm
+// Package aapsm_test is the external benchmark harness; it lives outside
+// package aapsm so it can drive internal/experiments, which itself builds on
+// the public Engine/Session API (an in-package test would create an import
+// cycle).
+package aapsm_test
 
 // Benchmark harness: one benchmark per table and figure of the paper's
 // evaluation section. Each benchmark regenerates the corresponding

@@ -11,24 +11,32 @@
 //	aapsm -cmd svg       -in design.txt -out design.svg
 //	aapsm -cmd junctions -in design.txt
 //
+// -cmd also accepts a comma-separated list (e.g. -cmd detect,assign,correct);
+// all subcommands of one invocation share a single pipeline session, so
+// detection runs exactly once no matter how many stages are requested.
+// Interrupting the process (SIGINT/SIGTERM) cancels the pipeline promptly.
+//
 // Layout files are the plain-text interchange format unless the name ends
 // in .gds.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	aapsm "repro"
 )
 
 func main() {
 	var (
-		cmd     = flag.String("cmd", "detect", "detect | correct | assign | drc")
+		cmd     = flag.String("cmd", "detect", "comma-separated subcommands: detect | correct | assign | drc | mask | svg | junctions")
 		in      = flag.String("in", "", "input layout (.txt or .gds)")
-		out     = flag.String("out", "", "output layout for -cmd correct (default: stdout, text)")
+		out     = flag.String("out", "", "output file for correct / mask / svg (correct default: none)")
 		graph   = flag.String("graph", "pcg", "graph representation: pcg | fg")
 		method  = flag.String("method", "gen", "T-join reduction: gen | opt | lawler")
 		imp     = flag.Bool("improved-recheck", false, "use parity-based crossing recheck")
@@ -40,31 +48,63 @@ func main() {
 	}
 	l, err := readLayout(*in)
 	check(err)
-	rules := aapsm.Default90nmRules()
 
-	opt := aapsm.DetectOptions{ImprovedRecheck: *imp}
+	opts := []aapsm.EngineOption{
+		aapsm.WithRules(aapsm.Default90nmRules()),
+		aapsm.WithImprovedRecheck(*imp),
+	}
 	switch *graph {
 	case "pcg":
-		opt.Graph = aapsm.PCG
+		opts = append(opts, aapsm.WithGraph(aapsm.PCG))
 	case "fg":
-		opt.Graph = aapsm.FG
+		opts = append(opts, aapsm.WithGraph(aapsm.FG))
 	default:
 		fatalf("unknown -graph %q", *graph)
 	}
 	switch *method {
 	case "gen":
-		opt.Method = aapsm.GeneralizedGadgets
+		opts = append(opts, aapsm.WithTJoinMethod(aapsm.GeneralizedGadgets))
 	case "opt":
-		opt.Method = aapsm.OptimizedGadgets
+		opts = append(opts, aapsm.WithTJoinMethod(aapsm.OptimizedGadgets))
 	case "lawler":
-		opt.Method = aapsm.LawlerReduction
+		opts = append(opts, aapsm.WithTJoinMethod(aapsm.LawlerReduction))
 	default:
 		fatalf("unknown -method %q", *method)
 	}
 
-	switch *cmd {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cmds := strings.Split(*cmd, ",")
+	// All subcommands share the single -out flag; combining two writers in
+	// one invocation would silently overwrite the earlier output.
+	if *out != "" {
+		writers := 0
+		for _, c := range cmds {
+			switch strings.TrimSpace(c) {
+			case "correct", "mask", "svg":
+				writers++
+			}
+		}
+		if writers > 1 {
+			fatalf("-out is shared by all subcommands; run correct/mask/svg in separate invocations")
+		}
+	}
+
+	// One engine and one session per invocation: every requested subcommand
+	// reuses the same memoized detection.
+	eng := aapsm.NewEngine(opts...)
+	s := eng.NewSession(l)
+	for _, c := range cmds {
+		run(ctx, eng, s, strings.TrimSpace(c), *out, *verbose)
+	}
+}
+
+func run(ctx context.Context, eng *aapsm.Engine, s *aapsm.Session, cmd, out string, verbose bool) {
+	l := s.Layout()
+	switch cmd {
 	case "drc":
-		vs := aapsm.CheckDRC(l, rules)
+		vs := s.DRC()
 		fmt.Printf("%s: %d features, %d DRC violations\n", l.Name, len(l.Features), len(vs))
 		for _, v := range vs {
 			fmt.Println("  ", v)
@@ -74,37 +114,34 @@ func main() {
 		}
 
 	case "detect":
-		res, err := aapsm.Detect(l, rules, opt)
+		res, err := s.Detect(ctx)
 		check(err)
-		s := res.Detection.Stats
+		st := res.Detection.Stats
 		fmt.Printf("%s: %d features, graph %d nodes / %d edges (%s)\n",
-			l.Name, len(l.Features), s.GraphNodes, s.GraphEdges, *graph)
+			l.Name, len(l.Features), st.GraphNodes, st.GraphEdges, res.Graph.Kind)
 		fmt.Printf("  crossings removed: %d (of %d crossing pairs)\n",
-			len(res.Detection.CrossingsRemoved), s.CrossingPairs)
+			len(res.Detection.CrossingsRemoved), st.CrossingPairs)
 		fmt.Printf("  dual: %d faces / %d edges, %d odd faces; gadget %d nodes\n",
-			s.DualNodes, s.DualEdges, s.OddFaces, s.GadgetNodes)
+			st.DualNodes, st.DualEdges, st.OddFaces, st.GadgetNodes)
 		fmt.Printf("  conflicts: %d (bipartization %d) in %v (matching %v)\n",
-			len(res.Conflicts()), len(res.Detection.BipartizationEdges), s.TotalTime, s.MatchTime)
+			len(res.Conflicts()), len(res.Detection.BipartizationEdges), st.TotalTime, st.MatchTime)
 		if res.Assignable() {
 			fmt.Println("  layout is phase-assignable")
 		}
-		if *verbose {
+		if verbose {
 			for _, c := range res.Conflicts() {
 				fmt.Printf("    conflict: shifters %d,%d deficit %d\n", c.Meta.S1, c.Meta.S2, c.Deficit)
 			}
 		}
 
 	case "assign":
-		res, err := aapsm.Detect(l, rules, opt)
+		res, err := s.Detect(ctx)
 		check(err)
-		a, err := aapsm.AssignPhases(res)
+		a, err := s.Assignment(ctx)
 		check(err)
-		if v := aapsm.VerifyAssignment(a, res); len(v) != 0 {
-			fatalf("assignment verification failed: %v", v)
-		}
 		fmt.Printf("%s: %d shifters assigned (%d conflicts waived)\n",
 			l.Name, len(a.Phases), len(a.Waived))
-		if *verbose {
+		if verbose {
 			for i, ph := range a.Phases {
 				sh := res.Graph.Set.Shifters[i]
 				fmt.Printf("  shifter %d (feature %d): phase %s at %v\n", i, sh.Feature, ph, sh.Rect)
@@ -112,76 +149,68 @@ func main() {
 		}
 
 	case "correct":
-		res, err := aapsm.Detect(l, rules, opt)
-		check(err)
-		cor, err := aapsm.Correct(l, rules, res)
+		cor, err := s.Correction(ctx)
 		check(err)
 		fmt.Println(cor.Stats)
-		ok, err := aapsm.Assignable(cor.Layout, rules)
+		post, err := eng.Detect(ctx, cor.Layout)
 		check(err)
-		if !ok && len(cor.Plan.Unfixable) == 0 {
+		if !post.Assignable() && len(cor.Plan.Unfixable) == 0 {
 			fatalf("internal error: corrected layout still conflicts")
 		}
-		if dv := aapsm.CheckDRC(cor.Layout, rules); len(dv) != 0 {
+		if dv := eng.NewSession(cor.Layout).DRC(); len(dv) != 0 {
 			fatalf("internal error: correction introduced DRC violations: %v", dv[0])
 		}
-		if *out != "" {
-			check(writeLayout(*out, cor.Layout))
-			fmt.Printf("wrote %s\n", *out)
+		if out != "" {
+			check(writeLayout(out, cor.Layout))
+			fmt.Printf("wrote %s\n", out)
 		}
 
 	case "mask":
-		if *out == "" {
+		if out == "" {
 			fatalf("mask needs -out")
 		}
-		res, err := aapsm.Detect(l, rules, opt)
+		m, err := s.Mask(ctx)
 		check(err)
-		a, err := aapsm.AssignPhases(res)
+		res, err := s.Detect(ctx)
 		check(err)
-		if p := aapsm.ValidateMask(l, rules, res, a); len(p) != 0 {
-			fatalf("mask inconsistent: %v", p[0])
-		}
-		m, err := aapsm.BuildMask(l, res, a)
-		check(err)
-		check(writeLayout(*out, m))
+		check(writeLayout(out, m))
 		fmt.Printf("wrote mask view %s (%d shapes; %d conflicts waived pending correction)\n",
-			*out, len(m.Features), len(res.Conflicts()))
+			out, len(m.Features), len(res.Conflicts()))
 
 	case "svg":
-		if *out == "" {
+		if out == "" {
 			fatalf("svg needs -out")
 		}
-		res, err := aapsm.Detect(l, rules, opt)
+		f, err := os.Create(out)
 		check(err)
-		a, err := aapsm.AssignPhases(res)
+		err = s.RenderSVG(ctx, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		check(err)
-		f, err := os.Create(*out)
-		check(err)
-		defer f.Close()
-		check(aapsm.RenderSVG(f, l, aapsm.RenderOptions{Result: res, Assignment: a}))
-		fmt.Printf("wrote %s\n", *out)
+		fmt.Printf("wrote %s\n", out)
 
 	case "junctions":
-		js := aapsm.FindJunctions(l)
+		js := s.Junctions()
 		fmt.Printf("%s: %d junctions\n", l.Name, len(js))
 		counts := map[string]int{}
 		for _, j := range js {
 			counts[j.Kind.String()]++
-			if *verbose {
+			if verbose {
 				fmt.Println("  ", j)
 			}
 		}
 		for k, n := range counts {
 			fmt.Printf("  %s: %d\n", k, n)
 		}
-		res, err := aapsm.Detect(l, rules, opt)
+		res, err := s.Detect(ctx)
 		check(err)
 		plain, junctioned := aapsm.SplitConflictsByJunction(res, js)
 		fmt.Printf("  conflicts: %d plain (spacing-correctable class), %d junction-adjacent (widening/mask-split class)\n",
 			len(plain), len(junctioned))
 
 	default:
-		fatalf("unknown -cmd %q", *cmd)
+		fatalf("unknown -cmd %q", cmd)
 	}
 }
 
@@ -197,12 +226,18 @@ func readLayout(path string) (*aapsm.Layout, error) {
 	return aapsm.ReadLayoutText(f)
 }
 
-func writeLayout(path string, l *aapsm.Layout) error {
+func writeLayout(path string, l *aapsm.Layout) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// A failed Close can lose buffered data (e.g. on a full disk); surface it
+	// instead of silently truncating the output.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	if strings.HasSuffix(path, ".gds") {
 		return aapsm.WriteGDS(f, l)
 	}

@@ -15,9 +15,9 @@ import (
 	"fmt"
 	"os"
 
+	aapsm "repro"
 	"repro/internal/bench"
 	"repro/internal/experiments"
-	"repro/internal/layout"
 )
 
 func main() {
@@ -27,7 +27,7 @@ func main() {
 		n     = flag.Int("n", 5, "number of suite designs to run (1..8)")
 	)
 	flag.Parse()
-	rules := layout.Default90nm()
+	rules := aapsm.Default90nmRules()
 	suite := bench.SmallSuite(*n)
 
 	switch {

@@ -1,0 +1,153 @@
+package aapsm
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Engine is an immutable configuration of the AAPSM flow: process rules,
+// graph representation, T-join reduction, recheck mode and worker count.
+// Build one with NewEngine and functional options; a single Engine is safe
+// for concurrent use from any number of goroutines and is the factory for
+// per-layout Sessions.
+//
+//	eng := aapsm.NewEngine(
+//		aapsm.WithRules(aapsm.Default90nmRules()),
+//		aapsm.WithGraph(aapsm.PCG),
+//		aapsm.WithImprovedRecheck(true),
+//	)
+//	s := eng.NewSession(l)
+//	res, err := s.Detect(ctx)
+type Engine struct {
+	rules   Rules
+	opts    DetectOptions
+	workers int
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*Engine)
+
+// WithRules sets the process rules (default: Default90nmRules).
+func WithRules(r Rules) EngineOption {
+	return func(e *Engine) { e.rules = r }
+}
+
+// WithGraph selects the graph representation: PCG (default) or the FG
+// baseline.
+func WithGraph(k GraphKind) EngineOption {
+	return func(e *Engine) { e.opts.Graph = k }
+}
+
+// WithTJoinMethod selects the reduction used by the optimal bipartization
+// step (default: GeneralizedGadgets).
+func WithTJoinMethod(m TJoinMethod) EngineOption {
+	return func(e *Engine) { e.opts.Method = m }
+}
+
+// WithImprovedRecheck toggles the parity-based re-admission of
+// planarization-removed edges in flow step 3 (never selects more conflicts
+// than the paper's coloring recheck; default off = the paper's method).
+func WithImprovedRecheck(on bool) EngineOption {
+	return func(e *Engine) { e.opts.ImprovedRecheck = on }
+}
+
+// WithParallelism bounds the worker pool used by DetectBatch (n <= 0 means
+// runtime.GOMAXPROCS(0), the default).
+func WithParallelism(n int) EngineOption {
+	return func(e *Engine) { e.workers = n }
+}
+
+// NewEngine builds an immutable Engine from the options.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{rules: Default90nmRules()}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	return e
+}
+
+// Rules returns the engine's process rules.
+func (e *Engine) Rules() Rules { return e.rules }
+
+// DetectOptions returns the engine's detection configuration in the legacy
+// one-shot form.
+func (e *Engine) DetectOptions() DetectOptions { return e.opts }
+
+// Parallelism returns the DetectBatch worker bound.
+func (e *Engine) Parallelism() int { return e.workers }
+
+// NewSession starts a pipeline session on one layout. The layout must not be
+// mutated while the session is in use.
+func (e *Engine) NewSession(l *Layout) *Session {
+	return &Session{engine: e, layout: l}
+}
+
+// Detect is the one-shot form of NewSession(l).Detect(ctx) for callers that
+// do not need later stages.
+func (e *Engine) Detect(ctx context.Context, l *Layout) (*Result, error) {
+	return e.NewSession(l).Detect(ctx)
+}
+
+// DetectBatch runs detection over many layouts on a bounded worker pool of
+// at most Parallelism() goroutines. Results are returned in input order. On
+// failure the remaining work is cancelled and the first causal error is
+// returned (a *FlowError naming the failing layout); results computed before
+// the failure are still present in the returned slice.
+func (e *Engine) DetectBatch(ctx context.Context, layouts []*Layout) ([]*Result, error) {
+	if len(layouts) == 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, len(layouts))
+	errs := make([]error, len(layouts))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.workers
+	if workers > len(layouts) {
+		workers = len(layouts)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, err := e.Detect(ctx, layouts[i])
+				if err != nil {
+					errs[i] = err
+					cancel() // stop the rest of the batch promptly
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range layouts {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Prefer a causal error over the context errors it provoked in sibling
+	// workers; among causal errors, return the lowest input index.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil || (isContextErr(first) && !isContextErr(err)) {
+			first = err
+		}
+	}
+	return results, first
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,86 @@
+package aapsm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the Engine/Session API. All stage errors are wrapped in
+// a *FlowError, so callers can match both the cause and the stage:
+//
+//	if errors.Is(err, aapsm.ErrUnfixable) { ... }
+//	var fe *aapsm.FlowError
+//	if errors.As(err, &fe) { log.Printf("stage %s failed on %s", fe.Stage, fe.Layout) }
+var (
+	// ErrNotAssignable reports that a layout admits no valid phase
+	// assignment (its phase conflict graph is not bipartite, Theorem 1).
+	ErrNotAssignable = errors.New("layout is not phase-assignable")
+	// ErrUnfixable reports that correction left conflicts that end-to-end
+	// spacing cannot fix (candidates for widening or mask splitting).
+	ErrUnfixable = errors.New("conflicts not fixable by end-to-end spacing")
+	// ErrMaskInconsistent reports that the mask view failed phase-consistency
+	// validation.
+	ErrMaskInconsistent = errors.New("mask view is phase-inconsistent")
+)
+
+// FlowStage identifies one step of the AAPSM pipeline.
+type FlowStage int8
+
+const (
+	// StageDetect covers shifter synthesis, conflict-graph construction and
+	// the detection flow (planarize, T-join bipartization, recheck).
+	StageDetect FlowStage = iota
+	// StageAssign covers phase extraction and verification.
+	StageAssign
+	// StageCorrect covers end-to-end-space planning and application.
+	StageCorrect
+	// StageMask covers mask-view validation and construction.
+	StageMask
+	// StageRender covers SVG rendering.
+	StageRender
+)
+
+func (s FlowStage) String() string {
+	switch s {
+	case StageDetect:
+		return "detect"
+	case StageAssign:
+		return "assign"
+	case StageCorrect:
+		return "correct"
+	case StageMask:
+		return "mask"
+	case StageRender:
+		return "render"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// FlowError tags a pipeline failure with the stage it happened in and the
+// layout it happened on. It unwraps to the underlying cause, so
+// errors.Is(err, context.Canceled), errors.Is(err, ErrUnfixable) etc. work
+// through it.
+type FlowError struct {
+	Stage  FlowStage
+	Layout string // name of the layout the session was working on
+	Err    error
+}
+
+func (e *FlowError) Error() string {
+	if e.Layout == "" {
+		return fmt.Sprintf("aapsm: %s: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("aapsm: %s: layout %q: %v", e.Stage, e.Layout, e.Err)
+}
+
+func (e *FlowError) Unwrap() error { return e.Err }
+
+// flowErr wraps err for stage s unless it is already stage-tagged (nested
+// stages pass their own *FlowError through unchanged).
+func flowErr(s FlowStage, layout string, err error) error {
+	var fe *FlowError
+	if errors.As(err, &fe) {
+		return err
+	}
+	return &FlowError{Stage: s, Layout: layout, Err: err}
+}

@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -12,17 +14,19 @@ import (
 )
 
 func main() {
-	rules := aapsm.Default90nmRules()
+	ctx := context.Background()
+	eng := aapsm.NewEngine()
 	l := aapsm.Figure5Layout() // five stacked conflict pairs, aligned in x
+	s := eng.NewSession(l)
 
-	res, err := aapsm.Detect(l, rules, aapsm.DetectOptions{})
+	res, err := s.Detect(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%q: %d conflicts detected across %d rows\n",
 		l.Name, len(res.Conflicts()), 5)
 
-	cor, err := aapsm.Correct(l, rules, res)
+	cor, err := s.Correction(ctx) // reuses the detection above
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,10 +40,11 @@ func main() {
 		float64(cor.Stats.AreaBefore)/1e6, float64(cor.Stats.AreaAfter)/1e6,
 		cor.Stats.AreaIncrease)
 
-	ok, err := aapsm.Assignable(cor.Layout, rules)
-	if err != nil {
-		log.Fatal(err)
+	post := eng.NewSession(cor.Layout)
+	err = post.RequireAssignable(ctx)
+	if err != nil && !errors.Is(err, aapsm.ErrNotAssignable) {
+		log.Fatal(err) // a pipeline failure, not a verdict
 	}
 	fmt.Printf("modified layout phase-assignable: %v, DRC violations: %d\n",
-		ok, len(aapsm.CheckDRC(cor.Layout, rules)))
+		err == nil, len(post.DRC()))
 }

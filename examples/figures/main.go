@@ -2,9 +2,13 @@
 // live data — Figure 1 (odd phase-dependency cycle), Figure 2 (phase
 // conflict graph vs feature graph on the same layout) and Figure 5 (one
 // end-to-end space correcting multiple conflicts).
+//
+// Each figure is one session; Session.RenderSVG reuses the session's
+// detection, assignment and (for Figure 5) correction overlays.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -13,55 +17,39 @@ import (
 )
 
 func main() {
-	rules := aapsm.Default90nmRules()
+	ctx := context.Background()
 
 	// Figure 1: the motivating odd cycle, conflicts highlighted in red.
-	fig1 := aapsm.Figure1Layout()
-	res1, err := aapsm.Detect(fig1, rules, aapsm.DetectOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	a1, err := aapsm.AssignPhases(res1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	writeSVG("figure1.svg", fig1, aapsm.RenderOptions{Result: res1, Assignment: a1})
+	s1 := aapsm.NewEngine().NewSession(aapsm.Figure1Layout())
+	writeSVG(ctx, "figure1.svg", s1)
 
 	// Figure 2: the same layout under both graph representations.
 	fig2 := aapsm.Figure2Layout()
-	resPCG, err := aapsm.Detect(fig2, rules, aapsm.DetectOptions{Graph: aapsm.PCG})
-	if err != nil {
-		log.Fatal(err)
-	}
-	writeSVG("figure2_pcg.svg", fig2, aapsm.RenderOptions{Result: resPCG})
-	resFG, err := aapsm.Detect(fig2, rules, aapsm.DetectOptions{Graph: aapsm.FG})
-	if err != nil {
-		log.Fatal(err)
-	}
-	writeSVG("figure2_fg.svg", fig2, aapsm.RenderOptions{Result: resFG})
+	writeSVG(ctx, "figure2_pcg.svg", aapsm.NewEngine(aapsm.WithGraph(aapsm.PCG)).NewSession(fig2))
+	writeSVG(ctx, "figure2_fg.svg", aapsm.NewEngine(aapsm.WithGraph(aapsm.FG)).NewSession(fig2))
 
-	// Figure 5: stacked conflicts plus the single correcting cut line.
-	fig5 := aapsm.Figure5Layout()
-	res5, err := aapsm.Detect(fig5, rules, aapsm.DetectOptions{})
-	if err != nil {
+	// Figure 5: stacked conflicts plus the single correcting cut line. The
+	// correction stage runs before rendering so its cuts are drawn too.
+	s5 := aapsm.NewEngine().NewSession(aapsm.Figure5Layout())
+	if _, err := s5.Correction(ctx); err != nil {
 		log.Fatal(err)
 	}
-	cor5, err := aapsm.Correct(fig5, rules, res5)
-	if err != nil {
-		log.Fatal(err)
-	}
-	writeSVG("figure5.svg", fig5, aapsm.RenderOptions{Result: res5, Plan: cor5.Plan})
+	writeSVG(ctx, "figure5.svg", s5)
 
 	fmt.Println("wrote figure1.svg figure2_pcg.svg figure2_fg.svg figure5.svg")
 }
 
-func writeSVG(path string, l *aapsm.Layout, opt aapsm.RenderOptions) {
+func writeSVG(ctx context.Context, path string, s *aapsm.Session) {
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	if err := aapsm.RenderSVG(f, l, opt); err != nil {
+	err = s.RenderSVG(ctx, f)
+	// Close errors can hide truncated output (full disk); never ignore them.
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,9 +1,13 @@
 // Fullflow: generate a synthetic standard-cell design, detect its AAPSM
 // conflicts, correct them with end-to-end spaces, and verify the result —
 // the complete §3 flow of the paper, ending in a Table-2 style report.
+//
+// One session carries the whole flow: detection runs once and correction
+// reuses it; a second session verifies the corrected layout.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,59 +15,58 @@ import (
 )
 
 func main() {
-	rules := aapsm.Default90nmRules()
+	ctx := context.Background()
+	eng := aapsm.NewEngine()
 
 	l := aapsm.GenerateBenchmark("demo", aapsm.DefaultBenchmarkParams(2025, 6, 150))
 	fmt.Printf("generated %q: %d polygons, %.1f µm² bounding box\n",
 		l.Name, len(l.Features), float64(l.Area())/1e6)
-	if v := aapsm.CheckDRC(l, rules); len(v) != 0 {
+
+	s := eng.NewSession(l)
+	if v := s.DRC(); len(v) != 0 {
 		log.Fatalf("generator produced DRC violations: %v", v[0])
 	}
 
 	// Step 1-3: detection on the phase conflict graph.
-	res, err := aapsm.Detect(l, rules, aapsm.DetectOptions{})
+	res, err := s.Detect(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := res.Detection.Stats
+	st := res.Detection.Stats
 	fmt.Printf("detection: %d conflicts (bipartization %d, crossings re-added %d) in %v\n",
 		len(res.Conflicts()), len(res.Detection.BipartizationEdges),
-		len(res.Conflicts())-len(res.Detection.BipartizationEdges), s.TotalTime)
+		len(res.Conflicts())-len(res.Detection.BipartizationEdges), st.TotalTime)
 
-	// Step 4: layout modification.
-	cor, err := aapsm.Correct(l, rules, res)
+	// Step 4: layout modification (reuses the session's detection).
+	cor, err := s.Correction(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("correction: %d end-to-end spaces (max %d conflicts on one line), +%d nm width, +%d nm height\n",
 		len(cor.Plan.Cuts), cor.Plan.MaxPerLine(), cor.Plan.AddedWidth, cor.Plan.AddedHeight)
 	fmt.Printf("table-2 row: %v\n", cor.Stats)
+	fmt.Printf("session ran detection %d time(s) for DRC+detect+correct\n", s.Stats().DetectRuns)
 
 	// Verification: the modified layout is DRC clean and phase-assignable.
-	if v := aapsm.CheckDRC(cor.Layout, rules); len(v) != 0 {
+	post := eng.NewSession(cor.Layout)
+	if v := post.DRC(); len(v) != 0 {
 		log.Fatalf("correction introduced DRC violations: %v", v[0])
 	}
-	ok, err := aapsm.Assignable(cor.Layout, rules)
+	postRes, err := post.Detect(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !ok && len(cor.Plan.Unfixable) == 0 {
+	if !postRes.Assignable() && len(cor.Plan.Unfixable) == 0 {
 		log.Fatal("corrected layout still conflicts")
 	}
 	fmt.Printf("verified: modified layout DRC-clean and phase-assignable (unfixable by spacing: %d)\n",
 		len(cor.Plan.Unfixable))
 
-	// Extract and verify the final phases on the corrected layout.
-	res2, err := aapsm.Detect(cor.Layout, rules, aapsm.DetectOptions{})
+	// Extract and verify the final phases on the corrected layout; the
+	// assignment stage reuses the verification session's detection.
+	a, err := post.Assignment(ctx)
 	if err != nil {
 		log.Fatal(err)
-	}
-	a, err := aapsm.AssignPhases(res2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if v := aapsm.VerifyAssignment(a, res2); len(v) != 0 {
-		log.Fatalf("final assignment fails: %v", v)
 	}
 	n180 := 0
 	for _, p := range a.Phases {

@@ -3,12 +3,12 @@
 // (Figure 3) and the divide-node decomposition for high-degree nodes
 // (Figure 4), contrasted with the optimized gadgets of TCAD'99.
 //
-// This example uses the library's exported detection options to run the
-// same layout through both reductions and reports the matching instance
-// sizes and the (identical) optimal results.
+// Each reduction is one Engine configuration (WithTJoinMethod); the same
+// layout runs through all three and the optimal results must agree.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	rules := aapsm.Default90nmRules()
+	ctx := context.Background()
 	// A conflict-rich layout: several dense clusters.
 	l := aapsm.GenerateBenchmark("gadgetdemo", aapsm.DefaultBenchmarkParams(11, 4, 120))
 
@@ -33,7 +33,8 @@ func main() {
 	}
 	var firstConflicts int
 	for i, v := range variants {
-		res, err := aapsm.Detect(l, rules, aapsm.DetectOptions{Method: v.method})
+		eng := aapsm.NewEngine(aapsm.WithTJoinMethod(v.method))
+		res, err := eng.Detect(ctx, l)
 		if err != nil {
 			log.Fatal(err)
 		}

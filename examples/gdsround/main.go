@@ -1,10 +1,13 @@
 // Gdsround: exchange layouts with standard EDA tooling via the GDSII
 // stream format — write a generated design to GDSII, read it back, and run
-// conflict detection on the imported geometry.
+// conflict detection on the imported geometry. The original and the
+// round-tripped layout are detected together through Engine.DetectBatch,
+// which must find identical conflicts for both.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -13,7 +16,8 @@ import (
 )
 
 func main() {
-	rules := aapsm.Default90nmRules()
+	ctx := context.Background()
+	eng := aapsm.NewEngine(aapsm.WithParallelism(2))
 	l := aapsm.GenerateBenchmark("GDSDEMO", aapsm.DefaultBenchmarkParams(7, 3, 80))
 
 	var stream bytes.Buffer
@@ -45,10 +49,18 @@ func main() {
 	}
 	fmt.Println("round trip: all features identical")
 
-	res, err := aapsm.Detect(back, rules, aapsm.DetectOptions{})
+	// Detect both layouts in one batch on the engine's worker pool.
+	results, err := eng.DetectBatch(ctx, []*aapsm.Layout{l, back})
 	if err != nil {
 		log.Fatal(err)
 	}
+	orig, imported := results[0], results[1]
 	fmt.Printf("detection on imported layout: %d conflicts (graph %d/%d)\n",
-		len(res.Conflicts()), res.Detection.Stats.GraphNodes, res.Detection.Stats.GraphEdges)
+		len(imported.Conflicts()), imported.Detection.Stats.GraphNodes,
+		imported.Detection.Stats.GraphEdges)
+	if len(orig.Conflicts()) != len(imported.Conflicts()) {
+		log.Fatalf("round trip changed conflicts: %d vs %d",
+			len(orig.Conflicts()), len(imported.Conflicts()))
+	}
+	fmt.Println("original and imported layouts detect identically")
 }

@@ -2,9 +2,14 @@
 // shifters form an odd cycle of phase dependencies, making the layout
 // non-phase-assignable; detection pinpoints the minimal conflicts and phase
 // assignment succeeds once they are waived.
+//
+// The Engine/Session API drives the whole flow: the session runs detection
+// once and the assignment stage reuses it.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -12,21 +17,24 @@ import (
 )
 
 func main() {
-	rules := aapsm.Default90nmRules()
+	ctx := context.Background()
+	eng := aapsm.NewEngine() // Default90nmRules, PCG, generalized gadgets
 
 	// Three parallel 100 nm poly wires at a 350 nm pitch: the left shifter
 	// of each inner wire merges with BOTH shifters of its neighbor —
 	// Condition 1 (opposite flank phases) and Condition 2 (merged shifters
 	// share a phase) cannot hold simultaneously.
 	l := aapsm.Figure1Layout()
+	s := eng.NewSession(l)
 
-	ok, err := aapsm.Assignable(l, rules)
-	if err != nil {
+	err := s.RequireAssignable(ctx)
+	fmt.Printf("layout %q: %d features, phase-assignable: %v\n",
+		l.Name, len(l.Features), err == nil)
+	if err != nil && !errors.Is(err, aapsm.ErrNotAssignable) {
 		log.Fatal(err)
 	}
-	fmt.Printf("layout %q: %d features, phase-assignable: %v\n", l.Name, len(l.Features), ok)
 
-	res, err := aapsm.Detect(l, rules, aapsm.DetectOptions{})
+	res, err := s.Detect(ctx) // memoized: RequireAssignable already ran it
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,18 +48,16 @@ func main() {
 			s1.Feature, s2.Feature, c.Deficit, s1.Rect, s2.Rect)
 	}
 
-	a, err := aapsm.AssignPhases(res)
+	a, err := s.Assignment(ctx) // reuses the detection, verifies internally
 	if err != nil {
 		log.Fatal(err)
-	}
-	if v := aapsm.VerifyAssignment(a, res); len(v) != 0 {
-		log.Fatalf("assignment verification failed: %v", v)
 	}
 	fmt.Println("phase assignment (conflicts waived for correction):")
 	for i, ph := range a.Phases {
 		sh := res.Graph.Set.Shifters[i]
 		fmt.Printf("  feature %d %s flank: %3s°\n", sh.Feature, side(sh), ph)
 	}
+	fmt.Printf("session ran detection %d time(s)\n", s.Stats().DetectRuns)
 }
 
 func side(s aapsm.Shifter) string {

@@ -8,7 +8,6 @@ package aapsm
 import (
 	"io"
 
-	"repro/internal/core"
 	"repro/internal/correct"
 	"repro/internal/mask"
 	"repro/internal/render"
@@ -96,9 +95,6 @@ func RenderSVG(w io.Writer, l *Layout, opt RenderOptions) error {
 	}
 	return render.SVG(w, l, ro)
 }
-
-// RecheckParityOption exposes the improved step-3 recheck for ablations.
-var _ = core.RecheckParity
 
 // CutRegions restricts where end-to-end spaces may be inserted
 // (standard-cell aware correction, paper §5 future work).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -86,10 +87,22 @@ type Options struct {
 //  3. re-check P against a two-coloring and add violators to the final
 //     conflict set.
 func Detect(cg *ConflictGraph, opt Options) (*Detection, error) {
+	return DetectContext(context.Background(), cg, opt)
+}
+
+// DetectContext is Detect with cooperative cancellation: ctx is polled
+// between the flow steps and threaded into the T-join matching solver's hot
+// loop, so a cancelled detection returns ctx.Err() promptly instead of
+// finishing a potentially large matching instance.
+func DetectContext(ctx context.Context, cg *ConflictGraph, opt Options) (*Detection, error) {
 	start := time.Now()
 	det := &Detection{Graph: cg}
 	det.Stats.GraphNodes = cg.Nodes()
 	det.Stats.GraphEdges = cg.Edges()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Step 1b: planar embedding by greedy crossing removal.
 	crossPairs := cg.Drawing.Crossings()
@@ -101,6 +114,10 @@ func Detect(cg *ConflictGraph, opt Options) (*Detection, error) {
 		removedSet[e] = true
 	}
 	planarDrawing, oldIdx := cg.Drawing.WithoutEdges(removedSet)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Step 2: optimal bipartization of the embedded planar graph = minimum
 	// T-join on its geometric dual with T = odd faces.
@@ -114,7 +131,7 @@ func Detect(cg *ConflictGraph, opt Options) (*Detection, error) {
 	det.Stats.OddFaces = len(T)
 
 	mStart := time.Now()
-	join, err := tjoin.Solve(dual, T, opt.TJoin)
+	join, err := tjoin.SolveContext(ctx, dual, T, opt.TJoin)
 	if err != nil {
 		return nil, fmt.Errorf("core: dual T-join: %w", err)
 	}
@@ -129,6 +146,10 @@ func Detect(cg *ConflictGraph, opt Options) (*Detection, error) {
 		bipartSet[orig] = true
 	}
 	sort.Ints(det.BipartizationEdges)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Step 3: the edges removed for planarity (P) may themselves close odd
 	// cycles against the bipartized remainder.

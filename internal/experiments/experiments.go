@@ -2,16 +2,22 @@
 // the detection and correction flows over the synthetic benchmark suite and
 // produces the rows of Table 1 and Table 2 plus the figure statistics. Both
 // cmd/benchtab and the top-level benchmark harness drive this package.
+//
+// The pipeline measurements go through the public Engine/Session API; only
+// measurements that need raw graph internals (drawing crossings, gadget
+// instance sizes, the greedy baseline on an already-built graph) reach into
+// the internal packages directly.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	aapsm "repro"
 	"repro/internal/bench"
 	"repro/internal/compact"
 	"repro/internal/core"
-	"repro/internal/correct"
 	"repro/internal/drc"
 	"repro/internal/graph"
 	"repro/internal/layout"
@@ -63,82 +69,67 @@ func RunTable1Row(d bench.Design, rules layout.Rules) (Table1Row, error) {
 // designs to suppress scheduler noise.
 func Table1RowFor(l *layout.Layout, rules layout.Rules) (Table1Row, error) {
 	row := Table1Row{Design: l.Name, Polygons: len(l.Features)}
+	ctx := context.Background()
 	reps := 5
 	if len(l.Features) > 50000 {
 		reps = 1
 	}
 
+	engGen := aapsm.NewEngine(aapsm.WithRules(rules),
+		aapsm.WithTJoinMethod(aapsm.GeneralizedGadgets))
+	engOpt := aapsm.NewEngine(aapsm.WithRules(rules),
+		aapsm.WithTJoinMethod(aapsm.OptimizedGadgets))
+	engFG := aapsm.NewEngine(aapsm.WithRules(rules), aapsm.WithGraph(aapsm.FG))
+
 	// PCG + generalized gadgets (the proposed flow).
-	cgP, err := core.BuildGraph(l, rules, core.PCG)
+	resG, err := engGen.Detect(ctx, l)
 	if err != nil {
 		return row, err
 	}
-	row.Nodes, row.Edges = cgP.Nodes(), cgP.Edges()
-	detG, err := core.Detect(cgP, core.Options{
-		TJoin: tjoin.Options{Method: tjoin.MethodGeneralizedGadget},
-	})
-	if err != nil {
-		return row, err
-	}
-	row.PCG = len(detG.FinalConflicts)
-	row.NP = len(detG.BipartizationEdges)
-	row.CrossingsPCG = detG.Stats.CrossingPairs
-	row.GGadgetTime = detG.Stats.MatchTime
-	row.GGadgetNodes = detG.Stats.GadgetNodes
+	row.Nodes, row.Edges = resG.Graph.Nodes(), resG.Graph.Edges()
+	row.PCG = len(resG.Conflicts())
+	row.NP = len(resG.Detection.BipartizationEdges)
+	row.CrossingsPCG = resG.Detection.Stats.CrossingPairs
+	row.GGadgetTime = resG.Detection.Stats.MatchTime
+	row.GGadgetNodes = resG.Detection.Stats.GadgetNodes
 
 	// PCG + optimized gadgets: same conflicts, different runtime.
-	cgO, err := core.BuildGraph(l, rules, core.PCG)
+	resO, err := engOpt.Detect(ctx, l)
 	if err != nil {
 		return row, err
 	}
-	detO, err := core.Detect(cgO, core.Options{
-		TJoin: tjoin.Options{Method: tjoin.MethodOptimizedGadget},
-	})
-	if err != nil {
-		return row, err
-	}
-	row.OGadgetTime = detO.Stats.MatchTime
-	row.OGadgetNodes = detO.Stats.GadgetNodes
+	row.OGadgetTime = resO.Detection.Stats.MatchTime
+	row.OGadgetNodes = resO.Detection.Stats.GadgetNodes
 
+	// A fresh session per repetition re-runs the full flow (memoization is
+	// per session, not per engine), keeping the minimum matching time.
 	for i := 1; i < reps; i++ {
-		cg1, err := core.BuildGraph(l, rules, core.PCG)
+		r1, err := engGen.Detect(ctx, l)
 		if err != nil {
 			return row, err
 		}
-		d1, err := core.Detect(cg1, core.Options{TJoin: tjoin.Options{Method: tjoin.MethodGeneralizedGadget}})
+		if t := r1.Detection.Stats.MatchTime; t < row.GGadgetTime {
+			row.GGadgetTime = t
+		}
+		r2, err := engOpt.Detect(ctx, l)
 		if err != nil {
 			return row, err
 		}
-		if d1.Stats.MatchTime < row.GGadgetTime {
-			row.GGadgetTime = d1.Stats.MatchTime
-		}
-		cg2, err := core.BuildGraph(l, rules, core.PCG)
-		if err != nil {
-			return row, err
-		}
-		d2, err := core.Detect(cg2, core.Options{TJoin: tjoin.Options{Method: tjoin.MethodOptimizedGadget}})
-		if err != nil {
-			return row, err
-		}
-		if d2.Stats.MatchTime < row.OGadgetTime {
-			row.OGadgetTime = d2.Stats.MatchTime
+		if t := r2.Detection.Stats.MatchTime; t < row.OGadgetTime {
+			row.OGadgetTime = t
 		}
 	}
 
 	// Feature graph baseline.
-	cgF, err := core.BuildGraph(l, rules, core.FG)
+	resF, err := engFG.Detect(ctx, l)
 	if err != nil {
 		return row, err
 	}
-	detF, err := core.Detect(cgF, core.Options{})
-	if err != nil {
-		return row, err
-	}
-	row.FG = len(detF.FinalConflicts)
-	row.CrossingsFG = detF.Stats.CrossingPairs
+	row.FG = len(resF.Conflicts())
+	row.CrossingsFG = resF.Detection.Stats.CrossingPairs
 
-	// Greedy bipartization baseline.
-	row.GB = len(core.GreedyDetect(cgP).FinalConflicts)
+	// Greedy bipartization baseline, reusing the PCG already built above.
+	row.GB = len(core.GreedyDetect(resG.Graph).FinalConflicts)
 	return row, nil
 }
 
@@ -187,27 +178,24 @@ func RunTable2Row(d bench.Design, rules layout.Rules) (Table2Row, error) {
 // Table2RowFor executes the Table 2 measurement on an arbitrary layout.
 func Table2RowFor(l *layout.Layout, rules layout.Rules) (Table2Row, error) {
 	row := Table2Row{Design: l.Name, AreaUm2: float64(l.Area()) / 1e6}
-	cg, err := core.BuildGraph(l, rules, core.PCG)
+	ctx := context.Background()
+	s := aapsm.NewEngine(aapsm.WithRules(rules)).NewSession(l)
+	res, err := s.Detect(ctx)
 	if err != nil {
 		return row, err
 	}
-	det, err := core.Detect(cg, core.Options{})
+	row.Conflicts = len(res.Conflicts())
+	cor, err := s.Correction(ctx) // reuses the session's detection
 	if err != nil {
 		return row, err
 	}
-	row.Conflicts = len(det.FinalConflicts)
-	plan, err := correct.BuildPlan(l, rules, cg.Set, det.FinalConflicts)
-	if err != nil {
-		return row, err
-	}
-	mod := correct.Apply(l, plan)
-	st := correct.Summarize(l, plan, mod)
+	st := cor.Stats
 	row.GridLines = st.Cuts
 	row.MaxPerLine = st.MaxPerLine
 	row.Unfixable = st.Unfixable
 	row.AreaIncrease = st.AreaIncrease
-	row.DRCClean = drc.Clean(mod, rules)
-	ok, err := core.IsPhaseAssignable(mod, rules)
+	row.DRCClean = drc.Clean(cor.Layout, rules)
+	ok, err := aapsm.Assignable(cor.Layout, rules)
 	if err != nil {
 		return row, err
 	}
@@ -236,7 +224,9 @@ type Figure2Stats struct {
 	FGBends                          int
 }
 
-// RunFigure2 computes the graph-comparison statistics.
+// RunFigure2 computes the graph-comparison statistics. It needs raw drawing
+// crossings before planarization, so it builds the graphs via internal/core
+// rather than running full sessions.
 func RunFigure2(rules layout.Rules) (Figure2Stats, error) {
 	l := bench.Figure2Layout()
 	var st Figure2Stats
@@ -309,24 +299,21 @@ type CorrectionComparison struct {
 func RunCorrectionComparison(d bench.Design, rules layout.Rules) (CorrectionComparison, error) {
 	l := bench.Generate(d.Name, d.Params)
 	out := CorrectionComparison{Design: d.Name}
-	cg, err := core.BuildGraph(l, rules, core.PCG)
+	ctx := context.Background()
+	s := aapsm.NewEngine(aapsm.WithRules(rules)).NewSession(l)
+	res, err := s.Detect(ctx)
 	if err != nil {
 		return out, err
 	}
-	det, err := core.Detect(cg, core.Options{})
-	if err != nil {
-		return out, err
-	}
-	out.Conflicts = len(det.FinalConflicts)
+	out.Conflicts = len(res.Conflicts())
 
-	plan, err := correct.BuildPlan(l, rules, cg.Set, det.FinalConflicts)
+	cor, err := s.Correction(ctx)
 	if err != nil {
 		return out, err
 	}
-	mod := correct.Apply(l, plan)
-	out.EndToEndAreaPct = correct.Summarize(l, plan, mod).AreaIncrease
+	out.EndToEndAreaPct = cor.Stats.AreaIncrease
 
-	reqs, _ := compact.RequirementsFromConflicts(l, rules, cg.Set, det.FinalConflicts)
+	reqs, _ := compact.RequirementsFromConflicts(l, rules, res.Graph.Set, res.Detection.FinalConflicts)
 	cres, err := compact.Expand(l, rules, reqs)
 	if err != nil {
 		return out, err

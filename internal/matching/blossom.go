@@ -12,6 +12,7 @@
 package matching
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -38,6 +39,13 @@ type WeightedEdge struct {
 // total weight. Weights may be any non-negative int64 small enough that
 // n*maxWeight does not overflow.
 func MinWeightPerfectMatching(n int, edges []WeightedEdge) (mate []int, total int64, err error) {
+	return MinWeightPerfectMatchingCtx(context.Background(), n, edges)
+}
+
+// MinWeightPerfectMatchingCtx is MinWeightPerfectMatching with cooperative
+// cancellation: the solver polls ctx between primal-dual rounds (the O(V³)
+// hot loop) and aborts with ctx.Err() once it is done.
+func MinWeightPerfectMatchingCtx(ctx context.Context, n int, edges []WeightedEdge) (mate []int, total int64, err error) {
 	if n == 0 {
 		return nil, 0, nil
 	}
@@ -63,6 +71,9 @@ func MinWeightPerfectMatching(n int, edges []WeightedEdge) (mate []int, total in
 	// (0 marks "no edge" internally).
 	c := maxW*int64(n/2) + 1
 	b := newBlossom(n)
+	if ctx != nil && ctx.Done() != nil {
+		b.ctx = ctx
+	}
 	present := 0
 	for _, e := range edges {
 		if e.U == e.V {
@@ -80,6 +91,9 @@ func MinWeightPerfectMatching(n int, edges []WeightedEdge) (mate []int, total in
 		return nil, 0, ErrNoPerfectMatching
 	}
 	pairs := b.solve()
+	if b.err != nil {
+		return nil, 0, b.err
+	}
 	if pairs != n/2 {
 		return nil, 0, ErrNoPerfectMatching
 	}
@@ -117,6 +131,26 @@ type blossom struct {
 	vis        []int
 	visT       int
 	q          []int
+
+	ctx context.Context // nil = not cancellable
+	err error           // sticky ctx.Err() once cancelled
+}
+
+// cancelled polls the context (when one is set) and latches its error.
+func (b *blossom) cancelled() bool {
+	if b.err != nil {
+		return true
+	}
+	if b.ctx == nil {
+		return false
+	}
+	select {
+	case <-b.ctx.Done():
+		b.err = b.ctx.Err()
+		return true
+	default:
+		return false
+	}
 }
 
 func newBlossom(n int) *blossom {
@@ -404,6 +438,9 @@ func (b *blossom) matchingPhase() bool {
 		return false
 	}
 	for {
+		if b.cancelled() {
+			return false
+		}
 		for len(b.q) > 0 {
 			u := b.q[0]
 			b.q = b.q[1:]
@@ -494,7 +531,7 @@ func (b *blossom) solve() int {
 		b.lab[u] = wMax / 2
 	}
 	pairs := 0
-	for b.matchingPhase() {
+	for !b.cancelled() && b.matchingPhase() {
 		pairs++
 	}
 	return pairs

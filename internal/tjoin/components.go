@@ -1,6 +1,7 @@
 package tjoin
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
@@ -45,6 +46,13 @@ func (o Options) groupCap() int {
 // graphs of real layouts consist of many local components). Gadget
 // statistics are accumulated across components.
 func Solve(g *graph.Graph, T []int, opt Options) (Result, error) {
+	return SolveContext(context.Background(), g, T, opt)
+}
+
+// SolveContext is Solve with cooperative cancellation: it polls ctx between
+// components and threads it into the matching solver's primal-dual rounds,
+// returning ctx.Err() promptly once the context is done.
+func SolveContext(ctx context.Context, g *graph.Graph, T []int, opt Options) (Result, error) {
 	comp, nc := g.Components()
 	tByComp := make([][]int, nc)
 	for _, t := range T {
@@ -58,6 +66,9 @@ func Solve(g *graph.Graph, T []int, opt Options) (Result, error) {
 		if len(tByComp[c]) == 0 {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		sub, nodeOf, edgeOf := inducedComponent(g, comp, c)
 		subT := make([]int, len(tByComp[c]))
 		for i, t := range tByComp[c] {
@@ -69,9 +80,9 @@ func Solve(g *graph.Graph, T []int, opt Options) (Result, error) {
 			err error
 		)
 		if opt.Method == MethodLawler {
-			r, err = SolveLawler(sub, subT)
+			r, err = solveLawler(ctx, sub, subT)
 		} else {
-			r, err = SolveGadget(sub, subT, opt.groupCap())
+			r, err = solveGadget(ctx, sub, subT, opt.groupCap())
 		}
 		if err != nil {
 			return Result{}, err

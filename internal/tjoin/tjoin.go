@@ -21,6 +21,7 @@ package tjoin
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -112,6 +113,10 @@ func CheckJoin(g *graph.Graph, T []int, edges []int) error {
 // by divide-node pairs. Matching a port-pair edge puts the corresponding
 // graph edge into the join.
 func SolveGadget(g *graph.Graph, T []int, groupCap int) (Result, error) {
+	return solveGadget(context.Background(), g, T, groupCap)
+}
+
+func solveGadget(ctx context.Context, g *graph.Graph, T []int, groupCap int) (Result, error) {
 	if groupCap < 1 {
 		return Result{}, fmt.Errorf("tjoin: groupCap %d < 1", groupCap)
 	}
@@ -200,7 +205,7 @@ func SolveGadget(g *graph.Graph, T []int, groupCap int) (Result, error) {
 	if nodes == 0 {
 		return res, nil
 	}
-	mate, _, err := matching.MinWeightPerfectMatching(nodes, medges)
+	mate, _, err := matching.MinWeightPerfectMatchingCtx(ctx, nodes, medges)
 	if err != nil {
 		if errors.Is(err, matching.ErrNoPerfectMatching) {
 			return Result{}, ErrNoTJoin
@@ -221,6 +226,10 @@ func SolveGadget(g *graph.Graph, T []int, groupCap int) (Result, error) {
 // over T, find its minimum-weight perfect matching, and take the symmetric
 // difference of the matched shortest paths.
 func SolveLawler(g *graph.Graph, T []int) (Result, error) {
+	return solveLawler(context.Background(), g, T)
+}
+
+func solveLawler(ctx context.Context, g *graph.Graph, T []int) (Result, error) {
 	if err := validate(g, T); err != nil {
 		return Result{}, err
 	}
@@ -231,6 +240,9 @@ func SolveLawler(g *graph.Graph, T []int) (Result, error) {
 	dist := make([][]int64, len(T))
 	via := make([][]int, len(T)) // predecessor edge index per node
 	for i, t := range T {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		dist[i], via[i] = dijkstra(g, t)
 	}
 	var medges []matching.WeightedEdge
@@ -243,7 +255,7 @@ func SolveLawler(g *graph.Graph, T []int) (Result, error) {
 			medges = append(medges, matching.WeightedEdge{U: i, V: j, Weight: d})
 		}
 	}
-	mate, _, err := matching.MinWeightPerfectMatching(len(T), medges)
+	mate, _, err := matching.MinWeightPerfectMatchingCtx(ctx, len(T), medges)
 	if err != nil {
 		if errors.Is(err, matching.ErrNoPerfectMatching) {
 			return Result{}, ErrNoTJoin

@@ -1,0 +1,284 @@
+package aapsm
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/correct"
+	"repro/internal/drc"
+	"repro/internal/mask"
+	"repro/internal/tshape"
+)
+
+// Session drives the paper's pipeline on one layout. Each stage — Detect,
+// Assignment, Correction, Mask, DRC — is computed at most once and memoized;
+// later stages transparently reuse earlier results, so
+//
+//	s := eng.NewSession(l)
+//	a, _ := s.Assignment(ctx)   // runs detection once
+//	c, _ := s.Correction(ctx)   // reuses the detection
+//	m, _ := s.Mask(ctx)         // reuses detection and assignment
+//
+// builds the conflict graph exactly once. A Session is safe for concurrent
+// use: stage computation is serialized internally and concurrent callers of
+// a computed stage share the memoized value. Stage methods honor ctx
+// cancellation down to the matching solver's inner loop; a cancelled attempt
+// is NOT memoized, so the stage can be retried with a live context.
+//
+// The input layout must not be mutated while the session is in use.
+type Session struct {
+	engine *Engine
+	layout *Layout
+
+	mu         sync.Mutex
+	detectRuns int
+
+	detect     stage[*Result]
+	assignment stage[*Assignment]
+	correction stage[*Correction]
+	maskView   stage[*Layout]
+	drcResult  stage[[]DRCViolation]
+	junctions  stage[[]Junction]
+}
+
+// stage memoizes one pipeline step: its value, or its first non-context
+// error.
+type stage[T any] struct {
+	done bool
+	val  T
+	err  error
+}
+
+// memoLocked returns the cached stage value or computes it with f. The
+// session mutex must be held. Context errors are returned but not cached.
+func memoLocked[T any](s *Session, st *stage[T], ctx context.Context, fs FlowStage, f func(context.Context) (T, error)) (T, error) {
+	if st.done {
+		return st.val, st.err
+	}
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, flowErr(fs, s.layout.Name, err)
+	}
+	v, err := f(ctx)
+	if err != nil {
+		err = flowErr(fs, s.layout.Name, err)
+		if isContextErr(err) {
+			return zero, err // retryable: do not poison the session
+		}
+		st.done, st.err = true, err
+		return zero, err
+	}
+	st.done, st.val = true, v
+	return v, nil
+}
+
+// Engine returns the engine this session was created by.
+func (s *Session) Engine() *Engine { return s.engine }
+
+// Layout returns the session's input layout.
+func (s *Session) Layout() *Layout { return s.layout }
+
+// SessionStats reports how much pipeline work a session has actually done.
+type SessionStats struct {
+	// DetectRuns counts how many times the conflict graph was built and the
+	// detection flow executed. Memoization keeps this at most 1.
+	DetectRuns int
+}
+
+// Stats returns the session's work counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStats{DetectRuns: s.detectRuns}
+}
+
+// Detect synthesizes shifters, builds the conflict graph and runs the full
+// detection flow of the paper's §3. The result is memoized; concurrent and
+// repeated calls share one computation.
+func (s *Session) Detect(ctx context.Context) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.detectLocked(ctx)
+}
+
+func (s *Session) detectLocked(ctx context.Context) (*Result, error) {
+	return memoLocked(s, &s.detect, ctx, StageDetect, func(ctx context.Context) (*Result, error) {
+		s.detectRuns++
+		cg, err := core.BuildGraph(s.layout, s.engine.rules, s.engine.opts.Graph)
+		if err != nil {
+			return nil, err
+		}
+		det, err := core.DetectContext(ctx, cg, s.engine.opts.coreOptions())
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Graph: cg, Detection: det}, nil
+	})
+}
+
+// RequireAssignable runs detection (or reuses it) and returns a typed
+// ErrNotAssignable *FlowError when the layout needs repairs, nil when it is
+// phase-assignable as drawn.
+func (s *Session) RequireAssignable(ctx context.Context) error {
+	res, err := s.Detect(ctx)
+	if err != nil {
+		return err
+	}
+	if !res.Assignable() {
+		return flowErr(StageDetect, s.layout.Name,
+			fmt.Errorf("%w: %d conflicts detected", ErrNotAssignable, len(res.Conflicts())))
+	}
+	return nil
+}
+
+// Assignment extracts 0°/180° shifter phases from the (memoized) detection
+// result, waiving detected conflicts pending correction, and verifies the
+// assignment against all non-waived constraints.
+func (s *Session) Assignment(ctx context.Context) (*Assignment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.assignmentLocked(ctx)
+}
+
+func (s *Session) assignmentLocked(ctx context.Context) (*Assignment, error) {
+	return memoLocked(s, &s.assignment, ctx, StageAssign, func(ctx context.Context) (*Assignment, error) {
+		res, err := s.detectLocked(ctx)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.AssignPhases(res.Detection)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNotAssignable, err)
+		}
+		if v := a.Verify(res.Graph); len(v) != 0 {
+			return nil, fmt.Errorf("assignment verification failed: %v", v[0])
+		}
+		return a, nil
+	})
+}
+
+// Correction plans and applies end-to-end spaces fixing every correctable
+// conflict found by the (memoized) detection. The session's input layout is
+// not modified; the corrected copy is in Correction.Layout. Conflicts that
+// spacing cannot fix are listed in Correction.Plan.Unfixable — use
+// CorrectedLayout to turn that into a typed error.
+func (s *Session) Correction(ctx context.Context) (*Correction, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.correctionLocked(ctx)
+}
+
+func (s *Session) correctionLocked(ctx context.Context) (*Correction, error) {
+	return memoLocked(s, &s.correction, ctx, StageCorrect, func(ctx context.Context) (*Correction, error) {
+		res, err := s.detectLocked(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return buildCorrection(s.layout, s.engine.rules, res)
+	})
+}
+
+// CorrectedLayout returns the fully corrected, phase-assignable layout. It
+// fails with a *FlowError wrapping ErrUnfixable when some conflicts cannot
+// be fixed by end-to-end spacing alone (route those to widening or mask
+// splitting via PlanWidening).
+func (s *Session) CorrectedLayout(ctx context.Context) (*Layout, error) {
+	cor, err := s.Correction(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(cor.Plan.Unfixable); n != 0 {
+		return nil, flowErr(StageCorrect, s.layout.Name,
+			fmt.Errorf("%w: %d conflicts remain", ErrUnfixable, n))
+	}
+	return cor.Layout, nil
+}
+
+// Mask validates and builds the multi-layer manufacturing view (chrome +
+// 0°/180° aperture layers) from the memoized detection and assignment; the
+// result is suitable for WriteGDS. Validation problems surface as a
+// *FlowError wrapping ErrMaskInconsistent.
+func (s *Session) Mask(ctx context.Context) (*Layout, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return memoLocked(s, &s.maskView, ctx, StageMask, func(ctx context.Context) (*Layout, error) {
+		res, err := s.detectLocked(ctx)
+		if err != nil {
+			return nil, err
+		}
+		a, err := s.assignmentLocked(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if p := mask.Validate(s.layout, res.Graph.Set, a.Phases, a.Waived, s.engine.rules); len(p) != 0 {
+			return nil, fmt.Errorf("%w: %s", ErrMaskInconsistent, p[0])
+		}
+		return mask.Build(s.layout, res.Graph.Set, a.Phases)
+	})
+}
+
+// DRC runs the design-rule checks on the session's input layout (memoized).
+func (s *Session) DRC() []DRCViolation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.drcResult.done {
+		s.drcResult.val = drc.Check(s.layout, s.engine.rules)
+		s.drcResult.done = true
+	}
+	return s.drcResult.val
+}
+
+// Junctions locates all touching-feature junctions in the layout (memoized).
+func (s *Session) Junctions() []Junction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.junctions.done {
+		s.junctions.val = tshape.Find(s.layout)
+		s.junctions.done = true
+	}
+	return s.junctions.val
+}
+
+// RenderSVG draws the layout with the session's detection and assignment
+// overlays (computing them if needed, reusing them otherwise). If the
+// correction stage has already run, its cut lines are drawn too. The output
+// itself is not memoized: every call writes a fresh document to w.
+func (s *Session) RenderSVG(ctx context.Context, w io.Writer) error {
+	// Compute (or fetch) the overlays under the session lock, but write
+	// outside it: stage results are immutable once memoized, and a slow w
+	// must not block other goroutines' stage calls.
+	s.mu.Lock()
+	res, err := s.detectLocked(ctx)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	a, err := s.assignmentLocked(ctx)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	opt := RenderOptions{Result: res, Assignment: a}
+	if s.correction.done && s.correction.err == nil {
+		opt.Plan = s.correction.val.Plan
+	}
+	s.mu.Unlock()
+	if err := RenderSVG(w, s.layout, opt); err != nil {
+		return flowErr(StageRender, s.layout.Name, err)
+	}
+	return nil
+}
+
+// buildCorrection is the shared correction step used by Session.Correction
+// and the deprecated top-level Correct.
+func buildCorrection(l *Layout, rules Rules, r *Result) (*Correction, error) {
+	plan, err := correct.BuildPlan(l, rules, r.Graph.Set, r.Detection.FinalConflicts)
+	if err != nil {
+		return nil, err
+	}
+	mod := correct.Apply(l, plan)
+	return &Correction{Plan: plan, Layout: mod, Stats: correct.Summarize(l, plan, mod)}, nil
+}
