@@ -22,6 +22,7 @@ package aapsm_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -298,6 +299,37 @@ func BenchmarkGreedyBaseline_d3(b *testing.B) {
 		if len(conf) == 0 {
 			b.Fatal("expected conflicts")
 		}
+	}
+}
+
+// --- component-sharded parallel detection ---
+
+// BenchmarkDetectParallel times the sharded detection flow on the largest
+// benchmark design the harness runs (d4) at several worker counts. The
+// conflict graph is built once outside the timer; each iteration runs the
+// full planarize → bipartize → recheck flow. Results are bit-identical
+// across worker counts (asserted by the core equivalence tests).
+func BenchmarkDetectParallel(b *testing.B) {
+	l := suiteLayout(b, 3)
+	cg, err := core.BuildGraph(l, benchRules(), core.PCG)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cg.Drawing.G.Adj(0) // prebuild adjacency outside the timers
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var shards int
+			for i := 0; i < b.N; i++ {
+				det, err := core.Detect(cg, core.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				shards = det.Stats.Shards
+			}
+			b.ReportMetric(float64(shards), "shards")
+		})
 	}
 }
 

@@ -5,32 +5,48 @@
 //	benchtab -table 2 -n 5      # Table 2: layout modification results
 //	benchtab -fig 2             # Figure 2: PCG vs FG graph statistics
 //	benchtab -fig 3             # Figures 3/4: gadget construction sizes
+//	benchtab -json BENCH_detect.json -n 5 -workers 4
+//	                            # machine-readable detection perf trajectory
 //
 // -n limits the number of suite designs (d1..dN); the full d8 run covers
 // ~160K polygons and takes a few minutes.
+//
+// The -json mode runs the sharded detection flow on each design and writes
+// graph sizes, per-stage nanoseconds and allocation counts to the given
+// file (see README "Performance" for the schema), so successive PRs leave a
+// comparable perf trajectory in the repository.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	aapsm "repro"
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		table = flag.Int("table", 0, "paper table to regenerate (1 or 2)")
-		fig   = flag.Int("fig", 0, "paper figure to regenerate (2, 3/4)")
-		n     = flag.Int("n", 5, "number of suite designs to run (1..8)")
+		table    = flag.Int("table", 0, "paper table to regenerate (1 or 2)")
+		fig      = flag.Int("fig", 0, "paper figure to regenerate (2, 3/4)")
+		n        = flag.Int("n", 5, "number of suite designs to run (1..8)")
+		jsonPath = flag.String("json", "", "write the detection perf trajectory to this file (e.g. BENCH_detect.json)")
+		workers  = flag.Int("workers", 0, "detection worker count for -json (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	rules := aapsm.Default90nmRules()
 	suite := bench.SmallSuite(*n)
 
 	switch {
+	case *jsonPath != "":
+		check(writeDetectJSON(*jsonPath, suite, rules, *workers))
+		fmt.Printf("wrote %s (%d designs)\n", *jsonPath, len(suite))
 	case *table == 1:
 		fmt.Println("Table 1: AAPSM conflict detection (quality and matching runtime)")
 		fmt.Println(experiments.Table1Header())
@@ -93,4 +109,118 @@ func check(err error) {
 		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// detectStageNS is the per-stage wall/CPU breakdown of one detection run in
+// nanoseconds. Build is graph construction; Cross is the global geometric
+// crossing sweep; Planarize/Embed/Match/Recheck are summed across conflict
+// clusters (CPU time when workers > 1); Total is wall clock for the flow
+// (excluding Build).
+type detectStageNS struct {
+	Build     int64 `json:"build"`
+	Cross     int64 `json:"cross"`
+	Planarize int64 `json:"planarize"`
+	Embed     int64 `json:"embed"`
+	Match     int64 `json:"match"`
+	Recheck   int64 `json:"recheck"`
+	Total     int64 `json:"total"`
+}
+
+// detectRecord is one design's row in BENCH_detect.json.
+type detectRecord struct {
+	Name              string        `json:"name"`
+	Polygons          int           `json:"polygons"`
+	GraphNodes        int           `json:"graph_nodes"`
+	GraphEdges        int           `json:"graph_edges"`
+	CrossingPairs     int           `json:"crossing_pairs"`
+	DualNodes         int           `json:"dual_nodes"`
+	DualEdges         int           `json:"dual_edges"`
+	OddFaces          int           `json:"odd_faces"`
+	GadgetNodes       int           `json:"gadget_nodes"`
+	GadgetEdges       int           `json:"gadget_edges"`
+	Shards            int           `json:"shards"`
+	LargestShardEdges int           `json:"largest_shard_edges"`
+	Bipartization     int           `json:"bipartization_edges"`
+	Conflicts         int           `json:"conflicts"`
+	StageNS           detectStageNS `json:"stage_ns"`
+	Allocs            uint64        `json:"allocs"`
+	AllocBytes        uint64        `json:"alloc_bytes"`
+}
+
+// detectTrajectory is the top-level BENCH_detect.json document.
+type detectTrajectory struct {
+	Schema      string         `json:"schema"`
+	GeneratedAt string         `json:"generated_at"`
+	GoMaxProcs  int            `json:"go_max_procs"`
+	Workers     int            `json:"workers"`
+	Designs     []detectRecord `json:"designs"`
+}
+
+func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	doc := detectTrajectory{
+		Schema:      "aapsm/bench_detect/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+	}
+	for _, d := range suite {
+		l := bench.Generate(d.Name, d.Params)
+
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+
+		tBuild := time.Now()
+		cg, err := core.BuildGraph(l, rules, core.PCG)
+		if err != nil {
+			return fmt.Errorf("%s: %v", d.Name, err)
+		}
+		buildNS := time.Since(tBuild).Nanoseconds()
+		det, err := core.Detect(cg, core.Options{Workers: workers})
+		if err != nil {
+			return fmt.Errorf("%s: %v", d.Name, err)
+		}
+		runtime.ReadMemStats(&after)
+
+		s := det.Stats
+		doc.Designs = append(doc.Designs, detectRecord{
+			Name:              d.Name,
+			Polygons:          len(l.Features),
+			GraphNodes:        s.GraphNodes,
+			GraphEdges:        s.GraphEdges,
+			CrossingPairs:     s.CrossingPairs,
+			DualNodes:         s.DualNodes,
+			DualEdges:         s.DualEdges,
+			OddFaces:          s.OddFaces,
+			GadgetNodes:       s.GadgetNodes,
+			GadgetEdges:       s.GadgetEdges,
+			Shards:            s.Shards,
+			LargestShardEdges: s.LargestShardEdges,
+			Bipartization:     len(det.BipartizationEdges),
+			Conflicts:         len(det.FinalConflicts),
+			StageNS: detectStageNS{
+				Build:     buildNS,
+				Cross:     s.CrossTime.Nanoseconds(),
+				Planarize: s.PlanarTime.Nanoseconds(),
+				Embed:     s.EmbedTime.Nanoseconds(),
+				Match:     s.MatchTime.Nanoseconds(),
+				Recheck:   s.RecheckTime.Nanoseconds(),
+				Total:     s.TotalTime.Nanoseconds(),
+			},
+			Allocs:     after.Mallocs - before.Mallocs,
+			AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		})
+		fmt.Printf("%-4s %7d polygons %8d edges %5d shards  total %8.2fms  match %8.2fms\n",
+			d.Name, len(l.Features), s.GraphEdges, s.Shards,
+			float64(s.TotalTime.Nanoseconds())/1e6, float64(s.MatchTime.Nanoseconds())/1e6)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
 }

@@ -53,8 +53,12 @@ func WithImprovedRecheck(on bool) EngineOption {
 	return func(e *Engine) { e.opts.ImprovedRecheck = on }
 }
 
-// WithParallelism bounds the worker pool used by DetectBatch (n <= 0 means
-// runtime.GOMAXPROCS(0), the default).
+// WithParallelism bounds the engine's worker pools (n <= 0 means
+// runtime.GOMAXPROCS(0), the default). The bound applies independently at
+// two levels: DetectBatch runs up to n layouts concurrently, and within one
+// detection up to n conflict clusters of the layout are processed
+// concurrently (detection shards the flow by cluster; results are
+// bit-identical for any n).
 func WithParallelism(n int) EngineOption {
 	return func(e *Engine) { e.workers = n }
 }
@@ -98,6 +102,10 @@ func (e *Engine) Detect(ctx context.Context, l *Layout) (*Result, error) {
 // failure the remaining work is cancelled and the first causal error is
 // returned (a *FlowError naming the failing layout); results computed before
 // the failure are still present in the returned slice.
+//
+// The worker budget is shared, not compounded: each batch-invoked detection
+// gets Parallelism()/batchWidth shard workers (at least 1), so the total
+// concurrency stays near Parallelism() instead of squaring it.
 func (e *Engine) DetectBatch(ctx context.Context, layouts []*Layout) ([]*Result, error) {
 	if len(layouts) == 0 {
 		return nil, nil
@@ -113,12 +121,18 @@ func (e *Engine) DetectBatch(ctx context.Context, layouts []*Layout) ([]*Result,
 	if workers > len(layouts) {
 		workers = len(layouts)
 	}
+	inner := e.workers / workers
+	if inner < 1 {
+		inner = 1
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				r, err := e.Detect(ctx, layouts[i])
+				s := e.NewSession(layouts[i])
+				s.detectWorkers = inner
+				r, err := s.Detect(ctx)
 				if err != nil {
 					errs[i] = err
 					cancel() // stop the rest of the batch promptly

@@ -257,3 +257,36 @@ func TestEngineOptionAccessors(t *testing.T) {
 			len(legacy.Conflicts()), len(viaEngine.Conflicts()))
 	}
 }
+
+// TestParallelismEquivalence: the engine's worker bound also drives the
+// per-cluster detection pool; any setting must produce identical results.
+func TestParallelismEquivalence(t *testing.T) {
+	ctx := context.Background()
+	l := GenerateBenchmark("par", DefaultBenchmarkParams(97, 3, 60))
+	ref, err := NewEngine(WithParallelism(1)).Detect(ctx, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 8} {
+		res, err := NewEngine(WithParallelism(n)).Detect(ctx, l)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", n, err)
+		}
+		if len(res.Conflicts()) != len(ref.Conflicts()) {
+			t.Fatalf("parallelism %d: %d conflicts, want %d",
+				n, len(res.Conflicts()), len(ref.Conflicts()))
+		}
+		for i, c := range res.Conflicts() {
+			if c.Edge != ref.Conflicts()[i].Edge {
+				t.Fatalf("parallelism %d: conflict %d edge %d != %d",
+					n, i, c.Edge, ref.Conflicts()[i].Edge)
+			}
+		}
+		if res.Detection.Stats.Shards != ref.Detection.Stats.Shards {
+			t.Fatalf("parallelism %d: shard count differs", n)
+		}
+	}
+	if ref.Detection.Stats.Shards < 2 {
+		t.Fatalf("expected multiple conflict clusters, got %d", ref.Detection.Stats.Shards)
+	}
+}

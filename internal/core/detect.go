@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -25,21 +27,27 @@ type Conflict struct {
 type Detection struct {
 	Graph *ConflictGraph
 	// CrossingsRemoved (the paper's potential set P): edges deleted so that
-	// the drawing becomes an embedded planar graph (flow step 1b).
+	// the drawing becomes an embedded planar graph (flow step 1b). Ordered
+	// by conflict cluster, then by removal order within the cluster — a
+	// deterministic order independent of the worker count.
 	CrossingsRemoved []int
 	// BipartizationEdges: the minimal deletion set found by the optimal
-	// bipartization of the planarized graph (flow step 2). Its size is
-	// Table 1's "NP" count when run on the PCG.
+	// bipartization of the planarized graph (flow step 2), ascending. Its
+	// size is Table 1's "NP" count when run on the PCG.
 	BipartizationEdges []int
 	// FinalConflicts: bipartization edges plus those members of P that
-	// still violate the two-coloring (flow step 3). Its size is Table 1's
-	// PCG/FG count.
+	// still violate the two-coloring (flow step 3), ascending by edge. Its
+	// size is Table 1's PCG/FG count.
 	FinalConflicts []Conflict
 	// Stats for the benchmark tables.
 	Stats Stats
 }
 
-// Stats collects the size and runtime figures reported in Table 1.
+// Stats collects the size and runtime figures reported in Table 1, plus the
+// per-stage breakdown recorded by cmd/benchtab -json. Detection runs
+// sharded by conflict cluster: the per-stage durations (PlanarTime,
+// EmbedTime, MatchTime, RecheckTime) are summed across shards — CPU time,
+// not wall clock, when Options.Workers > 1.
 type Stats struct {
 	GraphNodes    int
 	GraphEdges    int
@@ -49,8 +57,18 @@ type Stats struct {
 	OddFaces      int
 	GadgetNodes   int
 	GadgetEdges   int
-	MatchTime     time.Duration
-	TotalTime     time.Duration
+	// Shards is the number of conflict clusters detected independently
+	// (clusters with at least one edge).
+	Shards int
+	// LargestShardEdges is the edge count of the largest cluster — the
+	// wall-clock bound of the parallel flow.
+	LargestShardEdges int
+	CrossTime         time.Duration // global geometric crossing sweep
+	PlanarTime        time.Duration // greedy crossing removal
+	EmbedTime         time.Duration // face tracing + dual construction
+	MatchTime         time.Duration // dual T-join via matching
+	RecheckTime       time.Duration // flow step 3
+	TotalTime         time.Duration
 }
 
 // RecheckMode selects how flow step 3 decides which planarization-removed
@@ -77,6 +95,10 @@ type Options struct {
 	TJoin tjoin.Options
 	// Recheck selects the flow step 3 strategy.
 	Recheck RecheckMode
+	// Workers bounds the worker pool that detects conflict clusters in
+	// parallel (<= 1 means sequential). The result is bit-identical for
+	// any worker count: shards are deterministic and merged in shard order.
+	Workers int
 }
 
 // Detect runs the complete flow of §3 on a prebuilt conflict graph:
@@ -86,12 +108,19 @@ type Options struct {
 //     T-join, solved by gadget reduction to minimum-weight perfect matching;
 //  3. re-check P against a two-coloring and add violators to the final
 //     conflict set.
+//
+// The flow is sharded by conflict cluster — the connected components of the
+// union of graph connectivity and the drawing's edge-crossing relation.
+// Standard-cell layouts decompose into many small clusters; since both
+// planarization and the matching solve are superlinear, k clusters of size
+// n/k beat one monolithic solve of size n even sequentially, and clusters
+// are independent so Options.Workers of them run concurrently.
 func Detect(cg *ConflictGraph, opt Options) (*Detection, error) {
 	return DetectContext(context.Background(), cg, opt)
 }
 
 // DetectContext is Detect with cooperative cancellation: ctx is polled
-// between the flow steps and threaded into the T-join matching solver's hot
+// between flow steps and threaded into every shard's T-join matching hot
 // loop, so a cancelled detection returns ctx.Err() promptly instead of
 // finishing a potentially large matching instance.
 func DetectContext(ctx context.Context, cg *ConflictGraph, opt Options) (*Detection, error) {
@@ -104,48 +133,324 @@ func DetectContext(ctx context.Context, cg *ConflictGraph, opt Options) (*Detect
 		return nil, err
 	}
 
-	// Step 1b: planar embedding by greedy crossing removal.
+	// Step 1a: one global geometric sweep finds all crossing pairs; the
+	// greedy removal itself happens per shard on this precomputed list.
+	tCross := time.Now()
 	crossPairs := cg.Drawing.Crossings()
+	det.Stats.CrossTime = time.Since(tCross)
 	det.Stats.CrossingPairs = len(crossPairs)
-	removed := cg.Drawing.Planarize()
-	det.CrossingsRemoved = append([]int(nil), removed...)
-	removedSet := make(map[int]bool, len(removed))
-	for _, e := range removed {
+
+	g := cg.Drawing.G
+	labels, nShards := conflictClusters(g, crossPairs)
+	shards := cg.Drawing.InducedComponents(labels, nShards)
+
+	// Distribute the crossing pairs into shard-local edge index space. A
+	// crossing pair is always intra-cluster: clusters are closed under the
+	// crossing relation by construction.
+	localEdge := make([]int32, g.M())
+	for _, sh := range shards {
+		for newE, oldE := range sh.EdgeOf {
+			localEdge[oldE] = int32(newE)
+		}
+	}
+	pairsByShard := make([][][2]int, nShards)
+	for _, p := range crossPairs {
+		c := labels[g.Edge(p[0]).U]
+		pairsByShard[c] = append(pairsByShard[c], [2]int{int(localEdge[p[0]]), int(localEdge[p[1]])})
+	}
+
+	for _, sh := range shards {
+		if m := sh.D.G.M(); m > 0 {
+			det.Stats.Shards++
+			if m > det.Stats.LargestShardEdges {
+				det.Stats.LargestShardEdges = m
+			}
+		}
+	}
+
+	// Run the per-shard flow on a bounded worker pool. Shard results are
+	// deterministic and merged in shard order, so any worker count produces
+	// the same Detection.
+	results := make([]*shardResult, nShards)
+	errs := make([]error, nShards)
+	workers := opt.Workers
+	if workers > nShards {
+		workers = nShards
+	}
+	if workers <= 1 {
+		for i, sh := range shards {
+			if sh.D.G.M() == 0 {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := detectShard(ctx, sh.D, pairsByShard[i], opt)
+			if err != nil {
+				return nil, fmt.Errorf("core: cluster %d: %w", i, err)
+			}
+			results[i] = r
+		}
+	} else {
+		pctx, cancel := context.WithCancel(ctx)
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					if err := pctx.Err(); err != nil {
+						errs[i] = err
+						continue
+					}
+					r, err := detectShard(pctx, shards[i].D, pairsByShard[i], opt)
+					if err != nil {
+						errs[i] = fmt.Errorf("core: cluster %d: %w", i, err)
+						cancel() // stop the remaining shards promptly
+						continue
+					}
+					results[i] = r
+				}
+			}()
+		}
+		for i, sh := range shards {
+			if sh.D.G.M() > 0 {
+				jobs <- i
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		cancel()
+		// Prefer a causal (non-context) error over the context errors it
+		// provoked in sibling shards; among the causal errors recorded,
+		// return the lowest shard index. (Which shards get to record a
+		// causal error before the cancellation lands is
+		// scheduling-dependent.)
+		var first error
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			if first == nil || (isCtxErr(first) && !isCtxErr(err)) {
+				first = err
+			}
+		}
+		if first != nil {
+			return nil, first
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge shard results back through the edge index maps.
+	finalSet := make(map[int]bool)
+	for i, r := range results {
+		if r == nil {
+			continue
+		}
+		edgeOf := shards[i].EdgeOf
+		for _, le := range r.removed {
+			det.CrossingsRemoved = append(det.CrossingsRemoved, edgeOf[le])
+		}
+		for _, le := range r.bipart {
+			det.BipartizationEdges = append(det.BipartizationEdges, edgeOf[le])
+		}
+		for _, le := range r.final {
+			finalSet[edgeOf[le]] = true
+		}
+		det.Stats.DualNodes += r.dualNodes
+		det.Stats.DualEdges += r.dualEdges
+		det.Stats.OddFaces += r.oddFaces
+		det.Stats.GadgetNodes += r.gadgetNodes
+		det.Stats.GadgetEdges += r.gadgetEdges
+		det.Stats.PlanarTime += r.planarTime
+		det.Stats.EmbedTime += r.embedTime
+		det.Stats.MatchTime += r.matchTime
+		det.Stats.RecheckTime += r.recheckTime
+	}
+	sort.Ints(det.BipartizationEdges)
+
+	finals := make([]int, 0, len(finalSet))
+	for e := range finalSet {
+		finals = append(finals, e)
+	}
+	sort.Ints(finals)
+	for _, ei := range finals {
+		det.FinalConflicts = append(det.FinalConflicts, conflictFor(cg, ei))
+	}
+	det.Stats.TotalTime = time.Since(start)
+
+	// Self-check: removing the final conflicts must leave a bipartite graph.
+	if _, ok := g.VerifyBipartition(finalSet); !ok {
+		return nil, fmt.Errorf("core: final conflict set does not bipartize the graph")
+	}
+	return det, nil
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// conflictClusters partitions the graph's nodes into detection shards: the
+// connected components of the union of graph adjacency and the drawing's
+// crossing relation (two crossing edges are forced into one cluster). Every
+// flow step — greedy crossing removal, dual T-join bipartization, and the
+// step-3 recheck — only couples edges within one cluster, so clusters are
+// detected independently and merged exactly.
+//
+// Isolated nodes (no incident edges) contribute nothing to detection, so
+// they are all lumped into one trailing edge-less part instead of each
+// materializing a shard drawing of their own; edge-bearing clusters keep
+// their first-appearance node order.
+func conflictClusters(g *graph.Graph, crossPairs [][2]int) ([]int, int) {
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, e := range g.Edges() {
+		union(e.U, e.V)
+	}
+	for _, p := range crossPairs {
+		union(g.Edge(p[0]).U, g.Edge(p[1]).U)
+	}
+	hasEdge := make([]bool, g.N())
+	for _, e := range g.Edges() {
+		hasEdge[find(e.U)] = true
+	}
+	labels := make([]int, g.N())
+	labelOf := make([]int, g.N())
+	for i := range labelOf {
+		labelOf[i] = -1
+	}
+	count := 0
+	isolated := false
+	for v := 0; v < g.N(); v++ {
+		r := find(v)
+		if !hasEdge[r] {
+			labels[v] = -1 // resolved to the shared trailing part below
+			isolated = true
+			continue
+		}
+		if labelOf[r] < 0 {
+			labelOf[r] = count
+			count++
+		}
+		labels[v] = labelOf[r]
+	}
+	if isolated {
+		for v := range labels {
+			if labels[v] < 0 {
+				labels[v] = count
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// shardResult is one cluster's detection outcome in shard-local edge
+// indices.
+type shardResult struct {
+	removed []int // planarization-removed edges, removal order
+	bipart  []int // optimal bipartization edges, ascending
+	final   []int // final conflict edges (bipart + flagged removed), ascending
+
+	dualNodes, dualEdges, oddFaces int
+	gadgetNodes, gadgetEdges       int
+	planarTime, embedTime          time.Duration
+	matchTime, recheckTime         time.Duration
+}
+
+// lexScaleLimit bounds the weights for which the T-join input is rescaled to
+// w*(m+1)+1. The rescaling makes the minimum-weight solution also minimal in
+// edge count among minimum-weight solutions — pinning the conflict *count*
+// to a unique value no matter how the solver breaks ties between equal
+// weight optima. Rescaling is skipped (losing only that tie normalization,
+// never correctness) when it could overflow downstream matching arithmetic.
+const lexScaleLimit = int64(1) << 41
+
+// detectShard runs flow steps 1b..3 on one conflict cluster.
+func detectShard(ctx context.Context, d *planar.Drawing, pairs [][2]int, opt Options) (*shardResult, error) {
+	r := &shardResult{}
+
+	// Step 1b: greedy crossing removal on the precomputed pair list.
+	t0 := time.Now()
+	r.removed = d.PlanarizeGiven(pairs)
+	r.planarTime = time.Since(t0)
+	m := d.G.M()
+	removedSet := make([]bool, m)
+	for _, e := range r.removed {
 		removedSet[e] = true
 	}
-	planarDrawing, oldIdx := cg.Drawing.WithoutEdges(removedSet)
+	planarDrawing, oldIdx := d.WithoutEdgeSet(removedSet)
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	// Step 2: optimal bipartization of the embedded planar graph = minimum
-	// T-join on its geometric dual with T = odd faces.
-	em, err := planar.BuildEmbedding(planarDrawing)
+	// Step 2: optimal bipartization of the embedded planar remainder =
+	// minimum T-join on its geometric dual with T = odd faces. The drawing
+	// was planarized two lines up, so the defensive crossing re-scan of
+	// BuildEmbedding is skipped.
+	t1 := time.Now()
+	em, err := planar.BuildEmbeddingUnchecked(planarDrawing)
 	if err != nil {
-		return nil, fmt.Errorf("core: embedding after planarization: %w", err)
+		return nil, fmt.Errorf("embedding after planarization: %w", err)
 	}
 	dual, primalOf, T := em.Dual()
-	det.Stats.DualNodes = dual.N()
-	det.Stats.DualEdges = dual.M()
-	det.Stats.OddFaces = len(T)
+	r.embedTime = time.Since(t1)
+	r.dualNodes = dual.N()
+	r.dualEdges = dual.M()
+	r.oddFaces = len(T)
 
-	mStart := time.Now()
+	// Lexicographic (weight, count) rescaling; see lexScaleLimit.
+	scaleK := int64(dual.M()) + 1
+	scaled := true
+	edges := dual.Edges()
+	for _, e := range edges {
+		if e.Weight > lexScaleLimit/scaleK {
+			scaled = false
+			break
+		}
+	}
+	if scaled {
+		for i := range edges {
+			edges[i].Weight = edges[i].Weight*scaleK + 1
+		}
+	}
+
+	t2 := time.Now()
 	join, err := tjoin.SolveContext(ctx, dual, T, opt.TJoin)
 	if err != nil {
-		return nil, fmt.Errorf("core: dual T-join: %w", err)
+		return nil, fmt.Errorf("dual T-join: %w", err)
 	}
-	det.Stats.MatchTime = time.Since(mStart)
-	det.Stats.GadgetNodes = join.GadgetNodes
-	det.Stats.GadgetEdges = join.GadgetEdges
+	r.matchTime = time.Since(t2)
+	r.gadgetNodes = join.GadgetNodes
+	r.gadgetEdges = join.GadgetEdges
 
-	bipartSet := make(map[int]bool, len(join.Edges))
+	bipartSet := make([]bool, m)
 	for _, de := range join.Edges {
 		orig := oldIdx[primalOf[de]]
-		det.BipartizationEdges = append(det.BipartizationEdges, orig)
+		r.bipart = append(r.bipart, orig)
 		bipartSet[orig] = true
 	}
-	sort.Ints(det.BipartizationEdges)
+	sort.Ints(r.bipart)
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -153,12 +458,22 @@ func DetectContext(ctx context.Context, cg *ConflictGraph, opt Options) (*Detect
 
 	// Step 3: the edges removed for planarity (P) may themselves close odd
 	// cycles against the bipartized remainder.
-	g := cg.Drawing.G
-	finalSet := make(map[int]bool, len(bipartSet))
-	for e := range bipartSet {
-		finalSet[e] = true
+	t3 := time.Now()
+	r.final, err = recheck(d.G, r.removed, removedSet, bipartSet, opt.Recheck)
+	if err != nil {
+		return nil, err
 	}
-	switch opt.Recheck {
+	r.recheckTime = time.Since(t3)
+	return r, nil
+}
+
+// recheck implements flow step 3 on one cluster's graph: decide which
+// planarization-removed edges are real conflicts on top of the
+// bipartization set, returning the final conflict edges ascending.
+// removedSet and bipartSet are indexed by edge.
+func recheck(g *graph.Graph, removed []int, removedSet, bipartSet []bool, mode RecheckMode) ([]int, error) {
+	flagged := make([]bool, g.M())
+	switch mode {
 	case RecheckParity:
 		// Improvement over the paper: re-admit P members from heaviest to
 		// lightest into a parity union-find seeded with the kept edges;
@@ -183,44 +498,32 @@ func DetectContext(ctx context.Context, cg *ConflictGraph, opt Options) (*Detect
 		for _, ei := range orderedP {
 			e := g.Edge(ei)
 			if e.U == e.V || !uf.UnionDiffer(e.U, e.V) {
-				finalSet[ei] = true
+				flagged[ei] = true
 			}
 		}
 	default: // RecheckColoring — the paper's flow step 3
-		drop := make(map[int]bool, len(removedSet)+len(bipartSet))
-		for e := range removedSet {
-			drop[e] = true
+		drop := make([]bool, g.M())
+		for ei := range drop {
+			drop[ei] = removedSet[ei] || bipartSet[ei]
 		}
-		for e := range bipartSet {
-			drop[e] = true
-		}
-		colors, ok := g.VerifyBipartition(drop)
+		colors, ok := g.TwoColorWithoutEdges(drop)
 		if !ok {
 			return nil, fmt.Errorf("core: bipartization left an odd cycle")
 		}
 		for _, ei := range removed {
 			e := g.Edge(ei)
 			if e.U == e.V || colors[e.U] == colors[e.V] {
-				finalSet[ei] = true
+				flagged[ei] = true
 			}
 		}
 	}
-
-	finals := make([]int, 0, len(finalSet))
-	for e := range finalSet {
-		finals = append(finals, e)
+	final := make([]int, 0, len(removed))
+	for ei := 0; ei < g.M(); ei++ {
+		if bipartSet[ei] || flagged[ei] {
+			final = append(final, ei)
+		}
 	}
-	sort.Ints(finals)
-	for _, ei := range finals {
-		det.FinalConflicts = append(det.FinalConflicts, conflictFor(cg, ei))
-	}
-	det.Stats.TotalTime = time.Since(start)
-
-	// Self-check: removing the final conflicts must leave a bipartite graph.
-	if _, ok := g.VerifyBipartition(finalSet); !ok {
-		return nil, fmt.Errorf("core: final conflict set does not bipartize the graph")
-	}
-	return det, nil
+	return final, nil
 }
 
 func conflictFor(cg *ConflictGraph, edge int) Conflict {

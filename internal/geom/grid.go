@@ -1,21 +1,38 @@
 package geom
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Grid is a uniform spatial hash over int64 space used to prune candidate
 // pairs for rectangle-proximity and segment-crossing queries. Items are
 // referenced by dense integer ids supplied by the caller.
+//
+// Inserts append to a flat (cell, id) log; the first query sorts the log
+// once and then works on contiguous per-cell runs. This build-then-sweep
+// shape matches every caller (insert everything, enumerate pairs) and
+// avoids the per-insert map assignment and per-cell slice growth a bucket
+// map pays. Inserting after a query re-sorts lazily on the next query.
 //
 // The zero Grid is not usable; construct with NewGrid. Cell size should be
 // on the order of the query distance (rect proximity) or the median segment
 // length (crossing detection); a poor choice affects only performance, never
 // correctness.
 type Grid struct {
-	cell  int64
-	cells map[cellKey][]int32
+	cell    int64
+	entries []gridEntry
+	sorted  bool
 }
 
-type cellKey struct{ cx, cy int32 }
+type gridEntry struct {
+	key uint64 // packed (cx, cy)
+	id  int32
+}
+
+func packCell(cx, cy int32) uint64 {
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+}
 
 // NewGrid creates a grid with the given cell edge length in nm.
 // cell must be positive.
@@ -23,7 +40,7 @@ func NewGrid(cell int64) *Grid {
 	if cell <= 0 {
 		panic("geom: grid cell size must be positive")
 	}
-	return &Grid{cell: cell, cells: make(map[cellKey][]int32)}
+	return &Grid{cell: cell}
 }
 
 func (g *Grid) cellRange(r Rect) (cx0, cy0, cx1, cy1 int32) {
@@ -36,10 +53,38 @@ func (g *Grid) Insert(id int32, r Rect) {
 	cx0, cy0, cx1, cy1 := g.cellRange(r)
 	for cx := cx0; cx <= cx1; cx++ {
 		for cy := cy0; cy <= cy1; cy++ {
-			k := cellKey{cx, cy}
-			g.cells[k] = append(g.cells[k], id)
+			g.entries = append(g.entries, gridEntry{packCell(cx, cy), id})
 		}
 	}
+	g.sorted = false
+}
+
+// build sorts the entry log by cell so each cell's ids form one contiguous
+// run (ties by id for determinism).
+func (g *Grid) build() {
+	if g.sorted {
+		return
+	}
+	slices.SortFunc(g.entries, func(a, b gridEntry) int {
+		if a.key != b.key {
+			if a.key < b.key {
+				return -1
+			}
+			return 1
+		}
+		return int(a.id) - int(b.id)
+	})
+	g.sorted = true
+}
+
+// cellRun returns the [lo, hi) entry range of the cell, via binary search.
+func (g *Grid) cellRun(key uint64) (int, int) {
+	lo := sort.Search(len(g.entries), func(i int) bool { return g.entries[i].key >= key })
+	hi := lo
+	for hi < len(g.entries) && g.entries[hi].key == key {
+		hi++
+	}
+	return lo, hi
 }
 
 // Query calls fn once per distinct id whose inserted bounds overlap a cell
@@ -48,19 +93,21 @@ func (g *Grid) Insert(id int32, r Rect) {
 // storage reused across calls when non-nil: it must have capacity for all
 // ids and be all-false on entry (Query resets it before returning).
 func (g *Grid) Query(r Rect, seen []bool, fn func(id int32)) {
+	g.build()
 	cx0, cy0, cx1, cy1 := g.cellRange(r)
 	var touched []int32
 	for cx := cx0; cx <= cx1; cx++ {
 		for cy := cy0; cy <= cy1; cy++ {
-			for _, id := range g.cells[cellKey{cx, cy}] {
+			lo, hi := g.cellRun(packCell(cx, cy))
+			for _, e := range g.entries[lo:hi] {
 				if seen != nil {
-					if seen[id] {
+					if seen[e.id] {
 						continue
 					}
-					seen[id] = true
-					touched = append(touched, id)
+					seen[e.id] = true
+					touched = append(touched, e.id)
 				}
-				fn(id)
+				fn(e.id)
 			}
 		}
 	}
@@ -73,11 +120,28 @@ func (g *Grid) Query(r Rect, seen []bool, fn func(id int32)) {
 // at least one grid cell. Pairs are deduplicated (collected, sorted and
 // uniqued, so memory is proportional to the candidate count).
 func (g *Grid) ForEachPair(fn func(i, j int32)) {
-	var pairs []uint64
-	for _, ids := range g.cells {
-		for a := 0; a < len(ids); a++ {
-			for b := a + 1; b < len(ids); b++ {
-				i, j := ids[a], ids[b]
+	g.build()
+	nPairs := 0
+	for lo := 0; lo < len(g.entries); {
+		hi := lo + 1
+		for hi < len(g.entries) && g.entries[hi].key == g.entries[lo].key {
+			hi++
+		}
+		n := hi - lo
+		nPairs += n * (n - 1) / 2
+		lo = hi
+	}
+	pairs := make([]uint64, 0, nPairs)
+	for lo := 0; lo < len(g.entries); {
+		hi := lo + 1
+		key := g.entries[lo].key
+		for hi < len(g.entries) && g.entries[hi].key == key {
+			hi++
+		}
+		run := g.entries[lo:hi]
+		for a := 0; a < len(run); a++ {
+			for b := a + 1; b < len(run); b++ {
+				i, j := run[a].id, run[b].id
 				if i == j {
 					continue
 				}
@@ -87,8 +151,9 @@ func (g *Grid) ForEachPair(fn func(i, j int32)) {
 				pairs = append(pairs, uint64(i)<<32|uint64(uint32(j)))
 			}
 		}
+		lo = hi
 	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a] < pairs[b] })
+	slices.Sort(pairs)
 	var prev uint64
 	for k, p := range pairs {
 		if k > 0 && p == prev {

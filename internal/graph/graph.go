@@ -112,16 +112,84 @@ func (g *Graph) Clone() *Graph {
 // SubgraphWithoutEdges returns a copy of g with the given edge indices
 // removed and a mapping from new edge index to old edge index.
 func (g *Graph) SubgraphWithoutEdges(removed map[int]bool) (*Graph, []int) {
+	skip := make([]bool, len(g.edges))
+	for e := range removed {
+		if e >= 0 && e < len(skip) {
+			skip[e] = true
+		}
+	}
+	return g.SubgraphWithoutEdgeSet(skip)
+}
+
+// SubgraphWithoutEdgeSet is SubgraphWithoutEdges with the removed set as a
+// boolean slice indexed by edge — the allocation-light form used by the
+// per-cluster detection flow.
+func (g *Graph) SubgraphWithoutEdgeSet(skip []bool) (*Graph, []int) {
+	kept := 0
+	for i := range g.edges {
+		if i >= len(skip) || !skip[i] {
+			kept++
+		}
+	}
 	out := New(g.n)
-	oldIdx := make([]int, 0, len(g.edges))
+	out.edges = make([]Edge, 0, kept)
+	oldIdx := make([]int, 0, kept)
 	for i, e := range g.edges {
-		if removed[i] {
+		if i < len(skip) && skip[i] {
 			continue
 		}
-		out.AddEdge(e.U, e.V, e.Weight)
+		out.edges = append(out.edges, e)
+		out.dirty = true
 		oldIdx = append(oldIdx, i)
 	}
 	return out, oldIdx
+}
+
+// Induced is one part of a graph partition produced by InducedComponents: a
+// standalone subgraph plus the index maps needed to translate results back to
+// the parent graph.
+type Induced struct {
+	G *Graph
+	// Nodes maps new node index -> old node index (ascending).
+	Nodes []int
+	// EdgeOf maps new edge index -> old edge index (ascending).
+	EdgeOf []int
+}
+
+// InducedComponents partitions g by the given node labels (labels[v] must be
+// in [0, count)) and returns one induced subgraph per label together with a
+// shared old-node -> local-node map. Every edge must have both endpoints in
+// the same part (self-loops trivially qualify); the function panics
+// otherwise, since a partition that cuts edges has no induced decomposition.
+//
+// Node and edge order is preserved inside each part, so algorithms whose
+// tie-breaking depends on index order behave identically on the parts and on
+// the whole. The entire extraction is a single O(N+M) pass, unlike repeated
+// per-component SubgraphWithoutEdges-style filtering.
+func (g *Graph) InducedComponents(labels []int, count int) ([]Induced, []int) {
+	if len(labels) != g.n {
+		panic(fmt.Sprintf("graph: %d labels for %d nodes", len(labels), g.n))
+	}
+	parts := make([]Induced, count)
+	localOf := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		c := labels[v]
+		localOf[v] = len(parts[c].Nodes)
+		parts[c].Nodes = append(parts[c].Nodes, v)
+	}
+	for c := range parts {
+		parts[c].G = New(len(parts[c].Nodes))
+	}
+	for ei, e := range g.edges {
+		c := labels[e.U]
+		if labels[e.V] != c {
+			panic(fmt.Sprintf("graph: edge %d (%d,%d) crosses partition labels %d/%d",
+				ei, e.U, e.V, c, labels[e.V]))
+		}
+		parts[c].G.AddEdge(localOf[e.U], localOf[e.V], e.Weight)
+		parts[c].EdgeOf = append(parts[c].EdgeOf, ei)
+	}
+	return parts, localOf
 }
 
 // Components labels each node with a component id in [0, count) and returns
@@ -272,8 +340,53 @@ func oddCycleFrom(u, v, e int, parentArc []Arc) []int {
 // bipartite graph; it returns the resulting 2-coloring of the remaining
 // graph and ok.
 func (g *Graph) VerifyBipartition(removed map[int]bool) ([]int8, bool) {
-	sub, _ := g.SubgraphWithoutEdges(removed)
-	return sub.TwoColor()
+	skip := make([]bool, len(g.edges))
+	for e := range removed {
+		if e >= 0 && e < len(skip) {
+			skip[e] = true
+		}
+	}
+	return g.TwoColorWithoutEdges(skip)
+}
+
+// TwoColorWithoutEdges two-colors the graph as if the edges marked in skip
+// were deleted, without materializing the subgraph. The coloring is
+// identical to SubgraphWithoutEdges + TwoColor (component roots in node
+// order get color 0); ok is false when the remaining graph is not
+// bipartite, with colors holding the partial coloring at failure.
+func (g *Graph) TwoColorWithoutEdges(skip []bool) (colors []int8, ok bool) {
+	g.build()
+	colors = make([]int8, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if colors[s] >= 0 {
+			continue
+		}
+		colors[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range g.adj[u] {
+				if a.Edge < len(skip) && skip[a.Edge] {
+					continue
+				}
+				if a.To == u { // self-loop: never 2-colorable
+					return colors, false
+				}
+				if colors[a.To] < 0 {
+					colors[a.To] = 1 - colors[u]
+					queue = append(queue, a.To)
+				} else if colors[a.To] == colors[u] {
+					return colors, false
+				}
+			}
+		}
+	}
+	return colors, true
 }
 
 // TotalWeight sums the weights of the given edge indices.

@@ -287,3 +287,91 @@ func TestSortedEdgeIndices(t *testing.T) {
 		t.Errorf("order = %v", idx)
 	}
 }
+
+func TestInducedComponents(t *testing.T) {
+	// Two components plus an isolated node, with a parallel edge and a
+	// self-loop to exercise multigraph mapping.
+	g := New(6)
+	g.AddEdge(0, 1, 3) // comp A
+	g.AddEdge(4, 5, 7) // comp B
+	g.AddEdge(1, 0, 9) // comp A, parallel
+	g.AddEdge(4, 4, 1) // comp B, self-loop
+	g.AddEdge(1, 2, 2) // comp A
+	labels, count := g.Components()
+	parts, localOf := g.InducedComponents(labels, count)
+	if len(parts) != count || count != 3 {
+		t.Fatalf("count = %d, parts = %d, want 3", count, len(parts))
+	}
+	totalNodes, totalEdges := 0, 0
+	for c, p := range parts {
+		totalNodes += p.G.N()
+		totalEdges += p.G.M()
+		if len(p.Nodes) != p.G.N() || len(p.EdgeOf) != p.G.M() {
+			t.Fatalf("part %d: map sizes %d/%d vs graph %d/%d",
+				c, len(p.Nodes), len(p.EdgeOf), p.G.N(), p.G.M())
+		}
+		for newV, oldV := range p.Nodes {
+			if labels[oldV] != c || localOf[oldV] != newV {
+				t.Fatalf("part %d: node map inconsistent at %d->%d", c, newV, oldV)
+			}
+		}
+		for newE, oldE := range p.EdgeOf {
+			want := g.Edge(oldE)
+			got := p.G.Edge(newE)
+			if p.Nodes[got.U] != want.U || p.Nodes[got.V] != want.V || got.Weight != want.Weight {
+				t.Fatalf("part %d: edge %d maps to %v, want %v", c, newE, got, want)
+			}
+		}
+		// Node and edge order must be preserved (ascending old indices).
+		for i := 1; i < len(p.Nodes); i++ {
+			if p.Nodes[i] <= p.Nodes[i-1] {
+				t.Fatalf("part %d: node order not preserved: %v", c, p.Nodes)
+			}
+		}
+		for i := 1; i < len(p.EdgeOf); i++ {
+			if p.EdgeOf[i] <= p.EdgeOf[i-1] {
+				t.Fatalf("part %d: edge order not preserved: %v", c, p.EdgeOf)
+			}
+		}
+	}
+	if totalNodes != g.N() || totalEdges != g.M() {
+		t.Fatalf("partition covers %d/%d nodes/edges, want %d/%d",
+			totalNodes, totalEdges, g.N(), g.M())
+	}
+}
+
+func TestInducedComponentsRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(30) + 1
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			g.AddEdge(u, v, int64(rng.Intn(9)))
+		}
+		labels, count := g.Components()
+		parts, _ := g.InducedComponents(labels, count)
+		// Each part must be connected and its edge weights must round-trip.
+		for _, p := range parts {
+			if _, pc := p.G.Components(); p.G.N() > 0 && pc != 1 {
+				t.Fatalf("trial %d: part has %d components", trial, pc)
+			}
+			for newE, oldE := range p.EdgeOf {
+				if p.G.Edge(newE).Weight != g.Edge(oldE).Weight {
+					t.Fatalf("trial %d: weight mismatch", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestInducedComponentsCrossEdgePanics(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("partition cutting an edge must panic")
+		}
+	}()
+	g.InducedComponents([]int{0, 1}, 2)
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrNoPerfectMatching is returned when the input graph admits no perfect
@@ -71,6 +72,7 @@ func MinWeightPerfectMatchingCtx(ctx context.Context, n int, edges []WeightedEdg
 	// (0 marks "no edge" internally).
 	c := maxW*int64(n/2) + 1
 	b := newBlossom(n)
+	defer b.release()
 	if ctx != nil && ctx.Done() != nil {
 		b.ctx = ctx
 	}
@@ -126,6 +128,7 @@ type blossom struct {
 	st         []int // top-level blossom containing x
 	pa         []int // parent arc tail (a real vertex id)
 	flowerFrom [][]int
+	ffBack     []int // flat backing for the flowerFrom rows (one allocation)
 	flower     [][]int
 	s          []int8 // -1 free, 0 outer (S), 1 inner (T)
 	vis        []int
@@ -153,28 +156,73 @@ func (b *blossom) cancelled() bool {
 	}
 }
 
+// blossomPool recycles solver state between solves. The detection flow runs
+// one small matching instance per conflict cluster — thousands per layout —
+// and the dense O(n²) matrices plus the per-node flower rows dominated its
+// allocation profile; clearing a pooled instance is much cheaper than
+// faulting in fresh zeroed pages every time.
+var blossomPool sync.Pool
+
 func newBlossom(n int) *blossom {
 	nn := 2*n + 1
-	b := &blossom{
-		n:      n,
-		nx:     n,
-		stride: nn,
-		eu:     make([]int32, nn*nn),
-		ev:     make([]int32, nn*nn),
-		ew:     make([]int64, nn*nn),
-		wOrig:  make([]int64, (n+1)*nn),
-		lab:    make([]int64, nn),
-		match:  make([]int, nn),
-		slack:  make([]int, nn),
-		st:     make([]int, nn),
-		pa:     make([]int, nn),
-		s:      make([]int8, nn),
-		vis:    make([]int, nn),
+	b, _ := blossomPool.Get().(*blossom)
+	if b == nil || cap(b.ew) < nn*nn || cap(b.ffBack) < nn*(n+1) || cap(b.flower) < nn {
+		b = &blossom{
+			eu:         make([]int32, nn*nn),
+			ev:         make([]int32, nn*nn),
+			ew:         make([]int64, nn*nn),
+			wOrig:      make([]int64, (n+1)*nn),
+			lab:        make([]int64, nn),
+			match:      make([]int, nn),
+			slack:      make([]int, nn),
+			st:         make([]int, nn),
+			pa:         make([]int, nn),
+			s:          make([]int8, nn),
+			vis:        make([]int, nn),
+			ffBack:     make([]int, nn*(n+1)),
+			flowerFrom: make([][]int, nn),
+			flower:     make([][]int, nn),
+		}
+	} else {
+		b.eu = b.eu[:nn*nn]
+		b.ev = b.ev[:nn*nn]
+		b.ew = b.ew[:nn*nn]
+		b.wOrig = b.wOrig[:(n+1)*nn]
+		b.lab = b.lab[:nn]
+		b.match = b.match[:nn]
+		b.slack = b.slack[:nn]
+		b.st = b.st[:nn]
+		b.pa = b.pa[:nn]
+		b.s = b.s[:nn]
+		b.vis = b.vis[:nn]
+		b.ffBack = b.ffBack[:nn*(n+1)]
+		b.flowerFrom = b.flowerFrom[:nn]
+		b.flower = b.flower[:nn]
+		clear(b.eu)
+		clear(b.ev)
+		clear(b.ew)
+		clear(b.wOrig)
+		clear(b.lab)
+		clear(b.match)
+		clear(b.slack)
+		clear(b.st)
+		clear(b.pa)
+		clear(b.s)
+		clear(b.vis)
+		clear(b.ffBack)
+		for i := range b.flower {
+			if b.flower[i] != nil {
+				b.flower[i] = b.flower[i][:0]
+			}
+		}
+		b.q = b.q[:0]
+		b.visT = 0
+		b.ctx = nil
+		b.err = nil
 	}
-	b.flowerFrom = make([][]int, nn)
-	b.flower = make([][]int, nn)
+	b.n, b.nx, b.stride = n, n, nn
 	for u := 0; u < nn; u++ {
-		b.flowerFrom[u] = make([]int, n+1)
+		b.flowerFrom[u] = b.ffBack[u*(n+1) : (u+1)*(n+1) : (u+1)*(n+1)]
 	}
 	for u := 1; u <= n; u++ {
 		b.flowerFrom[u][u] = u
@@ -186,6 +234,10 @@ func newBlossom(n int) *blossom {
 	}
 	return b
 }
+
+// release returns the solver state to the pool. The caller must be done
+// reading match/wOrig.
+func (b *blossom) release() { blossomPool.Put(b) }
 
 // setEdgeMax records the max-transformed weight w (>0) for edge (u,v),
 // keeping the best parallel edge. Reports whether the edge was stored or

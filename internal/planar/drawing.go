@@ -156,7 +156,15 @@ func (d *Drawing) Crossings() [][2]int {
 // remaining crossings first, then lower index), per the paper's "greedily
 // removing minimum weight edges that cross other edges".
 func (d *Drawing) Planarize() []int {
-	pairs := d.Crossings()
+	return d.PlanarizeGiven(d.Crossings())
+}
+
+// PlanarizeGiven is Planarize on a precomputed crossing-pair list (as
+// returned by Crossings), letting callers that already paid for the
+// geometric sweep — or that partition one global sweep across subdrawings —
+// skip recomputing it. The greedy selection is purely combinatorial, so the
+// result only depends on pairs and the edge weights.
+func (d *Drawing) PlanarizeGiven(pairs [][2]int) []int {
 	if len(pairs) == 0 {
 		return nil
 	}
@@ -209,6 +217,17 @@ func (d *Drawing) Planarize() []int {
 // mapping from new edge index to old edge index.
 func (d *Drawing) WithoutEdges(removed map[int]bool) (*Drawing, []int) {
 	sub, oldIdx := d.G.SubgraphWithoutEdges(removed)
+	return d.withSubgraph(sub, oldIdx)
+}
+
+// WithoutEdgeSet is WithoutEdges with the removed set as a boolean slice
+// indexed by edge.
+func (d *Drawing) WithoutEdgeSet(skip []bool) (*Drawing, []int) {
+	sub, oldIdx := d.G.SubgraphWithoutEdgeSet(skip)
+	return d.withSubgraph(sub, oldIdx)
+}
+
+func (d *Drawing) withSubgraph(sub *graph.Graph, oldIdx []int) (*Drawing, []int) {
 	nd := NewDrawing(sub, d.Pos)
 	for newI, oldI := range oldIdx {
 		if pts := d.Bends[oldI]; len(pts) > 0 {
@@ -216,4 +235,37 @@ func (d *Drawing) WithoutEdges(removed map[int]bool) (*Drawing, []int) {
 		}
 	}
 	return nd, oldIdx
+}
+
+// InducedDrawing is one part of a drawing partition: a standalone Drawing
+// over the part's nodes plus the node/edge index maps back into the parent.
+type InducedDrawing struct {
+	D *Drawing
+	// Nodes maps new node index -> old node index (ascending).
+	Nodes []int
+	// EdgeOf maps new edge index -> old edge index (ascending).
+	EdgeOf []int
+}
+
+// InducedComponents partitions the drawing by node labels (every edge must
+// stay within one part; see graph.InducedComponents) and returns one
+// standalone drawing per part with positions and bend polylines carried
+// over. Node and edge order is preserved inside each part.
+func (d *Drawing) InducedComponents(labels []int, count int) []InducedDrawing {
+	parts, _ := d.G.InducedComponents(labels, count)
+	out := make([]InducedDrawing, count)
+	for c, p := range parts {
+		pos := make([]geom.Point, p.G.N())
+		for newV, oldV := range p.Nodes {
+			pos[newV] = d.Pos[oldV]
+		}
+		nd := NewDrawing(p.G, pos)
+		for newE, oldE := range p.EdgeOf {
+			if pts := d.Bends[oldE]; len(pts) > 0 {
+				nd.SetBends(newE, pts...)
+			}
+		}
+		out[c] = InducedDrawing{D: nd, Nodes: p.Nodes, EdgeOf: p.EdgeOf}
+	}
+	return out
 }

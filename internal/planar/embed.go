@@ -40,9 +40,27 @@ func BuildEmbedding(d *Drawing) (*Embedding, error) {
 	if pairs := d.Crossings(); len(pairs) > 0 {
 		return nil, fmt.Errorf("%w (%d crossing pairs, first %v)", ErrNotPlanarDrawing, len(pairs), pairs[0])
 	}
+	return BuildEmbeddingUnchecked(d)
+}
+
+// BuildEmbeddingUnchecked is BuildEmbedding without the defensive geometric
+// crossing re-scan. It is for callers that just planarized the drawing and
+// still hold the proof (the detection flow pays the full sweep exactly once
+// this way); tracing a drawing that does contain crossings yields a
+// meaningless face structure.
+func BuildEmbeddingUnchecked(d *Drawing) (*Embedding, error) {
 	em := &Embedding{d: d}
 	em.nV = d.G.N()
-	em.pos = append([]geom.Point(nil), d.Pos...)
+	// Pre-size: one segment per polyline leg, one extra vertex per bend.
+	nSeg := d.G.M()
+	for _, pts := range d.Bends {
+		nSeg += len(pts)
+	}
+	em.pos = make([]geom.Point, em.nV, em.nV+nSeg-d.G.M())
+	copy(em.pos, d.Pos)
+	em.segEdge = make([]int, 0, nSeg)
+	em.segA = make([]int, 0, nSeg)
+	em.segB = make([]int, 0, nSeg)
 
 	// Subdivide polylines: one vertex per bend, one segment per polyline leg.
 	for e := 0; e < d.G.M(); e++ {
@@ -67,7 +85,18 @@ func BuildEmbedding(d *Drawing) (*Embedding, error) {
 	// Rotation system: half-edges grouped by tail vertex, sorted by exact
 	// angle around the vertex.
 	nH := 2 * len(em.segEdge)
+	outDeg := make([]int, em.nV)
+	for s := range em.segEdge {
+		outDeg[em.segA[s]]++
+		outDeg[em.segB[s]]++
+	}
+	outBack := make([]int, 0, nH)
 	out := make([][]int, em.nV) // per-vertex outgoing half-edges
+	for v := range out {
+		off := len(outBack)
+		outBack = outBack[:off+outDeg[v]]
+		out[v] = outBack[off : off : off+outDeg[v]]
+	}
 	for s := range em.segEdge {
 		out[em.segA[s]] = append(out[em.segA[s]], 2*s)
 		out[em.segB[s]] = append(out[em.segB[s]], 2*s+1)

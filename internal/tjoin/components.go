@@ -59,8 +59,7 @@ func SolveContext(ctx context.Context, g *graph.Graph, T []int, opt Options) (Re
 		c := comp[t]
 		tByComp[c] = append(tByComp[c], t)
 	}
-	// Node and edge remapping per component, only for components with
-	// terminals.
+	parts, localOf := g.InducedComponents(comp, nc)
 	var total Result
 	for c := 0; c < nc; c++ {
 		if len(tByComp[c]) == 0 {
@@ -69,10 +68,10 @@ func SolveContext(ctx context.Context, g *graph.Graph, T []int, opt Options) (Re
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		sub, nodeOf, edgeOf := inducedComponent(g, comp, c)
+		sub, edgeOf := parts[c].G, parts[c].EdgeOf
 		subT := make([]int, len(tByComp[c]))
 		for i, t := range tByComp[c] {
-			subT[i] = nodeOf[t]
+			subT[i] = localOf[t]
 		}
 		sort.Ints(subT)
 		var (
@@ -96,29 +95,4 @@ func SolveContext(ctx context.Context, g *graph.Graph, T []int, opt Options) (Re
 	}
 	sort.Ints(total.Edges)
 	return total, nil
-}
-
-// inducedComponent extracts component c of g as a standalone graph plus the
-// node mapping (old->new) and edge mapping (new edge index -> old).
-func inducedComponent(g *graph.Graph, comp []int, c int) (*graph.Graph, []int, []int) {
-	nodeOf := make([]int, g.N())
-	for i := range nodeOf {
-		nodeOf[i] = -1
-	}
-	n := 0
-	for v := 0; v < g.N(); v++ {
-		if comp[v] == c {
-			nodeOf[v] = n
-			n++
-		}
-	}
-	sub := graph.New(n)
-	var edgeOf []int
-	for ei, e := range g.Edges() {
-		if comp[e.U] == c {
-			sub.AddEdge(nodeOf[e.U], nodeOf[e.V], e.Weight)
-			edgeOf = append(edgeOf, ei)
-		}
-	}
-	return sub, nodeOf, edgeOf
 }

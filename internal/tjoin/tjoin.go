@@ -20,7 +20,6 @@
 package tjoin
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -131,17 +130,49 @@ func solveGadget(ctx context.Context, g *graph.Graph, T []int, groupCap int) (Re
 		inT[t] = true
 	}
 
+	// Pre-size the matching instance: count non-loop incidences per node so
+	// the port lists and the edge slice are allocated once instead of grown
+	// through repeated appends (the gadget construction used to dominate the
+	// allocation profile of small per-component solves).
+	m2 := 0
+	deg := make([]int, g.N())
+	for _, e := range g.Edges() {
+		if e.U == e.V {
+			continue
+		}
+		m2++
+		deg[e.U]++
+		deg[e.V]++
+	}
+	cap0 := groupCap
+	estEdges := m2
+	for v := 0; v < g.N(); v++ {
+		k := deg[v] + 1 // +1 for a potential parity node
+		if k <= cap0 {
+			estEdges += k * (k - 1) / 2
+		} else {
+			ng := (k + cap0 - 1) / cap0
+			estEdges += ng*cap0*(cap0-1)/2 + (ng-1)*(2*cap0+2)
+		}
+	}
+
 	nodes := 0
 	newNode := func() int { nodes++; return nodes - 1 }
-	var medges []matching.WeightedEdge
+	medges := make([]matching.WeightedEdge, 0, estEdges)
 	addM := func(u, v int, w int64) {
 		medges = append(medges, matching.WeightedEdge{U: u, V: v, Weight: w})
 	}
 
 	// Port creation: portPair[k] = (portU, portV, graph edge index).
 	type portPair struct{ pu, pv, edge int }
-	var pairs []portPair
+	pairs := make([]portPair, 0, m2)
+	portBacking := make([]int, 0, 2*m2+g.N())
 	portsAt := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		off := len(portBacking)
+		portBacking = portBacking[:off+deg[v]+1]
+		portsAt[v] = portBacking[off : off : off+deg[v]+1]
+	}
 	for ei, e := range g.Edges() {
 		if e.U == e.V {
 			continue // self-loops never help a T-join
@@ -236,43 +267,98 @@ func solveLawler(ctx context.Context, g *graph.Graph, T []int) (Result, error) {
 	if len(T) == 0 {
 		return Result{}, nil
 	}
-	// Shortest paths from every terminal.
-	dist := make([][]int64, len(T))
-	via := make([][]int, len(T)) // predecessor edge index per node
+
+	nT := len(T)
+	s := newLawlerScratch(g, T)
+	// Phase 1: terminal-to-terminal distances. Only the |T|² closure is
+	// retained — predecessor arrays are re-derived per matched pair in
+	// phase 3, so memory stays O(|T|² + N) instead of O(|T|·N).
+	pairD := make([]int64, nT*nT)
 	for i, t := range T {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		dist[i], via[i] = dijkstra(g, t)
-	}
-	var medges []matching.WeightedEdge
-	for i := 0; i < len(T); i++ {
-		for j := i + 1; j < len(T); j++ {
-			d := dist[i][T[j]]
-			if d < 0 {
-				continue // unreachable
+		s.run(t, -1)
+		for j, u := range T {
+			if s.done[u] == s.epoch {
+				pairD[i*nT+j] = s.dist[u]
+			} else {
+				pairD[i*nT+j] = -1 // unreachable
 			}
-			medges = append(medges, matching.WeightedEdge{U: i, V: j, Weight: d})
 		}
 	}
-	mate, _, err := matching.MinWeightPerfectMatchingCtx(ctx, len(T), medges)
+
+	// Phase 2: sparsify the complete closure before matching. Every pair
+	// weight is non-negative, so a pair used by some minimum-weight perfect
+	// matching weighs at most any upper bound U on the optimum; pairs
+	// heavier than the nearest-neighbor greedy matching's total can be
+	// dropped outright. The greedy matching's own pairs each weigh at most
+	// U, so the pruned closure always retains a perfect matching. On
+	// clustered instances (the dual graphs of real layouts) this removes
+	// the long cross-cluster tail of the |T|² closure.
+	const unmatched = -1
+	gmate := make([]int, nT)
+	for i := range gmate {
+		gmate[i] = unmatched
+	}
+	var upper int64
+	for i := 0; i < nT; i++ {
+		if gmate[i] != unmatched {
+			continue
+		}
+		best := -1
+		for j := i + 1; j < nT; j++ {
+			if gmate[j] != unmatched {
+				continue
+			}
+			if d := pairD[i*nT+j]; d >= 0 && (best < 0 || d < pairD[i*nT+best]) {
+				best = j
+			}
+		}
+		if best >= 0 { // unreachable leftovers surface as ErrNoTJoin below
+			gmate[i], gmate[best] = best, i
+			upper += pairD[i*nT+best]
+		}
+	}
+	cnt := 0
+	for i := 0; i < nT; i++ {
+		for j := i + 1; j < nT; j++ {
+			if d := pairD[i*nT+j]; d >= 0 && d <= upper {
+				cnt++
+			}
+		}
+	}
+	medges := make([]matching.WeightedEdge, 0, cnt)
+	for i := 0; i < nT; i++ {
+		for j := i + 1; j < nT; j++ {
+			if d := pairD[i*nT+j]; d >= 0 && d <= upper {
+				medges = append(medges, matching.WeightedEdge{U: i, V: j, Weight: d})
+			}
+		}
+	}
+	mate, _, err := matching.MinWeightPerfectMatchingCtx(ctx, nT, medges)
 	if err != nil {
 		if errors.Is(err, matching.ErrNoPerfectMatching) {
 			return Result{}, ErrNoTJoin
 		}
 		return Result{}, err
 	}
-	// XOR the matched paths.
+
+	// Phase 3: XOR the matched shortest paths, re-tracing each pair with a
+	// targeted run that stops as soon as the partner terminal settles.
 	inJoin := make(map[int]bool)
 	for i, t := range T {
 		j := mate[i]
 		if j < i {
 			continue
 		}
-		// Walk back from T[j] to t using i's predecessor edges.
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		s.run(t, T[j])
 		u := T[j]
 		for u != t {
-			ei := via[i][u]
+			ei := int(s.via[u])
 			inJoin[ei] = !inJoin[ei]
 			e := g.Edge(ei)
 			if e.U == u {
@@ -296,6 +382,14 @@ func solveLawler(ctx context.Context, g *graph.Graph, T []int) (Result, error) {
 // SolveExhaustive enumerates all edge subsets; only usable for tiny graphs
 // (m <= ~20). Exported for cross-validation in tests.
 func SolveExhaustive(g *graph.Graph, T []int) (Result, error) {
+	return SolveExhaustiveContext(context.Background(), g, T)
+}
+
+// SolveExhaustiveContext is SolveExhaustive with cooperative cancellation,
+// following the same Ctx-variant pattern as the other solvers: even a
+// 22-edge instance spins through 2^22 subset masks, so the mask loop polls
+// ctx periodically and returns ctx.Err() promptly once it is done.
+func SolveExhaustiveContext(ctx context.Context, g *graph.Graph, T []int) (Result, error) {
 	if g.M() > 22 {
 		return Result{}, fmt.Errorf("tjoin: %d edges too many for exhaustive solve", g.M())
 	}
@@ -311,6 +405,11 @@ func SolveExhaustive(g *graph.Graph, T []int) (Result, error) {
 	var bestSet []int
 	deg := make([]int, g.N())
 	for mask := 0; mask < 1<<g.M(); mask++ {
+		if mask&0x1fff == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		for i := range deg {
 			deg[i] = 0
 		}
@@ -350,53 +449,118 @@ func SolveExhaustive(g *graph.Graph, T []int) (Result, error) {
 	return Result{Edges: bestSet, Weight: best}, nil
 }
 
-// dijkstra returns (dist, predecessor edge) from src; dist -1 when
-// unreachable.
-func dijkstra(g *graph.Graph, src int) ([]int64, []int) {
-	dist := make([]int64, g.N())
-	via := make([]int, g.N())
-	done := make([]bool, g.N())
-	for i := range dist {
-		dist[i] = -1
-		via[i] = -1
+// lawlerScratch bundles the buffers shared by every Dijkstra run of one
+// solveLawler call. Epoch stamping replaces the O(N) per-run clears, and the
+// typed binary heap keeps (dist, node) in parallel slices, so the ~1.5·|T|
+// runs of a solve neither re-allocate nor box each heap item through
+// container/heap's interface{} API.
+type lawlerScratch struct {
+	g      *graph.Graph
+	isTerm []bool
+	nTerm  int
+	epoch  int64
+	stamp  []int64 // epoch when dist/via were last written
+	done   []int64 // epoch when the node was settled
+	dist   []int64
+	via    []int32 // predecessor edge index into g.Edges(); -1 at the source
+	heapD  []int64
+	heapN  []int32
+}
+
+func newLawlerScratch(g *graph.Graph, T []int) *lawlerScratch {
+	n := g.N()
+	s := &lawlerScratch{
+		g:      g,
+		isTerm: make([]bool, n),
+		nTerm:  len(T),
+		stamp:  make([]int64, n),
+		done:   make([]int64, n),
+		dist:   make([]int64, n),
+		via:    make([]int32, n),
+		heapD:  make([]int64, 0, n),
+		heapN:  make([]int32, 0, n),
 	}
-	pq := &heapQ{}
-	dist[src] = 0
-	heap.Push(pq, heapItem{0, src})
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(heapItem)
-		if done[it.node] {
+	for _, t := range T {
+		s.isTerm[t] = true
+	}
+	return s
+}
+
+func (s *lawlerScratch) push(d int64, n int32) {
+	s.heapD = append(s.heapD, d)
+	s.heapN = append(s.heapN, n)
+	i := len(s.heapD) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.heapD[p] <= s.heapD[i] {
+			break
+		}
+		s.heapD[p], s.heapD[i] = s.heapD[i], s.heapD[p]
+		s.heapN[p], s.heapN[i] = s.heapN[i], s.heapN[p]
+		i = p
+	}
+}
+
+func (s *lawlerScratch) pop() int32 {
+	n := s.heapN[0]
+	last := len(s.heapD) - 1
+	s.heapD[0], s.heapN[0] = s.heapD[last], s.heapN[last]
+	s.heapD, s.heapN = s.heapD[:last], s.heapN[:last]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < last && s.heapD[l] < s.heapD[m] {
+			m = l
+		}
+		if r < last && s.heapD[r] < s.heapD[m] {
+			m = r
+		}
+		if m == i {
+			return n
+		}
+		s.heapD[i], s.heapD[m] = s.heapD[m], s.heapD[i]
+		s.heapN[i], s.heapN[m] = s.heapN[m], s.heapN[i]
+		i = m
+	}
+}
+
+// run grows shortest paths from src and terminates early: once every
+// terminal is settled — or, when stop >= 0, as soon as stop itself settles —
+// the remaining frontier can no longer change any settled node, and a
+// settled node's predecessor chain passes through settled nodes only, so the
+// distances and via edges consumed by solveLawler are final. Unreached
+// terminals keep a stale stamp (treated as unreachable).
+func (s *lawlerScratch) run(src, stop int) {
+	s.epoch++
+	ep := s.epoch
+	s.heapD, s.heapN = s.heapD[:0], s.heapN[:0]
+	s.stamp[src] = ep
+	s.dist[src] = 0
+	s.via[src] = -1
+	s.push(0, int32(src))
+	settled := 0
+	for len(s.heapD) > 0 {
+		u := int(s.pop())
+		if s.done[u] == ep {
 			continue
 		}
-		done[it.node] = true
-		for _, a := range g.Adj(it.node) {
-			w := g.Edge(a.Edge).Weight
-			nd := it.dist + w
-			if dist[a.To] < 0 || nd < dist[a.To] {
-				dist[a.To] = nd
-				via[a.To] = a.Edge
-				heap.Push(pq, heapItem{nd, a.To})
+		s.done[u] = ep
+		if s.isTerm[u] {
+			settled++
+			if u == stop || (stop < 0 && settled == s.nTerm) {
+				return
+			}
+		}
+		du := s.dist[u]
+		for _, a := range s.g.Adj(u) {
+			nd := du + s.g.Edge(a.Edge).Weight
+			x := a.To
+			if s.stamp[x] != ep || nd < s.dist[x] {
+				s.stamp[x] = ep
+				s.dist[x] = nd
+				s.via[x] = int32(a.Edge)
+				s.push(nd, int32(x))
 			}
 		}
 	}
-	return dist, via
-}
-
-type heapItem struct {
-	dist int64
-	node int
-}
-
-type heapQ []heapItem
-
-func (h heapQ) Len() int            { return len(h) }
-func (h heapQ) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h heapQ) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *heapQ) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
-func (h *heapQ) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

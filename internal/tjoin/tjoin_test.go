@@ -1,6 +1,7 @@
 package tjoin
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -347,6 +348,85 @@ func TestSolveComponentsMatchesWhole(t *testing.T) {
 			if err := CheckJoin(g, T, got.Edges); err != nil {
 				t.Fatalf("trial %d m=%d: %v", trial, m, err)
 			}
+		}
+	}
+}
+
+func TestSolveExhaustiveContextCancellation(t *testing.T) {
+	// A 20-edge instance spins through 2^20 masks; a pre-cancelled context
+	// must abort promptly with ctx.Err() instead of enumerating them.
+	g := graph.New(10)
+	for i := 0; i < 20; i++ {
+		g.AddEdge(i%10, (i+1)%10, int64(i%5+1))
+	}
+	T := []int{0, 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveExhaustiveContext(ctx, g, T); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// And an intact context still solves it, agreeing with the gadget path.
+	want, err := SolveGadget(g, T, Unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveExhaustiveContext(context.Background(), g, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Weight != want.Weight {
+		t.Fatalf("weight %d, want %d", got.Weight, want.Weight)
+	}
+}
+
+func TestLawlerSparsificationStress(t *testing.T) {
+	// Clustered instances with heavy ties: the closure pruning must never
+	// change the optimum. Exhaustive is the ground truth.
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 200; trial++ {
+		g := graph.New(0)
+		var T []int
+		for isl := 0; isl < rng.Intn(2)+1; isl++ {
+			base := g.N()
+			n := rng.Intn(4) + 2
+			for i := 0; i < n; i++ {
+				g.AddNode()
+			}
+			for i := 0; i < n+rng.Intn(n); i++ {
+				// Small weight range forces many equal-weight ties.
+				g.AddEdge(base+rng.Intn(n), base+rng.Intn(n), int64(rng.Intn(3)))
+			}
+			var isT []int
+			for v := base; v < base+n; v++ {
+				if rng.Intn(2) == 0 {
+					isT = append(isT, v)
+				}
+			}
+			if len(isT)%2 == 1 {
+				isT = isT[:len(isT)-1]
+			}
+			T = append(T, isT...)
+		}
+		if g.M() > 20 {
+			continue
+		}
+		want, errW := SolveExhaustive(g, T)
+		got, err := SolveLawler(g, T)
+		if errW != nil {
+			if err == nil {
+				t.Fatalf("trial %d: expected error", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Weight != want.Weight {
+			t.Fatalf("trial %d: weight %d, want %d (edges=%v T=%v)",
+				trial, got.Weight, want.Weight, g.Edges(), T)
+		}
+		if err := CheckJoin(g, T, got.Edges); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
 		}
 	}
 }

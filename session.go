@@ -32,6 +32,9 @@ import (
 type Session struct {
 	engine *Engine
 	layout *Layout
+	// detectWorkers, when positive, overrides the engine's worker bound for
+	// this session's detection (DetectBatch divides its budget this way).
+	detectWorkers int
 
 	mu         sync.Mutex
 	detectRuns int
@@ -111,7 +114,12 @@ func (s *Session) detectLocked(ctx context.Context) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		det, err := core.DetectContext(ctx, cg, s.engine.opts.coreOptions())
+		copts := s.engine.opts.coreOptions()
+		copts.Workers = s.engine.workers
+		if s.detectWorkers > 0 {
+			copts.Workers = s.detectWorkers
+		}
+		det, err := core.DetectContext(ctx, cg, copts)
 		if err != nil {
 			return nil, err
 		}
