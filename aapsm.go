@@ -33,6 +33,13 @@
 // cancellation and return typed, errors.Is/As-friendly errors (*FlowError,
 // ErrNotAssignable, ErrUnfixable, ErrMaskInconsistent).
 //
+// Sessions are editable: AddFeature / MoveFeature / DeleteFeature (or a
+// batched Edit) mutate a session-private copy of the layout and invalidate
+// the memoized stages. Re-running Detect after an edit is incremental — only
+// the conflict clusters whose geometric neighborhood changed are re-solved,
+// with results bit-identical to a from-scratch detection — so small edits on
+// large layouts re-check an order of magnitude faster than a full Detect.
+//
 // The package-level one-shot functions (Detect, Correct, AssignPhases, …)
 // predate the Engine/Session API and remain as thin wrappers.
 package aapsm
@@ -85,6 +92,9 @@ type (
 	DRCViolation = drc.Violation
 	// GraphKind selects the graph representation (PCG or FG).
 	GraphKind = core.GraphKind
+	// IncrementalStats is the work profile of an edited session's
+	// incremental detection engine (see SessionStats.Incremental).
+	IncrementalStats = core.IncStats
 )
 
 // Graph representations.

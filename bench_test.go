@@ -21,10 +21,12 @@ package aapsm_test
 //	ablation -> BenchmarkRecheckModes, BenchmarkGreedyBaseline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
 
+	aapsm "repro"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -331,6 +333,65 @@ func BenchmarkDetectParallel(b *testing.B) {
 			b.ReportMetric(float64(shards), "shards")
 		})
 	}
+}
+
+// --- incremental edit-and-re-detect ---
+
+// BenchmarkEditRedetect contrasts a full from-scratch detection of d3 with
+// the incremental re-detect after a single-feature move on an edit session.
+// The incremental path re-solves only the conflict clusters in the moved
+// feature's geometric neighborhood; the acceptance target is ≥ 5× (recorded
+// in BENCH_detect.json by cmd/benchtab -json).
+func BenchmarkEditRedetect(b *testing.B) {
+	ctx := context.Background()
+	d := bench.Suite()[2] // d3
+	mk := func() *layout.Layout { return bench.Generate(d.Name, d.Params) }
+
+	b.Run("full", func(b *testing.B) {
+		l := mk()
+		eng := aapsm.NewEngine(aapsm.WithParallelism(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Detect(ctx, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("incremental-move", func(b *testing.B) {
+		eng := aapsm.NewEngine(aapsm.WithParallelism(1))
+		s := eng.NewSession(mk())
+		mid := len(s.Layout().Features) / 2
+		// Arm the edit engine, then establish the cluster cache.
+		if err := s.EnableEdits(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Detect(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := s.Layout().Features[mid].Rect
+			delta := int64(10)
+			if i%2 == 1 {
+				delta = -10
+			}
+			if err := s.MoveFeature(mid, r.Translate(aapsm.Point{X: delta})); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Detect(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := s.Stats().Incremental
+		if st.FallbackDirty != 0 {
+			b.Fatalf("reuse invariant fallbacks: %+v", st)
+		}
+		b.ReportMetric(float64(st.ShardsReused)/float64(st.Detects), "reused-shards/op")
+	})
 }
 
 // --- robustness: a larger design end to end (the paper's full-chip claim

@@ -10,36 +10,51 @@
 //	aapsm -cmd mask      -in design.txt -out design_mask.gds
 //	aapsm -cmd svg       -in design.txt -out design.svg
 //	aapsm -cmd junctions -in design.txt
+//	aapsm -cmd edit      -in design.txt -script edits.txt [-out final.txt]
 //
 // -cmd also accepts a comma-separated list (e.g. -cmd detect,assign,correct);
 // all subcommands of one invocation share a single pipeline session, so
 // detection runs exactly once no matter how many stages are requested.
 // Interrupting the process (SIGINT/SIGTERM) cancels the pipeline promptly.
 //
+// The edit subcommand replays an edit script against the session and
+// re-detects incrementally after each `detect` line and once at the end,
+// reporting how many conflict clusters were reused from cache. Script lines
+// (`#` comments and blank lines are skipped):
+//
+//	add x0 y0 x1 y1 [layer]   append a feature rectangle
+//	move INDEX x0 y0 x1 y1    move/resize feature INDEX
+//	del INDEX                 delete feature INDEX
+//	detect                    re-detect now and print a summary
+//
 // Layout files are the plain-text interchange format unless the name ends
 // in .gds.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	aapsm "repro"
 )
 
 func main() {
 	var (
-		cmd     = flag.String("cmd", "detect", "comma-separated subcommands: detect | correct | assign | drc | mask | svg | junctions")
+		cmd     = flag.String("cmd", "detect", "comma-separated subcommands: detect | correct | assign | drc | mask | svg | junctions | edit")
 		in      = flag.String("in", "", "input layout (.txt or .gds)")
-		out     = flag.String("out", "", "output file for correct / mask / svg (correct default: none)")
+		out     = flag.String("out", "", "output file for correct / mask / svg / edit (default: none)")
 		graph   = flag.String("graph", "pcg", "graph representation: pcg | fg")
 		method  = flag.String("method", "gen", "T-join reduction: gen | opt | lawler")
 		imp     = flag.Bool("improved-recheck", false, "use parity-based crossing recheck")
+		script  = flag.String("script", "", "edit script for the edit subcommand")
 		verbose = flag.Bool("v", false, "verbose conflict listing")
 	)
 	flag.Parse()
@@ -82,12 +97,12 @@ func main() {
 		writers := 0
 		for _, c := range cmds {
 			switch strings.TrimSpace(c) {
-			case "correct", "mask", "svg":
+			case "correct", "mask", "svg", "edit":
 				writers++
 			}
 		}
 		if writers > 1 {
-			fatalf("-out is shared by all subcommands; run correct/mask/svg in separate invocations")
+			fatalf("-out is shared by all subcommands; run correct/mask/svg/edit in separate invocations")
 		}
 	}
 
@@ -96,11 +111,11 @@ func main() {
 	eng := aapsm.NewEngine(opts...)
 	s := eng.NewSession(l)
 	for _, c := range cmds {
-		run(ctx, eng, s, strings.TrimSpace(c), *out, *verbose)
+		run(ctx, eng, s, strings.TrimSpace(c), *out, *script, *verbose)
 	}
 }
 
-func run(ctx context.Context, eng *aapsm.Engine, s *aapsm.Session, cmd, out string, verbose bool) {
+func run(ctx context.Context, eng *aapsm.Engine, s *aapsm.Session, cmd, out, script string, verbose bool) {
 	l := s.Layout()
 	switch cmd {
 	case "drc":
@@ -209,9 +224,117 @@ func run(ctx context.Context, eng *aapsm.Engine, s *aapsm.Session, cmd, out stri
 		fmt.Printf("  conflicts: %d plain (spacing-correctable class), %d junction-adjacent (widening/mask-split class)\n",
 			len(plain), len(junctioned))
 
+	case "edit":
+		if script == "" {
+			fatalf("edit needs -script")
+		}
+		// Arm the incremental engine before the first detect so even a
+		// script that detects before its first mutation builds the
+		// per-cluster cache and later re-detects reuse it.
+		check(s.EnableEdits())
+		check(replayEdits(ctx, s, script, verbose))
+		res, err := s.Detect(ctx)
+		check(err)
+		st := s.Stats()
+		fmt.Printf("%s: %d features after %d edits, %d conflicts\n",
+			l.Name, len(s.Layout().Features), st.Edits, len(res.Conflicts()))
+		fmt.Printf("  incremental: %d detects (%d full), clusters reused %d / solved %d\n",
+			st.Incremental.Detects, st.Incremental.FullDetects,
+			st.Incremental.ShardsReused, st.Incremental.ShardsSolved)
+		if out != "" {
+			check(writeLayout(out, s.Layout()))
+			fmt.Printf("wrote %s\n", out)
+		}
+
 	default:
 		fatalf("unknown -cmd %q", cmd)
 	}
+}
+
+// replayEdits applies an edit script to the session (see the package comment
+// for the line format), re-detecting at each `detect` line.
+func replayEdits(ctx context.Context, s *aapsm.Session, path string, verbose bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		bad := func(err error) error {
+			return fmt.Errorf("edit script line %d (%q): %w", line, text, err)
+		}
+		nums := func(from, n int) ([]int64, error) {
+			if len(fields) < from+n {
+				return nil, fmt.Errorf("want %d numeric args", n)
+			}
+			out := make([]int64, n)
+			for i := 0; i < n; i++ {
+				v, err := strconv.ParseInt(fields[from+i], 10, 64)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			return out, nil
+		}
+		switch fields[0] {
+		case "add":
+			v, err := nums(1, 4)
+			if err != nil {
+				return bad(err)
+			}
+			layer := 0
+			if len(fields) > 5 {
+				layer, err = strconv.Atoi(fields[5])
+				if err != nil {
+					return bad(err)
+				}
+			}
+			i, err := s.AddFeatureOnLayer(aapsm.R(v[0], v[1], v[2], v[3]), layer)
+			if err != nil {
+				return bad(err)
+			}
+			if verbose {
+				fmt.Printf("  add -> feature %d\n", i)
+			}
+		case "move":
+			v, err := nums(1, 5)
+			if err != nil {
+				return bad(err)
+			}
+			if err := s.MoveFeature(int(v[0]), aapsm.R(v[1], v[2], v[3], v[4])); err != nil {
+				return bad(err)
+			}
+		case "del":
+			v, err := nums(1, 1)
+			if err != nil {
+				return bad(err)
+			}
+			if err := s.DeleteFeature(int(v[0])); err != nil {
+				return bad(err)
+			}
+		case "detect":
+			t0 := time.Now()
+			res, err := s.Detect(ctx)
+			if err != nil {
+				return bad(err)
+			}
+			fmt.Printf("  detect: %d conflicts in %v (%d of %d clusters reused)\n",
+				len(res.Conflicts()), time.Since(t0).Round(time.Microsecond),
+				res.Detection.Stats.ReusedShards, res.Detection.Stats.Shards)
+		default:
+			return bad(fmt.Errorf("unknown edit op %q", fields[0]))
+		}
+	}
+	return sc.Err()
 }
 
 func readLayout(path string) (*aapsm.Layout, error) {

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -145,6 +146,13 @@ type detectRecord struct {
 	StageNS           detectStageNS `json:"stage_ns"`
 	Allocs            uint64        `json:"allocs"`
 	AllocBytes        uint64        `json:"alloc_bytes"`
+	// Incremental edit-and-re-detect trajectory (schema v2): best-of-7
+	// re-detect latency after a single-feature move on an edit session, the
+	// clusters reused from cache on that re-detect, and the speedup vs the
+	// full build+detect above.
+	EditRedetectNS   int64   `json:"edit_redetect_ns"`
+	EditReusedShards int     `json:"edit_reused_shards"`
+	EditSpeedup      float64 `json:"edit_speedup"`
 }
 
 // detectTrajectory is the top-level BENCH_detect.json document.
@@ -161,7 +169,7 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 		workers = runtime.GOMAXPROCS(0)
 	}
 	doc := detectTrajectory{
-		Schema:      "aapsm/bench_detect/v1",
+		Schema:      "aapsm/bench_detect/v2",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Workers:     workers,
@@ -184,6 +192,11 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 			return fmt.Errorf("%s: %v", d.Name, err)
 		}
 		runtime.ReadMemStats(&after)
+
+		editNS, editReused, err := measureEditRedetect(d, rules, workers)
+		if err != nil {
+			return fmt.Errorf("%s: edit redetect: %v", d.Name, err)
+		}
 
 		s := det.Stats
 		doc.Designs = append(doc.Designs, detectRecord{
@@ -210,12 +223,16 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 				Recheck:   s.RecheckTime.Nanoseconds(),
 				Total:     s.TotalTime.Nanoseconds(),
 			},
-			Allocs:     after.Mallocs - before.Mallocs,
-			AllocBytes: after.TotalAlloc - before.TotalAlloc,
+			Allocs:           after.Mallocs - before.Mallocs,
+			AllocBytes:       after.TotalAlloc - before.TotalAlloc,
+			EditRedetectNS:   editNS,
+			EditReusedShards: editReused,
+			EditSpeedup:      float64(buildNS+s.TotalTime.Nanoseconds()) / float64(editNS),
 		})
-		fmt.Printf("%-4s %7d polygons %8d edges %5d shards  total %8.2fms  match %8.2fms\n",
+		fmt.Printf("%-4s %7d polygons %8d edges %5d shards  total %8.2fms  match %8.2fms  edit-redetect %6.2fms (%.1fx)\n",
 			d.Name, len(l.Features), s.GraphEdges, s.Shards,
-			float64(s.TotalTime.Nanoseconds())/1e6, float64(s.MatchTime.Nanoseconds())/1e6)
+			float64(s.TotalTime.Nanoseconds())/1e6, float64(s.MatchTime.Nanoseconds())/1e6,
+			float64(editNS)/1e6, float64(buildNS+s.TotalTime.Nanoseconds())/float64(editNS))
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -223,4 +240,45 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 	}
 	buf = append(buf, '\n')
 	return os.WriteFile(path, buf, 0o644)
+}
+
+// measureEditRedetect times the incremental re-detect after a single-feature
+// move on an edit session of the design (best of 7 alternating ±10 nm
+// moves of the middle feature), and reports the clusters reused on the last
+// re-detect.
+func measureEditRedetect(d bench.Design, rules aapsm.Rules, workers int) (bestNS int64, reused int, err error) {
+	ctx := context.Background()
+	eng := aapsm.NewEngine(aapsm.WithRules(rules), aapsm.WithParallelism(workers))
+	s := eng.NewSession(bench.Generate(d.Name, d.Params))
+	mid := len(s.Layout().Features) / 2
+	// Arm the incremental engine, then establish the cluster cache.
+	if err := s.EnableEdits(); err != nil {
+		return 0, 0, err
+	}
+	if _, err := s.Detect(ctx); err != nil {
+		return 0, 0, err
+	}
+	for k := 0; k < 7; k++ {
+		r := s.Layout().Features[mid].Rect
+		delta := int64(10)
+		if k%2 == 1 {
+			delta = -10
+		}
+		if err := s.MoveFeature(mid, r.Translate(aapsm.Point{X: delta})); err != nil {
+			return 0, 0, err
+		}
+		t0 := time.Now()
+		res, err := s.Detect(ctx)
+		if err != nil {
+			return 0, 0, err
+		}
+		if ns := time.Since(t0).Nanoseconds(); bestNS == 0 || ns < bestNS {
+			bestNS = ns
+		}
+		reused = res.Detection.Stats.ReusedShards
+	}
+	if st := s.Stats().Incremental; st.FallbackDirty != 0 {
+		return 0, 0, fmt.Errorf("reuse invariant fallbacks: %+v", st)
+	}
+	return bestNS, reused, nil
 }

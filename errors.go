@@ -38,6 +38,9 @@ const (
 	StageMask
 	// StageRender covers SVG rendering.
 	StageRender
+	// StageEdit covers layout mutations on an incremental session
+	// (AddFeature, MoveFeature, DeleteFeature, Edit).
+	StageEdit
 )
 
 func (s FlowStage) String() string {
@@ -52,6 +55,8 @@ func (s FlowStage) String() string {
 		return "mask"
 	case StageRender:
 		return "render"
+	case StageEdit:
+		return "edit"
 	}
 	return fmt.Sprintf("stage(%d)", int(s))
 }

@@ -1,0 +1,159 @@
+package aapsm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestFlowStageString: every stage has a stable name; unknown values print
+// diagnosably.
+func TestFlowStageString(t *testing.T) {
+	cases := []struct {
+		stage FlowStage
+		want  string
+	}{
+		{StageDetect, "detect"},
+		{StageAssign, "assign"},
+		{StageCorrect, "correct"},
+		{StageMask, "mask"},
+		{StageRender, "render"},
+		{StageEdit, "edit"},
+		{FlowStage(99), "stage(99)"},
+	}
+	for _, c := range cases {
+		if got := c.stage.String(); got != c.want {
+			t.Errorf("FlowStage(%d).String() = %q, want %q", c.stage, got, c.want)
+		}
+	}
+}
+
+// TestFlowErrorWrapping: FlowError formats with and without a layout name,
+// unwraps to its cause, and flowErr never double-wraps a stage-tagged error.
+func TestFlowErrorWrapping(t *testing.T) {
+	cause := errors.New("boom")
+	cases := []struct {
+		name string
+		err  *FlowError
+		want string
+	}{
+		{"with layout", &FlowError{Stage: StageMask, Layout: "d1", Err: cause}, `aapsm: mask: layout "d1": boom`},
+		{"without layout", &FlowError{Stage: StageEdit, Err: cause}, "aapsm: edit: boom"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.err.Error(); got != c.want {
+				t.Errorf("Error() = %q, want %q", got, c.want)
+			}
+			if !errors.Is(c.err, cause) {
+				t.Error("FlowError does not unwrap to its cause")
+			}
+		})
+	}
+
+	inner := &FlowError{Stage: StageAssign, Layout: "x", Err: cause}
+	wrapped := fmt.Errorf("outer: %w", inner)
+	var fe *FlowError
+	// flowErr must pass an already-tagged error through unchanged, even
+	// nested inside another wrapper.
+	if got := flowErr(StageDetect, "y", wrapped); got != wrapped {
+		t.Errorf("flowErr re-wrapped a stage-tagged error: %v", got)
+	}
+	if !errors.As(wrapped, &fe) || fe.Stage != StageAssign {
+		t.Errorf("errors.As through wrapper = %+v", fe)
+	}
+}
+
+// TestSentinelErrorsThroughStages: each sentinel must match with errors.Is
+// through the stage-tagged FlowError produced by the real pipeline, and
+// errors.As must recover the stage and layout.
+func TestSentinelErrorsThroughStages(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name     string
+		sentinel error
+		stage    FlowStage
+		layout   string
+		err      func() error
+	}{
+		{
+			name: "ErrNotAssignable at detect", sentinel: ErrNotAssignable,
+			stage: StageDetect, layout: "figure1",
+			err: func() error {
+				return NewEngine().NewSession(Figure1Layout()).RequireAssignable(ctx)
+			},
+		},
+		{
+			name: "ErrUnfixable at correct", sentinel: ErrUnfixable,
+			stage: StageCorrect, layout: "ext",
+			err: func() error {
+				_, err := NewEngine().NewSession(tJunctionLayout()).CorrectedLayout(ctx)
+				return err
+			},
+		},
+		{
+			name: "edit index error at edit", sentinel: nil,
+			stage: StageEdit, layout: "figure5",
+			err: func() error {
+				return NewEngine().NewSession(Figure5Layout()).MoveFeature(-7, R(0, 0, 1, 1))
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.err()
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if c.sentinel != nil && !errors.Is(err, c.sentinel) {
+				t.Fatalf("errors.Is(%v, sentinel) = false", err)
+			}
+			var fe *FlowError
+			if !errors.As(err, &fe) {
+				t.Fatalf("not a *FlowError: %v", err)
+			}
+			if fe.Stage != c.stage || fe.Layout != c.layout {
+				t.Fatalf("FlowError stage/layout = %v/%q, want %v/%q", fe.Stage, fe.Layout, c.stage, c.layout)
+			}
+		})
+	}
+}
+
+// TestContextErrorNotMemoized: context errors must not poison any stage —
+// each stage retried with a live context succeeds after a cancelled attempt.
+func TestContextErrorNotMemoized(t *testing.T) {
+	s := NewEngine().NewSession(Figure5Layout())
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx := context.Background()
+
+	type attempt struct {
+		name string
+		call func(context.Context) error
+	}
+	attempts := []attempt{
+		{"Detect", func(c context.Context) error { _, err := s.Detect(c); return err }},
+		{"Assignment", func(c context.Context) error { _, err := s.Assignment(c); return err }},
+		{"Correction", func(c context.Context) error { _, err := s.Correction(c); return err }},
+		{"Mask", func(c context.Context) error { _, err := s.Mask(c); return err }},
+	}
+	for _, a := range attempts {
+		t.Run(a.name, func(t *testing.T) {
+			err := a.call(cancelled)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled %s: err = %v, want context.Canceled", a.name, err)
+			}
+			var fe *FlowError
+			if !errors.As(err, &fe) {
+				t.Fatalf("cancelled %s: not a *FlowError", a.name)
+			}
+			if err := a.call(ctx); err != nil {
+				t.Fatalf("%s after cancelled attempt: %v (stage poisoned?)", a.name, err)
+			}
+		})
+	}
+	if runs := s.Stats().DetectRuns; runs != 1 {
+		t.Fatalf("DetectRuns = %d, want 1", runs)
+	}
+}

@@ -1,0 +1,132 @@
+package aapsm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the two layout parsers. The contract under fuzzing is:
+//
+//  1. no input may panic the parser (the fuzz engine enforces this);
+//  2. any successfully parsed layout must survive a write/re-read round
+//     trip with identical features, and the writer must be idempotent
+//     (write(read(write(l))) produces the same bytes).
+//
+// The checked-in seed corpus under testdata/fuzz covers the valid formats,
+// truncations and malformed records; `go test -fuzz` explores from there.
+
+func textSeedLayouts() []*Layout {
+	quick := NewLayout("quick")
+	quick.Add(R(0, 0, 100, 1000))
+	quick.AddOnLayer(R(350, 0, 450, 1000), 3)
+	quick.Add(R(-50, -70, -20, 400)) // negative coords
+	quick.Add(R(10, 10, 10, 60))     // degenerate width
+	return []*Layout{quick, Figure1Layout(), Figure5Layout()}
+}
+
+func FuzzReadLayoutText(f *testing.F) {
+	for _, l := range textSeedLayouts() {
+		var buf bytes.Buffer
+		if err := WriteLayoutText(&buf, l); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("layout\nrect 0 0 1 1 0\n"))
+	f.Add([]byte("# comment\nlayout x y z\nrect 1 2 3 4\nrect 4 3 2 1 7\n"))
+	f.Add([]byte("rect 0 0 1 1\n"))           // rect before header
+	f.Add([]byte("layout a\nlayout b\n"))     // duplicate header
+	f.Add([]byte("layout a\nrect 1 2 3\n"))   // short rect
+	f.Add([]byte("layout a\nbogus 1\n"))      // unknown directive
+	f.Add([]byte("layout a\nrect 1e3 0 1 1")) // non-integer coordinate
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l1, err := ReadLayoutText(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		var w1 bytes.Buffer
+		if err := WriteLayoutText(&w1, l1); err != nil {
+			t.Fatalf("write of parsed layout failed: %v", err)
+		}
+		l2, err := ReadLayoutText(bytes.NewReader(w1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written layout failed: %v\n%s", err, w1.Bytes())
+		}
+		if len(l1.Features) != len(l2.Features) {
+			t.Fatalf("round trip changed feature count %d -> %d", len(l1.Features), len(l2.Features))
+		}
+		for i := range l1.Features {
+			if l1.Features[i] != l2.Features[i] {
+				t.Fatalf("feature %d changed in round trip: %+v -> %+v", i, l1.Features[i], l2.Features[i])
+			}
+		}
+		var w2 bytes.Buffer
+		if err := WriteLayoutText(&w2, l2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatalf("writer is not idempotent:\n%q\nvs\n%q", w1.Bytes(), w2.Bytes())
+		}
+	})
+}
+
+func FuzzReadGDS(f *testing.F) {
+	for _, l := range textSeedLayouts() {
+		var buf bytes.Buffer
+		if err := WriteGDS(&buf, l); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Truncations and header corruptions of a valid stream.
+	var ref bytes.Buffer
+	if err := WriteGDS(&ref, Figure1Layout()); err != nil {
+		f.Fatal(err)
+	}
+	for _, cut := range []int{1, 4, 17, ref.Len() / 2, ref.Len() - 3} {
+		if cut < ref.Len() {
+			f.Add(ref.Bytes()[:cut])
+		}
+	}
+	corrupt := append([]byte(nil), ref.Bytes()...)
+	corrupt[2] = 0x42 // unknown record type up front
+	f.Add(corrupt)
+	f.Add([]byte{0, 4, 0x04, 0}) // lone ENDLIB (missing HEADER)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l1, err := ReadGDS(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var w1 bytes.Buffer
+		if err := WriteGDS(&w1, l1); err != nil {
+			// The only legitimate failure is a pathologically long library
+			// name blowing the 64 KB record limit.
+			if strings.Contains(err.Error(), "record too long") {
+				return
+			}
+			t.Fatalf("write of parsed layout failed: %v", err)
+		}
+		l2, err := ReadGDS(bytes.NewReader(w1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written stream failed: %v", err)
+		}
+		if len(l1.Features) != len(l2.Features) {
+			t.Fatalf("round trip changed feature count %d -> %d", len(l1.Features), len(l2.Features))
+		}
+		for i := range l1.Features {
+			if l1.Features[i] != l2.Features[i] {
+				t.Fatalf("feature %d changed in round trip: %+v -> %+v", i, l1.Features[i], l2.Features[i])
+			}
+		}
+		var w2 bytes.Buffer
+		if err := WriteGDS(&w2, l2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatal("GDS writer is not idempotent")
+		}
+	})
+}

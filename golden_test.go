@@ -1,0 +1,89 @@
+package aapsm
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// goldenCompare checks got against testdata/golden/<name>, rewriting the
+// file when -update is set.
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestGolden -update .`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s diverged from golden (%d vs %d bytes); run `go test -run TestGolden -update .` and review the diff",
+			name, len(got), len(want))
+	}
+}
+
+// goldenSessions builds the figure sessions exactly as examples/figures does:
+// figure 1 with detection overlays, figure 2 under both graph
+// representations, figure 5 with its correction cut lines.
+func goldenSessions(t *testing.T, ctx context.Context) map[string]*Session {
+	t.Helper()
+	fig2 := Figure2Layout()
+	s5 := NewEngine().NewSession(Figure5Layout())
+	if _, err := s5.Correction(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Session{
+		"figure1":     NewEngine().NewSession(Figure1Layout()),
+		"figure2_pcg": NewEngine(WithGraph(PCG)).NewSession(fig2),
+		"figure2_fg":  NewEngine(WithGraph(FG)).NewSession(fig2),
+		"figure5":     s5,
+	}
+}
+
+// TestGoldenSVG pins the SVG renderer's output on the paper's figure
+// layouts. Regenerate with -update after intentional renderer changes.
+func TestGoldenSVG(t *testing.T) {
+	ctx := context.Background()
+	for name, s := range goldenSessions(t, ctx) {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := s.RenderSVG(ctx, &buf); err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, name+".svg", buf.Bytes())
+		})
+	}
+}
+
+// TestGoldenMask pins the manufacturing mask view (chrome + 0°/180°
+// aperture layers) of the figure layouts, serialized in the text
+// interchange format.
+func TestGoldenMask(t *testing.T) {
+	ctx := context.Background()
+	for name, s := range goldenSessions(t, ctx) {
+		t.Run(name, func(t *testing.T) {
+			m, err := s.Mask(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WriteLayoutText(&buf, m); err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, name+"_mask.txt", buf.Bytes())
+		})
+	}
+}

@@ -1,0 +1,352 @@
+package aapsm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// The differential harness: incremental edit-and-re-detect must be
+// bit-identical to from-scratch detection after every step of a seeded
+// random edit script — same crossing removals, same bipartization set and
+// T-join weight, same final conflicts, same phase assignment. Scripts mix
+// adds (including exact-duplicate rectangles, which force the node-position
+// collision nudging paths), moves (including no-op moves and resizes),
+// deletes, and batched edits.
+
+// assertSameDetection compares an incremental result against the oracle.
+func assertSameDetection(t *testing.T, step string, got, want *Result) {
+	t.Helper()
+	gd, wd := got.Detection, want.Detection
+	if !slices.Equal(gd.CrossingsRemoved, wd.CrossingsRemoved) {
+		t.Fatalf("%s: CrossingsRemoved diverged:\n inc %v\n ref %v", step, gd.CrossingsRemoved, wd.CrossingsRemoved)
+	}
+	if !slices.Equal(gd.BipartizationEdges, wd.BipartizationEdges) {
+		t.Fatalf("%s: BipartizationEdges diverged:\n inc %v\n ref %v", step, gd.BipartizationEdges, wd.BipartizationEdges)
+	}
+	gw := got.Graph.Drawing.G.TotalWeight(gd.BipartizationEdges)
+	ww := want.Graph.Drawing.G.TotalWeight(wd.BipartizationEdges)
+	if gw != ww {
+		t.Fatalf("%s: T-join weight %d != %d", step, gw, ww)
+	}
+	if len(gd.FinalConflicts) != len(wd.FinalConflicts) {
+		t.Fatalf("%s: %d conflicts, want %d", step, len(gd.FinalConflicts), len(wd.FinalConflicts))
+	}
+	for i := range gd.FinalConflicts {
+		g, w := gd.FinalConflicts[i], wd.FinalConflicts[i]
+		if g.Edge != w.Edge || g.Meta != w.Meta || g.Deficit != w.Deficit {
+			t.Fatalf("%s: conflict %d diverged: %+v != %+v", step, i, g, w)
+		}
+	}
+	if got.Assignable() != want.Assignable() {
+		t.Fatalf("%s: assignable %v != %v", step, got.Assignable(), want.Assignable())
+	}
+	if gd.Stats.CrossingPairs != wd.Stats.CrossingPairs {
+		t.Fatalf("%s: crossing pairs %d != %d", step, gd.Stats.CrossingPairs, wd.Stats.CrossingPairs)
+	}
+	if gd.Stats.Shards != wd.Stats.Shards {
+		t.Fatalf("%s: shards %d != %d", step, gd.Stats.Shards, wd.Stats.Shards)
+	}
+	ga, gerr := AssignPhases(got)
+	wa, werr := AssignPhases(want)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("%s: assignment errors diverged: %v vs %v", step, gerr, werr)
+	}
+	if gerr == nil && !slices.Equal(ga.Phases, wa.Phases) {
+		t.Fatalf("%s: phase assignments diverged", step)
+	}
+}
+
+// applyRandomEdit performs one random mutation (or a small batch) on s.
+func applyRandomEdit(t *testing.T, rng *rand.Rand, s *Session) {
+	t.Helper()
+	l := s.Layout()
+	n := len(l.Features)
+	bb := l.BBox()
+	if bb.Empty() {
+		bb = R(0, 0, 4000, 4000)
+	}
+	randRect := func() Rect {
+		// Width mix: mostly critical (< 150), some non-critical.
+		w := []int64{80, 100, 120, 140, 200, 400}[rng.Intn(6)]
+		h := 300 + rng.Int63n(1200)
+		if rng.Intn(4) == 0 {
+			w, h = h, w
+		}
+		x := bb.X0 + rng.Int63n(bb.Width()+2001) - 1000
+		y := bb.Y0 + rng.Int63n(bb.Height()+2001) - 1000
+		return R(x, y, x+w, y+h)
+	}
+	op := rng.Intn(12)
+	switch {
+	case op < 3 || n == 0: // add
+		r := randRect()
+		if n > 0 && rng.Intn(4) == 0 {
+			// Exact duplicate of an existing feature: coincident shifter
+			// centers exercise the position-collision nudging.
+			r = l.Features[rng.Intn(n)].Rect
+		}
+		if _, err := s.AddFeature(r); err != nil {
+			t.Fatalf("add: %v", err)
+		}
+	case op < 8: // move
+		i := rng.Intn(n)
+		r := l.Features[i].Rect
+		switch rng.Intn(5) {
+		case 0: // no-op move
+		case 1: // resize (may flip criticality or orientation)
+			r = R(r.X0, r.Y0, r.X0+80+rng.Int63n(400), r.Y0+200+rng.Int63n(1400))
+		default:
+			r = r.Translate(Point{X: rng.Int63n(901) - 450, Y: rng.Int63n(901) - 450})
+		}
+		if err := s.MoveFeature(i, r); err != nil {
+			t.Fatalf("move: %v", err)
+		}
+	case op < 10: // delete
+		if err := s.DeleteFeature(rng.Intn(n)); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+	default: // batched edit
+		err := s.Edit(func(ed *LayoutEditor) {
+			k := 2 + rng.Intn(2)
+			for j := 0; j < k; j++ {
+				cur := ed.NumFeatures()
+				switch {
+				case cur == 0 || rng.Intn(3) == 0:
+					ed.Add(randRect())
+				case rng.Intn(2) == 0:
+					i := rng.Intn(cur)
+					ed.Move(i, ed.Feature(i).Rect.Translate(Point{X: rng.Int63n(601) - 300, Y: rng.Int63n(601) - 300}))
+				default:
+					ed.Delete(rng.Intn(cur))
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("batch edit: %v", err)
+		}
+	}
+}
+
+// runEditScript drives one seeded script and checks the differential
+// property after every step.
+func runEditScript(t *testing.T, seed int64, workers int) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed))
+	rows := 1 + rng.Intn(2)
+	gates := 10 + rng.Intn(25)
+	p := DefaultBenchmarkParams(seed, rows, gates)
+	l := GenerateBenchmark(fmt.Sprintf("script%d", seed), p)
+
+	// Vary the engine configuration across scripts: every fourth script uses
+	// the FG baseline (bent drawings), every third the parity recheck. The
+	// oracle always shares the configuration.
+	opts := []EngineOption{WithParallelism(workers)}
+	if seed%4 == 0 {
+		opts = append(opts, WithGraph(FG))
+	}
+	if seed%3 == 0 {
+		opts = append(opts, WithImprovedRecheck(true))
+	}
+	eng := NewEngine(opts...)
+	oracle := NewEngine(opts...)
+	s := eng.NewSession(l)
+	switch rng.Intn(3) {
+	case 0:
+		// Detect before the first edit without arming: the first post-edit
+		// Detect must fall back to a full incremental run.
+		if _, err := s.Detect(ctx); err != nil {
+			t.Fatal(err)
+		}
+	case 1:
+		// Pre-armed session: the initial detection populates the cluster
+		// cache, so even the first edit re-detects incrementally.
+		if err := s.EnableEdits(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Detect(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := 4 + rng.Intn(6)
+	for step := 0; step < steps; step++ {
+		applyRandomEdit(t, rng, s)
+		got, err := s.Detect(ctx)
+		if err != nil {
+			t.Fatalf("seed %d step %d: incremental detect: %v", seed, step, err)
+		}
+		want, err := oracle.Detect(ctx, s.Layout().Clone())
+		if err != nil {
+			t.Fatalf("seed %d step %d: oracle detect: %v", seed, step, err)
+		}
+		assertSameDetection(t, fmt.Sprintf("seed %d step %d", seed, step), got, want)
+	}
+	if fb := s.Stats().Incremental.FallbackDirty; fb != 0 {
+		t.Errorf("seed %d: %d clusters hit the conservative fallback (reuse invariant broke)", seed, fb)
+	}
+}
+
+// TestIncrementalDifferential runs 200+ seeded edit scripts (70 seeds ×
+// workers 1/2/4) asserting incremental == from-scratch exactly. Run under
+// -race in CI.
+func TestIncrementalDifferential(t *testing.T) {
+	seeds := 70
+	if testing.Short() {
+		seeds = 24
+	}
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			for seed := 0; seed < seeds; seed++ {
+				runEditScript(t, int64(1000*workers+seed), workers)
+			}
+		})
+	}
+}
+
+// TestIncrementalReusesShards: a single-feature move on a multi-cluster
+// design must reuse almost every cached cluster result.
+func TestIncrementalReusesShards(t *testing.T) {
+	ctx := context.Background()
+	l := GenerateBenchmark("reuse", DefaultBenchmarkParams(7, 3, 80))
+	s := NewEngine().NewSession(l)
+
+	// Arm the incremental engine, then establish the baseline detection.
+	if err := s.EnableEdits(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := res.Detection.Stats.Shards
+	if shards < 10 {
+		t.Fatalf("expected many conflict clusters, got %d", shards)
+	}
+
+	mid := len(s.Layout().Features) / 2
+	r := s.Layout().Features[mid].Rect
+	if err := s.MoveFeature(mid, r.Translate(Point{X: 15})); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := res2.Detection.Stats.ReusedShards
+	if reused < shards/2 {
+		t.Fatalf("single move reused only %d of %d clusters", reused, res2.Detection.Stats.Shards)
+	}
+	st := s.Stats()
+	if st.Incremental.FallbackDirty != 0 {
+		t.Fatalf("fallback invariants fired: %+v", st.Incremental)
+	}
+	if st.DetectRuns != 2 {
+		t.Fatalf("DetectRuns = %d, want 2", st.DetectRuns)
+	}
+}
+
+// TestEditInvalidatesStages: edits must drop every memoized stage — including
+// memoized errors, so a conflicted layout can be repaired on the same
+// session.
+func TestEditInvalidatesStages(t *testing.T) {
+	ctx := context.Background()
+	s := NewEngine().NewSession(Figure1Layout())
+
+	if err := s.RequireAssignable(ctx); !errors.Is(err, ErrNotAssignable) {
+		t.Fatalf("figure 1 should not be assignable, got %v", err)
+	}
+	// Repair: push the middle wire far away, breaking the odd cycle.
+	if err := s.MoveFeature(1, R(350, 5000, 450, 6000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RequireAssignable(ctx); err != nil {
+		t.Fatalf("after repair: %v", err)
+	}
+	if _, err := s.Mask(ctx); err != nil {
+		t.Fatalf("mask after repair: %v", err)
+	}
+	if runs := s.Stats().DetectRuns; runs != 2 {
+		t.Fatalf("DetectRuns = %d, want 2 (one per edit generation)", runs)
+	}
+
+	// The caller's layout must be untouched: the session edits a copy.
+	orig := Figure1Layout()
+	s2 := NewEngine().NewSession(orig)
+	if _, err := s2.AddFeature(R(10000, 0, 10100, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if len(orig.Features) != 3 {
+		t.Fatalf("caller layout mutated: %d features", len(orig.Features))
+	}
+	if len(s2.Layout().Features) != 4 {
+		t.Fatalf("session layout missing the added feature")
+	}
+}
+
+// TestEditPanicInvalidates: a panicking Edit callback must still invalidate
+// the memoized stages for the operations it already applied — a recovered
+// caller must never see a pre-edit detection for the mutated layout.
+func TestEditPanicInvalidates(t *testing.T) {
+	ctx := context.Background()
+	s := NewEngine().NewSession(Figure5Layout())
+	res1, err := s.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected the callback panic to propagate")
+			}
+		}()
+		_ = s.Edit(func(ed *LayoutEditor) {
+			ed.Add(R(0, 50000, 100, 51000))
+			panic("boom")
+		})
+	}()
+	if len(s.Layout().Features) != 11 {
+		t.Fatalf("applied op lost: %d features", len(s.Layout().Features))
+	}
+	res2, err := s.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 == res1 {
+		t.Fatal("stale pre-edit detection served after a panicking Edit")
+	}
+	if got, want := res2.Detection.Stats.GraphNodes, res1.Detection.Stats.GraphNodes+2; got != want {
+		t.Fatalf("post-panic detection has %d nodes, want %d (two shifters of the added wire)", got, want)
+	}
+}
+
+// TestEditErrors: out-of-range indices surface as *FlowError at StageEdit,
+// and a failing batch stops at the first bad operation.
+func TestEditErrors(t *testing.T) {
+	s := NewEngine().NewSession(Figure5Layout())
+	err := s.MoveFeature(99, R(0, 0, 10, 10))
+	var fe *FlowError
+	if !errors.As(err, &fe) || fe.Stage != StageEdit {
+		t.Fatalf("MoveFeature(99): err = %v, want *FlowError at StageEdit", err)
+	}
+	if err := s.DeleteFeature(-1); !errors.As(err, &fe) || fe.Stage != StageEdit {
+		t.Fatalf("DeleteFeature(-1): err = %v, want *FlowError at StageEdit", err)
+	}
+	before := len(s.Layout().Features)
+	err = s.Edit(func(ed *LayoutEditor) {
+		ed.Add(R(0, 20000, 100, 21000)) // applies
+		ed.Delete(1000)                 // fails
+		ed.Add(R(0, 30000, 100, 31000)) // skipped
+		if ed.Err() == nil {
+			t.Error("editor error not recorded")
+		}
+	})
+	if !errors.As(err, &fe) || fe.Stage != StageEdit {
+		t.Fatalf("batch: err = %v, want *FlowError at StageEdit", err)
+	}
+	if got := len(s.Layout().Features); got != before+1 {
+		t.Fatalf("batch applied %d features, want %d (ops before the failure stay)", got-before, 1)
+	}
+}

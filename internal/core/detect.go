@@ -60,6 +60,9 @@ type Stats struct {
 	// Shards is the number of conflict clusters detected independently
 	// (clusters with at least one edge).
 	Shards int
+	// ReusedShards counts clusters whose cached result was reused instead of
+	// re-solved (always 0 for a from-scratch Detect; see Incremental).
+	ReusedShards int
 	// LargestShardEdges is the edge count of the largest cluster — the
 	// wall-clock bound of the parallel flow.
 	LargestShardEdges int
@@ -171,104 +174,148 @@ func DetectContext(ctx context.Context, cg *ConflictGraph, opt Options) (*Detect
 	// Run the per-shard flow on a bounded worker pool. Shard results are
 	// deterministic and merged in shard order, so any worker count produces
 	// the same Detection.
-	results := make([]*shardResult, nShards)
-	errs := make([]error, nShards)
-	workers := opt.Workers
-	if workers > nShards {
-		workers = nShards
+	jobs := make([]shardJob, nShards)
+	for i, sh := range shards {
+		if sh.D.G.M() > 0 {
+			jobs[i] = shardJob{d: sh.D, pairs: pairsByShard[i]}
+		}
 	}
-	if workers <= 1 {
-		for i, sh := range shards {
-			if sh.D.G.M() == 0 {
-				continue
-			}
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			r, err := detectShard(ctx, sh.D, pairsByShard[i], opt)
-			if err != nil {
-				return nil, fmt.Errorf("core: cluster %d: %w", i, err)
-			}
-			results[i] = r
-		}
-	} else {
-		pctx, cancel := context.WithCancel(ctx)
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					if err := pctx.Err(); err != nil {
-						errs[i] = err
-						continue
-					}
-					r, err := detectShard(pctx, shards[i].D, pairsByShard[i], opt)
-					if err != nil {
-						errs[i] = fmt.Errorf("core: cluster %d: %w", i, err)
-						cancel() // stop the remaining shards promptly
-						continue
-					}
-					results[i] = r
-				}
-			}()
-		}
-		for i, sh := range shards {
-			if sh.D.G.M() > 0 {
-				jobs <- i
-			}
-		}
-		close(jobs)
-		wg.Wait()
-		cancel()
-		// Prefer a causal (non-context) error over the context errors it
-		// provoked in sibling shards; among the causal errors recorded,
-		// return the lowest shard index. (Which shards get to record a
-		// causal error before the cancellation lands is
-		// scheduling-dependent.)
-		var first error
-		for _, err := range errs {
-			if err == nil {
-				continue
-			}
-			if first == nil || (isCtxErr(first) && !isCtxErr(err)) {
-				first = err
-			}
-		}
-		if first != nil {
-			return nil, first
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	results := make([]*shardResult, nShards)
+	if err := runShards(ctx, jobs, results, opt.Workers, opt); err != nil {
+		return nil, err
 	}
 
 	// Merge shard results back through the edge index maps.
+	edgeOf := make([][]int, nShards)
+	for i := range shards {
+		edgeOf[i] = shards[i].EdgeOf
+	}
+	if err := mergeShards(det, cg, edgeOf, results, nil); err != nil {
+		return nil, err
+	}
+	det.Stats.TotalTime = time.Since(start)
+	return det, nil
+}
+
+// shardJob couples one cluster's standalone drawing with its crossing pairs
+// in shard-local edge indices. A zero job (nil drawing) is skipped.
+type shardJob struct {
+	d     *planar.Drawing
+	pairs [][2]int
+}
+
+// runShards solves the non-nil jobs on a bounded worker pool of at most
+// workers goroutines, writing results[i] for job i. Results are
+// deterministic per job, so any worker count produces the same outcome.
+func runShards(ctx context.Context, jobs []shardJob, results []*shardResult, workers int, opt Options) error {
+	n := 0
+	for _, j := range jobs {
+		if j.d != nil {
+			n++
+		}
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			if j.d == nil {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			r, err := detectShard(ctx, j.d, j.pairs, opt)
+			if err != nil {
+				return fmt.Errorf("core: cluster %d: %w", i, err)
+			}
+			results[i] = r
+		}
+		return nil
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	queue := make(chan int)
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				if err := pctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				r, err := detectShard(pctx, jobs[i].d, jobs[i].pairs, opt)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: cluster %d: %w", i, err)
+					cancel() // stop the remaining shards promptly
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i, j := range jobs {
+		if j.d != nil {
+			queue <- i
+		}
+	}
+	close(queue)
+	wg.Wait()
+	cancel()
+	// Prefer a causal (non-context) error over the context errors it
+	// provoked in sibling shards; among the causal errors recorded, return
+	// the lowest shard index. (Which shards get to record a causal error
+	// before the cancellation lands is scheduling-dependent.)
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil || (isCtxErr(first) && !isCtxErr(err)) {
+			first = err
+		}
+	}
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}
+
+// mergeShards folds per-cluster results into det through the edge index
+// maps, in cluster order: edgeOf[i] maps cluster i's local edge indices to
+// global ones. Size counters are summed over every result; stage durations
+// are summed only over clusters marked in fresh (nil means all), so a
+// caller reusing cached results reports only the work this run performed.
+// It finishes with the bipartiteness self-check on the merged conflict set.
+func mergeShards(det *Detection, cg *ConflictGraph, edgeOf [][]int, results []*shardResult, fresh []bool) error {
 	finalSet := make(map[int]bool)
 	for i, r := range results {
 		if r == nil {
 			continue
 		}
-		edgeOf := shards[i].EdgeOf
+		eo := edgeOf[i]
 		for _, le := range r.removed {
-			det.CrossingsRemoved = append(det.CrossingsRemoved, edgeOf[le])
+			det.CrossingsRemoved = append(det.CrossingsRemoved, eo[le])
 		}
 		for _, le := range r.bipart {
-			det.BipartizationEdges = append(det.BipartizationEdges, edgeOf[le])
+			det.BipartizationEdges = append(det.BipartizationEdges, eo[le])
 		}
 		for _, le := range r.final {
-			finalSet[edgeOf[le]] = true
+			finalSet[eo[le]] = true
 		}
 		det.Stats.DualNodes += r.dualNodes
 		det.Stats.DualEdges += r.dualEdges
 		det.Stats.OddFaces += r.oddFaces
 		det.Stats.GadgetNodes += r.gadgetNodes
 		det.Stats.GadgetEdges += r.gadgetEdges
-		det.Stats.PlanarTime += r.planarTime
-		det.Stats.EmbedTime += r.embedTime
-		det.Stats.MatchTime += r.matchTime
-		det.Stats.RecheckTime += r.recheckTime
+		if fresh == nil || fresh[i] {
+			det.Stats.PlanarTime += r.planarTime
+			det.Stats.EmbedTime += r.embedTime
+			det.Stats.MatchTime += r.matchTime
+			det.Stats.RecheckTime += r.recheckTime
+		}
 	}
 	sort.Ints(det.BipartizationEdges)
 
@@ -280,13 +327,12 @@ func DetectContext(ctx context.Context, cg *ConflictGraph, opt Options) (*Detect
 	for _, ei := range finals {
 		det.FinalConflicts = append(det.FinalConflicts, conflictFor(cg, ei))
 	}
-	det.Stats.TotalTime = time.Since(start)
 
 	// Self-check: removing the final conflicts must leave a bipartite graph.
-	if _, ok := g.VerifyBipartition(finalSet); !ok {
-		return nil, fmt.Errorf("core: final conflict set does not bipartize the graph")
+	if _, ok := cg.Drawing.G.VerifyBipartition(finalSet); !ok {
+		return fmt.Errorf("core: final conflict set does not bipartize the graph")
 	}
-	return det, nil
+	return nil
 }
 
 func isCtxErr(err error) bool {

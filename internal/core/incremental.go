@@ -1,0 +1,767 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/shifter"
+)
+
+// Incremental is a stateful edit-and-re-detect engine: it owns a working
+// copy of a layout, accepts feature mutations (add / move / delete), and
+// re-runs the detection flow after each batch of edits while reusing every
+// cached per-cluster result whose inputs the edits provably did not touch.
+//
+// Exactness is the design invariant: an Incremental Detect returns a
+// Detection bit-identical to BuildGraph + DetectContext on the current
+// layout. It achieves that by tracking stable identities for features and
+// shifter-overlap pairs, patching the overlap set and the crossing-pair set
+// from the geometric neighborhood of each edit (a persistent geom.Grid over
+// feature rectangles prunes the candidates), and re-running the expensive
+// planarize → bipartize → recheck pipeline only on conflict clusters that
+// contain a changed edge or inherit taint from a changed previous cluster.
+// Clean clusters keep their previous shard results, which are re-merged
+// through freshly computed edge index maps.
+//
+// An Incremental is not safe for concurrent use; the Session layer
+// serializes access.
+type Incremental struct {
+	rules layout.Rules
+	kind  GraphKind
+	opt   Options
+
+	lay *layout.Layout // owned working copy, mutated in place
+
+	featUID []int32 // stable uid per feature slot, parallel to lay.Features
+	featOf  []int32 // uid -> current feature index, -1 once deleted
+	nextUID int32
+
+	grid *geom.Grid // live feature rectangles, keyed by feature uid
+
+	pairs     []pairRec // live overlap-pair records, unordered
+	nextOvUID int32
+
+	// Pending edit effects since the last successful Detect.
+	dirty   map[int32]bool // uids of features whose constraints must be recomputed
+	deleted map[int32]bool // uids of features removed since the last Detect
+
+	prev *incSnapshot // last successful detection state; nil before the first
+
+	stats IncStats
+}
+
+// pairRec is the stable identity of one shifter-overlap constraint: the two
+// flanking shifters are named by (feature uid, side), so the record survives
+// any renumbering of untouched features.
+type pairRec struct {
+	uidA, uidB   int32
+	sideA, sideB shifter.Side
+	deficit      int64
+	uid          int32 // stable pair-instance uid
+}
+
+// incSnapshot captures everything a later Detect needs to decide reuse.
+type incSnapshot struct {
+	set         *shifter.Set
+	det         *Detection
+	nodeKeys    []int64 // stable identity per graph node
+	edgeKeys    []int64 // stable identity per graph edge
+	crossPairs  [][2]int
+	edgeCluster []int32 // cluster id per edge
+	nShards     int
+	results     []*shardResult // per cluster; nil for edge-less parts
+}
+
+// Identity-key tags (low 2 bits): 0/1 carry a shifter side or an overlap
+// edge half, 2 marks overlap (aux) nodes, 3 marks feature edges. The high
+// bits carry the feature or pair uid; the two uid spaces never meet under
+// the same tag, so keys are collision-free.
+func shifterNodeKey(featUID int32, side shifter.Side) int64 {
+	return int64(featUID)<<2 | int64(side)
+}
+func auxNodeKey(ovUID int32) int64 { return int64(ovUID)<<2 | 2 }
+func overlapEdgeKey(ovUID int32, half int) int64 {
+	return int64(ovUID)<<2 | int64(half)
+}
+func featureEdgeKey(featUID int32) int64 { return int64(featUID)<<2 | 3 }
+
+// IncStats reports the cumulative work profile of an Incremental engine.
+type IncStats struct {
+	// Edits counts accepted mutations (add/move/delete).
+	Edits int
+	// Detects counts successful Detect calls, FullDetects those that could
+	// reuse nothing (the first run, or a run after state loss).
+	Detects     int
+	FullDetects int
+	// ShardsReused / ShardsSolved tally conflict clusters whose result was
+	// taken from cache vs recomputed, across all Detects.
+	ShardsReused int
+	ShardsSolved int
+	// FallbackDirty counts clusters conservatively re-solved because a reuse
+	// invariant check failed; it should stay 0.
+	FallbackDirty int
+}
+
+// NewIncremental starts an edit session on a deep copy of l (the caller's
+// layout is never touched). The options configure every subsequent Detect.
+func NewIncremental(l *layout.Layout, r layout.Rules, kind GraphKind, opt Options) (*Incremental, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	inc := &Incremental{
+		rules:   r,
+		kind:    kind,
+		opt:     opt,
+		lay:     l.Clone(),
+		dirty:   make(map[int32]bool),
+		deleted: make(map[int32]bool),
+		grid:    geom.NewGrid(featureGridCell(r)),
+	}
+	inc.featUID = make([]int32, len(inc.lay.Features))
+	inc.featOf = make([]int32, 0, len(inc.lay.Features))
+	for i, f := range inc.lay.Features {
+		uid := inc.nextUID
+		inc.nextUID++
+		inc.featUID[i] = uid
+		inc.featOf = append(inc.featOf, int32(i))
+		inc.grid.Insert(uid, f.Rect)
+	}
+	return inc, nil
+}
+
+// featureGridCell sizes the persistent feature grid near the interaction
+// reach so neighborhood queries touch few cells.
+func featureGridCell(r layout.Rules) int64 {
+	c := 2 * (2*(r.ShifterGap+r.ShifterWidth) + r.MinShifterSpacing)
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+// reach is the interaction radius of an edit: a feature farther than this
+// from a rectangle cannot share an overlap constraint with a feature inside
+// it (shifters extend ShifterGap+ShifterWidth beyond each feature and couple
+// below MinShifterSpacing).
+func (inc *Incremental) reach() int64 {
+	return 2*(inc.rules.ShifterGap+inc.rules.ShifterWidth) + inc.rules.MinShifterSpacing + 1
+}
+
+// Layout returns the engine's working copy. Callers must treat it as
+// read-only and mutate only through the edit methods.
+func (inc *Incremental) Layout() *layout.Layout { return inc.lay }
+
+// Stats returns the cumulative work counters.
+func (inc *Incremental) Stats() IncStats { return inc.stats }
+
+// SetWorkers bounds the worker pool used to re-solve dirty clusters.
+func (inc *Incremental) SetWorkers(n int) { inc.opt.Workers = n }
+
+// AddFeature appends a feature and returns its index.
+func (inc *Incremental) AddFeature(r geom.Rect, layer int) int {
+	fi := len(inc.lay.Features)
+	inc.lay.Features = append(inc.lay.Features, layout.Feature{Rect: r, Layer: layer})
+	uid := inc.nextUID
+	inc.nextUID++
+	inc.featUID = append(inc.featUID, uid)
+	inc.featOf = append(inc.featOf, int32(fi))
+	inc.grid.Insert(uid, r)
+	inc.dirty[uid] = true
+	inc.stats.Edits++
+	return fi
+}
+
+// MoveFeature moves (or resizes) feature i to rectangle r.
+func (inc *Incremental) MoveFeature(i int, r geom.Rect) error {
+	if i < 0 || i >= len(inc.lay.Features) {
+		return fmt.Errorf("core: move: feature index %d out of range [0,%d)", i, len(inc.lay.Features))
+	}
+	f := &inc.lay.Features[i]
+	uid := inc.featUID[i]
+	inc.grid.Remove(uid, f.Rect)
+	f.Rect = r
+	inc.grid.Insert(uid, r)
+	inc.dirty[uid] = true
+	inc.stats.Edits++
+	return nil
+}
+
+// DeleteFeature removes feature i; later features shift down one index, as
+// with a slice deletion.
+func (inc *Incremental) DeleteFeature(i int) error {
+	if i < 0 || i >= len(inc.lay.Features) {
+		return fmt.Errorf("core: delete: feature index %d out of range [0,%d)", i, len(inc.lay.Features))
+	}
+	uid := inc.featUID[i]
+	inc.grid.Remove(uid, inc.lay.Features[i].Rect)
+	inc.lay.Features = append(inc.lay.Features[:i], inc.lay.Features[i+1:]...)
+	inc.featUID = append(inc.featUID[:i], inc.featUID[i+1:]...)
+	for j := i; j < len(inc.featUID); j++ {
+		inc.featOf[inc.featUID[j]] = int32(j)
+	}
+	inc.featOf[uid] = -1
+	delete(inc.dirty, uid)
+	inc.deleted[uid] = true
+	inc.stats.Edits++
+	return nil
+}
+
+// Detect re-runs the detection flow on the current layout, reusing every
+// cluster result the pending edits did not invalidate. The returned
+// Detection is bit-identical to a from-scratch BuildGraph + DetectContext
+// on the same layout. With no pending edits the previous Detection is
+// returned unchanged.
+func (inc *Incremental) Detect(ctx context.Context) (*Detection, error) {
+	if inc.prev != nil && len(inc.dirty) == 0 && len(inc.deleted) == 0 {
+		return inc.prev.det, nil
+	}
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// --- 1. Patch the overlap-pair records from the edit neighborhood. ---
+	records, droppedOv, freshOvMark, err := inc.patchPairs()
+	if err != nil {
+		return nil, err
+	}
+
+	// --- 2. Rebuild the shifter set in from-scratch order. ---
+	set, ovRecs := inc.buildSet(records)
+
+	// --- 3. Rebuild the conflict graph (same constructor as from-scratch,
+	// so drawing, positions and index spaces match exactly). ---
+	cg, err := BuildGraphFromSet(inc.lay, inc.rules, set, inc.kind)
+	if err != nil {
+		return nil, err
+	}
+	g := cg.Drawing.G
+	det := &Detection{Graph: cg}
+	det.Stats.GraphNodes = cg.Nodes()
+	det.Stats.GraphEdges = cg.Edges()
+
+	// --- 4. Stable identities and survivor matching against the previous
+	// generation. ---
+	nodeKeys, edgeKeys := inc.identityKeys(set, ovRecs)
+	isNewEdge := func(key int64) bool {
+		if key&3 == 3 {
+			return inc.dirty[int32(key>>2)]
+		}
+		return int32(key>>2) >= freshOvMark
+	}
+	isDeadEdge := func(key int64) bool {
+		if key&3 == 3 {
+			uid := int32(key >> 2)
+			return inc.dirty[uid] || inc.deleted[uid]
+		}
+		return droppedOv[int32(key>>2)]
+	}
+	isNewNode := func(key int64) bool {
+		if key&3 == 2 {
+			return int32(key>>2) >= freshOvMark
+		}
+		return inc.dirty[int32(key>>2)]
+	}
+	isDeadNode := func(key int64) bool {
+		if key&3 == 2 {
+			return droppedOv[int32(key>>2)]
+		}
+		uid := int32(key >> 2)
+		return inc.dirty[uid] || inc.deleted[uid]
+	}
+
+	var oldToNewEdge, newToOldEdge []int
+	var changedNode []bool
+	full := inc.prev == nil
+	if !full {
+		oldToNewEdge, newToOldEdge, err = matchSurvivors(inc.prev.edgeKeys, edgeKeys, isDeadEdge, isNewEdge)
+		if err == nil {
+			var newToOldNode []int
+			_, newToOldNode, err = matchSurvivors(inc.prev.nodeKeys, nodeKeys, isDeadNode, isNewNode)
+			if err == nil {
+				changedNode = make([]bool, g.N())
+				oldPos := inc.prev.det.Graph.Drawing.Pos
+				for nv, ov := range newToOldNode {
+					if ov < 0 {
+						changedNode[nv] = true
+					} else if oldPos[ov] != cg.Drawing.Pos[nv] {
+						changedNode[nv] = true
+					}
+				}
+			}
+		}
+		if err != nil {
+			// A survivor-matching inconsistency means a reuse invariant is
+			// broken; fall back to a full recompute rather than risk a wrong
+			// result. The differential test suite treats this as a bug
+			// signal via FallbackDirty.
+			inc.stats.FallbackDirty++
+			full = true
+		}
+	}
+
+	// --- 5. Dirty edges and the patched crossing-pair set. ---
+	m := g.M()
+	dirtyEdge := make([]bool, m)
+	if full {
+		for e := range dirtyEdge {
+			dirtyEdge[e] = true
+		}
+	} else {
+		for e := 0; e < m; e++ {
+			if newToOldEdge[e] < 0 {
+				dirtyEdge[e] = true
+				continue
+			}
+			ed := g.Edge(e)
+			if changedNode[ed.U] || changedNode[ed.V] {
+				dirtyEdge[e] = true
+			}
+		}
+	}
+
+	tCross := time.Now()
+	var crossPairs [][2]int
+	if full {
+		crossPairs = cg.Drawing.Crossings()
+	} else {
+		crossPairs = inc.patchCrossings(cg, dirtyEdge, oldToNewEdge)
+	}
+	det.Stats.CrossTime = time.Since(tCross)
+	det.Stats.CrossingPairs = len(crossPairs)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// --- 6. Cluster partition, taint propagation, dirty-cluster set. ---
+	labels, nShards := conflictClusters(g, crossPairs)
+	edgeCluster := make([]int32, m)
+	for e := 0; e < m; e++ {
+		edgeCluster[e] = int32(labels[g.Edge(e).U])
+	}
+
+	dirtyCluster := make([]bool, nShards)
+	reuseFrom := make([]int32, nShards)
+	for i := range reuseFrom {
+		reuseFrom[i] = -1
+	}
+	if full {
+		for i := range dirtyCluster {
+			dirtyCluster[i] = true
+		}
+	} else {
+		// Old clusters touched by a death or a dirty survivor taint every
+		// edge they still own.
+		tainted := make([]bool, inc.prev.nShards)
+		for oe, ne := range oldToNewEdge {
+			if ne < 0 {
+				tainted[inc.prev.edgeCluster[oe]] = true
+			}
+		}
+		for e := 0; e < m; e++ {
+			if dirtyEdge[e] && newToOldEdge[e] >= 0 {
+				tainted[inc.prev.edgeCluster[newToOldEdge[e]]] = true
+			}
+		}
+		oldSize := make([]int32, inc.prev.nShards)
+		for _, c := range inc.prev.edgeCluster {
+			oldSize[c]++
+		}
+		// Pass 1: a cluster owning any dirty edge, or any survivor of a
+		// tainted old cluster, must be re-solved.
+		newSize := make([]int32, nShards)
+		for e := 0; e < m; e++ {
+			c := edgeCluster[e]
+			newSize[c]++
+			if dirtyEdge[e] || tainted[inc.prev.edgeCluster[newToOldEdge[e]]] {
+				dirtyCluster[c] = true
+			}
+		}
+		// Pass 2: every remaining cluster must coincide exactly with one
+		// untainted old cluster; any disagreement means a reuse invariant
+		// broke, and the cluster is conservatively re-solved.
+		for e := 0; e < m; e++ {
+			c := edgeCluster[e]
+			if dirtyCluster[c] {
+				continue
+			}
+			oc := inc.prev.edgeCluster[newToOldEdge[e]]
+			if reuseFrom[c] < 0 {
+				reuseFrom[c] = oc
+			} else if reuseFrom[c] != oc {
+				// Two untainted old clusters cannot merge without a dirty
+				// link.
+				dirtyCluster[c] = true
+				inc.stats.FallbackDirty++
+			}
+		}
+		for c := 0; c < nShards; c++ {
+			if dirtyCluster[c] || reuseFrom[c] < 0 {
+				continue
+			}
+			if newSize[c] != oldSize[reuseFrom[c]] {
+				dirtyCluster[c] = true
+				inc.stats.FallbackDirty++
+			}
+		}
+	}
+
+	// --- 7. Re-induce and re-solve only the dirty clusters. ---
+	shards := cg.Drawing.InducedComponentsSubset(labels, nShards, dirtyCluster)
+	localEdge := make([]int32, m)
+	for c := range shards {
+		if !dirtyCluster[c] {
+			continue
+		}
+		for le, ge := range shards[c].EdgeOf {
+			localEdge[ge] = int32(le)
+		}
+	}
+	pairsByShard := make([][][2]int, nShards)
+	for _, p := range crossPairs {
+		c := edgeCluster[p[0]]
+		if dirtyCluster[c] {
+			pairsByShard[c] = append(pairsByShard[c], [2]int{int(localEdge[p[0]]), int(localEdge[p[1]])})
+		}
+	}
+	jobs := make([]shardJob, nShards)
+	for c := range shards {
+		if dirtyCluster[c] && shards[c].D != nil && shards[c].D.G.M() > 0 {
+			jobs[c] = shardJob{d: shards[c].D, pairs: pairsByShard[c]}
+		}
+	}
+	results := make([]*shardResult, nShards)
+	if err := runShards(ctx, jobs, results, inc.opt.Workers, inc.opt); err != nil {
+		return nil, err
+	}
+	fresh := make([]bool, nShards)
+	for c := range results {
+		if dirtyCluster[c] {
+			fresh[c] = true
+			if results[c] != nil {
+				inc.stats.ShardsSolved++
+			}
+			continue
+		}
+		if reuseFrom[c] >= 0 {
+			results[c] = inc.prev.results[reuseFrom[c]]
+			inc.stats.ShardsReused++
+			det.Stats.ReusedShards++
+		}
+	}
+
+	// --- 8. Merge in cluster order, exactly as the from-scratch flow. ---
+	edgeOf := make([][]int, nShards)
+	for c := range shards {
+		edgeOf[c] = shards[c].EdgeOf
+		if n := len(shards[c].EdgeOf); n > 0 {
+			det.Stats.Shards++
+			if n > det.Stats.LargestShardEdges {
+				det.Stats.LargestShardEdges = n
+			}
+		}
+	}
+	if err := mergeShards(det, cg, edgeOf, results, fresh); err != nil {
+		return nil, err
+	}
+	det.Stats.TotalTime = time.Since(start)
+
+	// --- 9. Commit the new state. ---
+	inc.pairs = records
+	inc.prev = &incSnapshot{
+		set:         set,
+		det:         det,
+		nodeKeys:    nodeKeys,
+		edgeKeys:    edgeKeys,
+		crossPairs:  crossPairs,
+		edgeCluster: edgeCluster,
+		nShards:     nShards,
+		results:     results,
+	}
+	inc.dirty = make(map[int32]bool)
+	inc.deleted = make(map[int32]bool)
+	inc.stats.Detects++
+	if full {
+		inc.stats.FullDetects++
+	}
+	return det, nil
+}
+
+// patchPairs drops every overlap-pair record touching an edited or deleted
+// feature and re-enumerates the pairs of each edited feature against its
+// geometric neighborhood. On the first run it enumerates everything via the
+// same generator the from-scratch flow uses.
+func (inc *Incremental) patchPairs() (records []pairRec, droppedOv map[int32]bool, freshOvMark int32, err error) {
+	droppedOv = make(map[int32]bool)
+	freshOvMark = inc.nextOvUID
+	if inc.prev == nil && len(inc.pairs) == 0 {
+		set, err := shifter.Generate(inc.lay, inc.rules)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		records = make([]pairRec, 0, len(set.Overlaps))
+		for _, ov := range set.Overlaps {
+			a, b := set.Shifters[ov.A], set.Shifters[ov.B]
+			records = append(records, pairRec{
+				uidA: inc.featUID[a.Feature], sideA: a.Side,
+				uidB: inc.featUID[b.Feature], sideB: b.Side,
+				deficit: ov.Deficit,
+				uid:     inc.newOvUID(),
+			})
+		}
+		return records, droppedOv, freshOvMark, nil
+	}
+
+	touched := func(uid int32) bool { return inc.dirty[uid] || inc.deleted[uid] }
+	records = make([]pairRec, 0, len(inc.pairs)+8)
+	for _, rec := range inc.pairs {
+		if touched(rec.uidA) || touched(rec.uidB) {
+			droppedOv[rec.uid] = true
+			continue
+		}
+		records = append(records, rec)
+	}
+
+	// Deterministic processing order: dirty features by current index.
+	dirtyIdx := make([]int, 0, len(inc.dirty))
+	for uid := range inc.dirty {
+		if fi := inc.featOf[uid]; fi >= 0 {
+			dirtyIdx = append(dirtyIdx, int(fi))
+		}
+	}
+	sort.Ints(dirtyIdx)
+	for _, fi := range dirtyIdx {
+		f := inc.lay.Features[fi]
+		if !inc.rules.IsCritical(f) {
+			continue
+		}
+		fUID := inc.featUID[fi]
+		loF, hiF := shifter.Flanks(f, inc.rules)
+		fShifters := [2]geom.Rect{loF, hiF}
+		inc.grid.Query(f.Rect.Expand(inc.reach()), nil, func(gUID int32) {
+			gi := inc.featOf[gUID]
+			if gi < 0 || int(gi) == fi {
+				return
+			}
+			if inc.dirty[gUID] && int(gi) < fi {
+				return // the pair was handled from the other side
+			}
+			gf := inc.lay.Features[gi]
+			if !inc.rules.IsCritical(gf) {
+				return
+			}
+			loG, hiG := shifter.Flanks(gf, inc.rules)
+			gShifters := [2]geom.Rect{loG, hiG}
+			for sa := 0; sa < 2; sa++ {
+				for sb := 0; sb < 2; sb++ {
+					deficit, ok := shifter.OverlapDeficit(fShifters[sa], gShifters[sb], inc.rules)
+					if !ok {
+						continue
+					}
+					records = append(records, pairRec{
+						uidA: fUID, sideA: shifter.Side(sa),
+						uidB: gUID, sideB: shifter.Side(sb),
+						deficit: deficit,
+						uid:     inc.newOvUID(),
+					})
+				}
+			}
+		})
+	}
+	return records, droppedOv, freshOvMark, nil
+}
+
+func (inc *Incremental) newOvUID() int32 {
+	uid := inc.nextOvUID
+	inc.nextOvUID++
+	return uid
+}
+
+// buildSet materializes the shifter set of the current layout from the pair
+// records, in exactly the order shifter.Generate produces: shifters by
+// (feature, side), overlaps sorted by (A, B). ovRecs parallels set.Overlaps.
+func (inc *Incremental) buildSet(records []pairRec) (*shifter.Set, []pairRec) {
+	set := &shifter.Set{PairOf: make(map[int][2]int)}
+	base := make([]int32, len(inc.lay.Features))
+	for fi, f := range inc.lay.Features {
+		base[fi] = -1
+		if !inc.rules.IsCritical(f) {
+			continue
+		}
+		lo, hi := shifter.Flanks(f, inc.rules)
+		a := len(set.Shifters)
+		set.Shifters = append(set.Shifters,
+			shifter.Shifter{Rect: lo, Feature: fi, Side: shifter.LowSide},
+			shifter.Shifter{Rect: hi, Feature: fi, Side: shifter.HighSide},
+		)
+		set.PairOf[fi] = [2]int{a, a + 1}
+		base[fi] = int32(a)
+	}
+	type ovTmp struct {
+		ov  shifter.Overlap
+		rec pairRec
+	}
+	tmp := make([]ovTmp, 0, len(records))
+	for _, rec := range records {
+		a := int(base[inc.featOf[rec.uidA]]) + int(rec.sideA)
+		b := int(base[inc.featOf[rec.uidB]]) + int(rec.sideB)
+		if a > b {
+			a, b = b, a
+		}
+		tmp = append(tmp, ovTmp{shifter.Overlap{A: a, B: b, Deficit: rec.deficit}, rec})
+	}
+	sort.Slice(tmp, func(i, j int) bool {
+		if tmp[i].ov.A != tmp[j].ov.A {
+			return tmp[i].ov.A < tmp[j].ov.A
+		}
+		return tmp[i].ov.B < tmp[j].ov.B
+	})
+	ovRecs := make([]pairRec, len(tmp))
+	set.Overlaps = make([]shifter.Overlap, len(tmp))
+	for i, t := range tmp {
+		set.Overlaps[i] = t.ov
+		ovRecs[i] = t.rec
+	}
+	return set, ovRecs
+}
+
+// identityKeys computes the stable node and edge identity keys of the graph
+// BuildGraphFromSet constructs from this set: shifter nodes, then one aux
+// node per overlap; overlap edges (two per overlap, in overlap order), then
+// one feature edge per critical feature in feature order.
+func (inc *Incremental) identityKeys(set *shifter.Set, ovRecs []pairRec) (nodeKeys, edgeKeys []int64) {
+	nodeKeys = make([]int64, 0, len(set.Shifters)+len(set.Overlaps))
+	for _, sh := range set.Shifters {
+		nodeKeys = append(nodeKeys, shifterNodeKey(inc.featUID[sh.Feature], sh.Side))
+	}
+	for _, rec := range ovRecs {
+		nodeKeys = append(nodeKeys, auxNodeKey(rec.uid))
+	}
+	edgeKeys = make([]int64, 0, 2*len(set.Overlaps)+len(set.PairOf))
+	for _, rec := range ovRecs {
+		edgeKeys = append(edgeKeys, overlapEdgeKey(rec.uid, 0), overlapEdgeKey(rec.uid, 1))
+	}
+	for fi := range inc.lay.Features {
+		if _, ok := set.PairOf[fi]; ok {
+			edgeKeys = append(edgeKeys, featureEdgeKey(inc.featUID[fi]))
+		}
+	}
+	return nodeKeys, edgeKeys
+}
+
+// matchSurvivors aligns two identity-key sequences whose surviving elements
+// keep their relative order: old elements for which isDead holds and new
+// elements for which isNew holds are unmatched; the remainders must zip
+// one-to-one with equal keys. It returns oldToNew and newToOld index maps
+// (-1 where unmatched) or an error when the zip invariant fails.
+func matchSurvivors(oldKeys, newKeys []int64, isDead, isNew func(int64) bool) (oldToNew, newToOld []int, err error) {
+	oldToNew = make([]int, len(oldKeys))
+	newToOld = make([]int, len(newKeys))
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	for i := range newToOld {
+		newToOld[i] = -1
+	}
+	oi := 0
+	advance := func() {
+		for oi < len(oldKeys) && isDead(oldKeys[oi]) {
+			oi++
+		}
+	}
+	advance()
+	for ni, key := range newKeys {
+		if isNew(key) {
+			continue
+		}
+		if oi >= len(oldKeys) || oldKeys[oi] != key {
+			return nil, nil, fmt.Errorf("core: incremental survivor mismatch at new index %d", ni)
+		}
+		oldToNew[oi] = ni
+		newToOld[ni] = oi
+		oi++
+		advance()
+	}
+	if oi != len(oldKeys) {
+		return nil, nil, fmt.Errorf("core: incremental survivor mismatch: %d old elements unconsumed", len(oldKeys)-oi)
+	}
+	return oldToNew, newToOld, nil
+}
+
+// patchCrossings assembles the current crossing-pair set from the previous
+// one: pairs between two clean surviving edges carry over through the index
+// maps; every pair involving a dirty edge is recomputed exactly on the
+// geometric neighborhood of the dirty edges.
+func (inc *Incremental) patchCrossings(cg *ConflictGraph, dirtyEdge []bool, oldToNewEdge []int) [][2]int {
+	d := cg.Drawing
+	m := d.G.M()
+	out := make([][2]int, 0, len(inc.prev.crossPairs)+8)
+	for _, p := range inc.prev.crossPairs {
+		na, nb := oldToNewEdge[p[0]], oldToNewEdge[p[1]]
+		if na >= 0 && nb >= 0 && !dirtyEdge[na] && !dirtyEdge[nb] {
+			out = append(out, [2]int{na, nb})
+		}
+	}
+	var region geom.Rect
+	bounds := make([]geom.Rect, m)
+	var dirtyExtent int64
+	nDirty := 0
+	for e := 0; e < m; e++ {
+		bounds[e] = d.EdgeBounds(e)
+		if dirtyEdge[e] {
+			region = region.Union(bounds[e])
+			dirtyExtent += bounds[e].Width() + bounds[e].Height()
+			nDirty++
+		}
+	}
+	if nDirty > 0 {
+		// Candidate edges are those whose bounds meet some dirty edge's
+		// bounds. A grid over just the dirty bounds keeps the candidate set
+		// proportional to the true neighborhoods even when a batch edits
+		// far-apart corners of the layout (the union box alone would admit
+		// everything in between); the union box remains as a cheap
+		// pre-filter before the per-edge grid query.
+		cell := dirtyExtent/int64(2*nDirty) + 1
+		if cell < 16 {
+			cell = 16
+		}
+		dg := geom.NewGrid(cell)
+		for e := 0; e < m; e++ {
+			if dirtyEdge[e] {
+				dg.Insert(int32(e), bounds[e])
+			}
+		}
+		seen := make([]bool, m)
+		local := make([]int, 0, 64)
+		for e := 0; e < m; e++ {
+			if !bounds[e].Intersects(region) {
+				continue
+			}
+			hit := dirtyEdge[e]
+			if !hit {
+				eb := bounds[e]
+				dg.Query(eb, seen, func(de int32) {
+					if bounds[de].Intersects(eb) {
+						hit = true
+					}
+				})
+			}
+			if hit {
+				local = append(local, e)
+			}
+		}
+		out = append(out, d.CrossingsAmong(local, dirtyEdge)...)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}

@@ -9,20 +9,23 @@ import (
 // pairs for rectangle-proximity and segment-crossing queries. Items are
 // referenced by dense integer ids supplied by the caller.
 //
-// Inserts append to a flat (cell, id) log; the first query sorts the log
-// once and then works on contiguous per-cell runs. This build-then-sweep
-// shape matches every caller (insert everything, enumerate pairs) and
-// avoids the per-insert map assignment and per-cell slice growth a bucket
-// map pays. Inserting after a query re-sorts lazily on the next query.
+// The entry set is kept as a sorted (cell, id) base array plus pending
+// insert/remove logs; the first query after a mutation sorts only the
+// pending logs and folds them into the base in one merge pass. One-shot
+// build-then-sweep callers (insert everything, enumerate pairs) pay a single
+// sort exactly as before, while long-lived callers — the incremental
+// detection engine keeps a feature grid alive across edits — pay
+// O(k log k + n) per batch of k edits instead of re-sorting the whole log.
 //
 // The zero Grid is not usable; construct with NewGrid. Cell size should be
 // on the order of the query distance (rect proximity) or the median segment
 // length (crossing detection); a poor choice affects only performance, never
 // correctness.
 type Grid struct {
-	cell    int64
-	entries []gridEntry
-	sorted  bool
+	cell int64
+	base []gridEntry // sorted by (key, id)
+	adds []gridEntry // pending inserts, unsorted
+	dels []gridEntry // pending removes, unsorted
 }
 
 type gridEntry struct {
@@ -53,35 +56,92 @@ func (g *Grid) Insert(id int32, r Rect) {
 	cx0, cy0, cx1, cy1 := g.cellRange(r)
 	for cx := cx0; cx <= cx1; cx++ {
 		for cy := cy0; cy <= cy1; cy++ {
-			g.entries = append(g.entries, gridEntry{packCell(cx, cy), id})
+			g.adds = append(g.adds, gridEntry{packCell(cx, cy), id})
 		}
 	}
-	g.sorted = false
 }
 
-// build sorts the entry log by cell so each cell's ids form one contiguous
-// run (ties by id for determinism).
+// Remove unregisters an id previously Inserted with the same bounding box r.
+// Each Remove cancels exactly one matching Insert; removing an (id, r) pair
+// that was never inserted is a no-op for cells no matching entry occupies.
+func (g *Grid) Remove(id int32, r Rect) {
+	cx0, cy0, cx1, cy1 := g.cellRange(r)
+	for cx := cx0; cx <= cx1; cx++ {
+		for cy := cy0; cy <= cy1; cy++ {
+			g.dels = append(g.dels, gridEntry{packCell(cx, cy), id})
+		}
+	}
+}
+
+// Len returns the number of live entries (cell registrations) after folding
+// pending mutations.
+func (g *Grid) Len() int {
+	g.build()
+	return len(g.base)
+}
+
+func entryLess(a, b gridEntry) int {
+	if a.key != b.key {
+		if a.key < b.key {
+			return -1
+		}
+		return 1
+	}
+	return int(a.id) - int(b.id)
+}
+
+// build folds the pending insert/remove logs into the sorted base so each
+// cell's ids form one contiguous run (ties by id for determinism).
 func (g *Grid) build() {
-	if g.sorted {
+	if len(g.adds) == 0 && len(g.dels) == 0 {
 		return
 	}
-	slices.SortFunc(g.entries, func(a, b gridEntry) int {
-		if a.key != b.key {
-			if a.key < b.key {
-				return -1
-			}
-			return 1
+	slices.SortFunc(g.adds, entryLess)
+	if len(g.dels) == 0 && len(g.base) == 0 {
+		// Common one-shot path: the sorted adds are the base.
+		g.base, g.adds = g.adds, nil
+		return
+	}
+	slices.SortFunc(g.dels, entryLess)
+	merged := make([]gridEntry, 0, len(g.base)+len(g.adds))
+	bi, ai, di := 0, 0, 0
+	next := func() (gridEntry, bool) {
+		switch {
+		case bi < len(g.base) && (ai >= len(g.adds) || entryLess(g.base[bi], g.adds[ai]) <= 0):
+			e := g.base[bi]
+			bi++
+			return e, true
+		case ai < len(g.adds):
+			e := g.adds[ai]
+			ai++
+			return e, true
 		}
-		return int(a.id) - int(b.id)
-	})
-	g.sorted = true
+		return gridEntry{}, false
+	}
+	for {
+		e, ok := next()
+		if !ok {
+			break
+		}
+		// Skip removes with no matching live entry, then let each remaining
+		// remove cancel one identical live entry.
+		for di < len(g.dels) && entryLess(g.dels[di], e) < 0 {
+			di++
+		}
+		if di < len(g.dels) && g.dels[di] == e {
+			di++
+			continue
+		}
+		merged = append(merged, e)
+	}
+	g.base, g.adds, g.dels = merged, nil, nil
 }
 
 // cellRun returns the [lo, hi) entry range of the cell, via binary search.
 func (g *Grid) cellRun(key uint64) (int, int) {
-	lo := sort.Search(len(g.entries), func(i int) bool { return g.entries[i].key >= key })
+	lo := sort.Search(len(g.base), func(i int) bool { return g.base[i].key >= key })
 	hi := lo
-	for hi < len(g.entries) && g.entries[hi].key == key {
+	for hi < len(g.base) && g.base[hi].key == key {
 		hi++
 	}
 	return lo, hi
@@ -91,21 +151,31 @@ func (g *Grid) cellRun(key uint64) (int, int) {
 // touched by r. The same id is never reported twice per call; candidates are
 // a superset of true hits and must be filtered by the caller. seen is scratch
 // storage reused across calls when non-nil: it must have capacity for all
-// ids and be all-false on entry (Query resets it before returning).
+// ids and be all-false on entry (Query resets it before returning). When
+// seen is nil, ids are deduplicated internally.
 func (g *Grid) Query(r Rect, seen []bool, fn func(id int32)) {
 	g.build()
 	cx0, cy0, cx1, cy1 := g.cellRange(r)
 	var touched []int32
+	var local map[int32]bool
+	if seen == nil {
+		local = make(map[int32]bool)
+	}
 	for cx := cx0; cx <= cx1; cx++ {
 		for cy := cy0; cy <= cy1; cy++ {
 			lo, hi := g.cellRun(packCell(cx, cy))
-			for _, e := range g.entries[lo:hi] {
+			for _, e := range g.base[lo:hi] {
 				if seen != nil {
 					if seen[e.id] {
 						continue
 					}
 					seen[e.id] = true
 					touched = append(touched, e.id)
+				} else {
+					if local[e.id] {
+						continue
+					}
+					local[e.id] = true
 				}
 				fn(e.id)
 			}
@@ -122,9 +192,9 @@ func (g *Grid) Query(r Rect, seen []bool, fn func(id int32)) {
 func (g *Grid) ForEachPair(fn func(i, j int32)) {
 	g.build()
 	nPairs := 0
-	for lo := 0; lo < len(g.entries); {
+	for lo := 0; lo < len(g.base); {
 		hi := lo + 1
-		for hi < len(g.entries) && g.entries[hi].key == g.entries[lo].key {
+		for hi < len(g.base) && g.base[hi].key == g.base[lo].key {
 			hi++
 		}
 		n := hi - lo
@@ -132,13 +202,13 @@ func (g *Grid) ForEachPair(fn func(i, j int32)) {
 		lo = hi
 	}
 	pairs := make([]uint64, 0, nPairs)
-	for lo := 0; lo < len(g.entries); {
+	for lo := 0; lo < len(g.base); {
 		hi := lo + 1
-		key := g.entries[lo].key
-		for hi < len(g.entries) && g.entries[hi].key == key {
+		key := g.base[lo].key
+		for hi < len(g.base) && g.base[hi].key == key {
 			hi++
 		}
-		run := g.entries[lo:hi]
+		run := g.base[lo:hi]
 		for a := 0; a < len(run); a++ {
 			for b := a + 1; b < len(run); b++ {
 				i, j := run[a].id, run[b].id

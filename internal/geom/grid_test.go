@@ -1,0 +1,129 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collectPairs snapshots ForEachPair output for comparison.
+func collectPairs(g *Grid) [][2]int32 {
+	var out [][2]int32
+	g.ForEachPair(func(i, j int32) { out = append(out, [2]int32{i, j}) })
+	return out
+}
+
+func pairsEqual(a, b [][2]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGridRemove: removing an entry with the rect it was inserted with must
+// leave the grid equivalent to one that never saw the entry, across
+// interleaved query/mutate rounds (the incremental maintenance path).
+func TestGridRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type item struct {
+		id int32
+		r  Rect
+	}
+	live := map[int32]item{}
+	g := NewGrid(100)
+	next := int32(0)
+	for round := 0; round < 50; round++ {
+		// Mutate: a few inserts and removes.
+		for k := 0; k < 3; k++ {
+			x := rng.Int63n(2000) - 1000
+			y := rng.Int63n(2000) - 1000
+			it := item{next, R(x, y, x+rng.Int63n(300)+1, y+rng.Int63n(300)+1)}
+			next++
+			live[it.id] = it
+			g.Insert(it.id, it.r)
+		}
+		if len(live) > 4 && rng.Intn(2) == 0 {
+			for id, it := range live {
+				g.Remove(id, it.r)
+				delete(live, id)
+				break
+			}
+		}
+		// Reference grid built from scratch over the live set.
+		ref := NewGrid(100)
+		for _, it := range live {
+			ref.Insert(it.id, it.r)
+		}
+		if g.Len() != ref.Len() {
+			t.Fatalf("round %d: %d entries, want %d", round, g.Len(), ref.Len())
+		}
+		if !pairsEqual(collectPairs(g), collectPairs(ref)) {
+			t.Fatalf("round %d: pair enumeration diverged from rebuild", round)
+		}
+		// Query equivalence on a random window.
+		q := R(rng.Int63n(2000)-1000, rng.Int63n(2000)-1000, rng.Int63n(2000), rng.Int63n(2000))
+		got := map[int32]bool{}
+		g.Query(q, nil, func(id int32) { got[id] = true })
+		want := map[int32]bool{}
+		ref.Query(q, nil, func(id int32) { want[id] = true })
+		if len(got) != len(want) {
+			t.Fatalf("round %d: query returned %d ids, want %d", round, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("round %d: query missing id %d", round, id)
+			}
+		}
+	}
+}
+
+// TestGridRemoveUnmatched: removing a pair that was never inserted must not
+// disturb other entries, including later removes of real entries.
+func TestGridRemoveUnmatched(t *testing.T) {
+	g := NewGrid(50)
+	g.Insert(1, R(0, 0, 10, 10))
+	g.Insert(2, R(5, 5, 20, 20))
+	g.Remove(3, R(0, 0, 10, 10))           // never inserted
+	g.Remove(1, R(1000, 1000, 1010, 1010)) // wrong rect: no matching cells
+	if g.Len() != 2 {
+		t.Fatalf("unmatched removes changed the grid: %d entries", g.Len())
+	}
+	g.Remove(1, R(0, 0, 10, 10))
+	found := false
+	g.Query(R(0, 0, 30, 30), nil, func(id int32) {
+		if id == 1 {
+			t.Error("id 1 still present after remove")
+		}
+		if id == 2 {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("id 2 lost by sibling remove")
+	}
+}
+
+// TestGridDuplicateEntries: duplicate inserts of the same (id, rect) require
+// matching removes one by one.
+func TestGridDuplicateEntries(t *testing.T) {
+	g := NewGrid(50)
+	r := R(0, 0, 10, 10)
+	g.Insert(7, r)
+	g.Insert(7, r)
+	g.Remove(7, r)
+	seen := false
+	g.Query(r, nil, func(id int32) { seen = seen || id == 7 })
+	if !seen {
+		t.Fatal("second insert vanished after one remove")
+	}
+	g.Remove(7, r)
+	seen = false
+	g.Query(r, nil, func(id int32) { seen = seen || id == 7 })
+	if seen {
+		t.Fatal("id 7 present after matched removes")
+	}
+}

@@ -167,6 +167,17 @@ type Induced struct {
 // the whole. The entire extraction is a single O(N+M) pass, unlike repeated
 // per-component SubgraphWithoutEdges-style filtering.
 func (g *Graph) InducedComponents(labels []int, count int) ([]Induced, []int) {
+	return g.InducedComponentsSubset(labels, count, nil)
+}
+
+// InducedComponentsSubset is InducedComponents restricted to the parts
+// marked in keep: every part's Nodes and EdgeOf index maps are filled (they
+// cost one shared O(N+M) pass regardless), but the standalone subgraph G is
+// materialized only for kept parts. A nil keep materializes every part.
+// The incremental detection engine uses this to re-induce only the dirty
+// conflict clusters of an edited layout while still obtaining the edge index
+// maps it needs to re-merge cached results for the clean ones.
+func (g *Graph) InducedComponentsSubset(labels []int, count int, keep []bool) ([]Induced, []int) {
 	if len(labels) != g.n {
 		panic(fmt.Sprintf("graph: %d labels for %d nodes", len(labels), g.n))
 	}
@@ -178,7 +189,9 @@ func (g *Graph) InducedComponents(labels []int, count int) ([]Induced, []int) {
 		parts[c].Nodes = append(parts[c].Nodes, v)
 	}
 	for c := range parts {
-		parts[c].G = New(len(parts[c].Nodes))
+		if keep == nil || keep[c] {
+			parts[c].G = New(len(parts[c].Nodes))
+		}
 	}
 	for ei, e := range g.edges {
 		c := labels[e.U]
@@ -186,7 +199,9 @@ func (g *Graph) InducedComponents(labels []int, count int) ([]Induced, []int) {
 			panic(fmt.Sprintf("graph: edge %d (%d,%d) crosses partition labels %d/%d",
 				ei, e.U, e.V, c, labels[e.V]))
 		}
-		parts[c].G.AddEdge(localOf[e.U], localOf[e.V], e.Weight)
+		if parts[c].G != nil {
+			parts[c].G.AddEdge(localOf[e.U], localOf[e.V], e.Weight)
+		}
 		parts[c].EdgeOf = append(parts[c].EdgeOf, ei)
 	}
 	return parts, localOf

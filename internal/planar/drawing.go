@@ -104,6 +104,78 @@ func (d *Drawing) segmentsConflict(e1, e2 int, segs1, segs2 []geom.Segment) bool
 	return false
 }
 
+// EdgeBounds returns the bounding rectangle of the drawn polyline of edge e
+// without materializing the segment list.
+func (d *Drawing) EdgeBounds(e int) geom.Rect {
+	ed := d.G.Edge(e)
+	u, v := d.Pos[ed.U], d.Pos[ed.V]
+	bb := geom.R(u.X, u.Y, v.X, v.Y)
+	for _, p := range d.Bends[e] {
+		bb = bb.Union(geom.R(p.X, p.Y, p.X, p.Y))
+	}
+	return bb
+}
+
+// CrossingsAmong is Crossings restricted to the given edge subset: it
+// returns, sorted ascending, every conflicting unordered pair drawn from
+// edges whose members include at least one marked edge (marked is indexed by
+// global edge id). Edges outside the subset are never tested, so callers
+// that know the geometric neighborhood of a change — the incremental
+// detection engine passes the edges whose bounds intersect the dirty region
+// — pay only for that neighborhood instead of a full sweep. The exact
+// conflict predicate is the one Crossings uses.
+func (d *Drawing) CrossingsAmong(edges []int, marked []bool) [][2]int {
+	if len(edges) == 0 {
+		return nil
+	}
+	segs := make(map[int][]geom.Segment, len(edges))
+	var sum int64
+	var nseg int
+	for _, e := range edges {
+		ss := d.Segments(e)
+		segs[e] = ss
+		for _, s := range ss {
+			b := s.Bounds()
+			sum += b.Width() + b.Height()
+			nseg++
+		}
+	}
+	cell := sum/int64(2*nseg) + 1
+	if cell < 16 {
+		cell = 16
+	}
+	g := geom.NewGrid(cell)
+	local := make([]int, len(edges)) // grid id -> global edge
+	for i, e := range edges {
+		bb := geom.Rect{}
+		for _, s := range segs[e] {
+			bb = bb.Union(s.Bounds())
+		}
+		g.Insert(int32(i), bb)
+		local[i] = e
+	}
+	var out [][2]int
+	g.ForEachPair(func(i, j int32) {
+		e1, e2 := local[i], local[j]
+		if !marked[e1] && !marked[e2] {
+			return
+		}
+		if e1 > e2 {
+			e1, e2 = e2, e1
+		}
+		if d.segmentsConflict(e1, e2, segs[e1], segs[e2]) {
+			out = append(out, [2]int{e1, e2})
+		}
+	})
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
 // Crossings returns all unordered pairs of edges that conflict in the
 // drawing, using a uniform grid over segment bounding boxes to prune
 // candidates.
@@ -252,9 +324,22 @@ type InducedDrawing struct {
 // standalone drawing per part with positions and bend polylines carried
 // over. Node and edge order is preserved inside each part.
 func (d *Drawing) InducedComponents(labels []int, count int) []InducedDrawing {
-	parts, _ := d.G.InducedComponents(labels, count)
+	return d.InducedComponentsSubset(labels, count, nil)
+}
+
+// InducedComponentsSubset is InducedComponents restricted to the parts
+// marked in keep: the node and edge index maps are filled for every part,
+// but the standalone drawing D is materialized only for kept parts (all of
+// them when keep is nil). This is the drawing-level counterpart of
+// graph.InducedComponentsSubset, used to re-induce only dirty clusters.
+func (d *Drawing) InducedComponentsSubset(labels []int, count int, keep []bool) []InducedDrawing {
+	parts, _ := d.G.InducedComponentsSubset(labels, count, keep)
 	out := make([]InducedDrawing, count)
 	for c, p := range parts {
+		out[c] = InducedDrawing{Nodes: p.Nodes, EdgeOf: p.EdgeOf}
+		if p.G == nil {
+			continue
+		}
 		pos := make([]geom.Point, p.G.N())
 		for newV, oldV := range p.Nodes {
 			pos[newV] = d.Pos[oldV]
@@ -265,7 +350,7 @@ func (d *Drawing) InducedComponents(labels []int, count int) []InducedDrawing {
 				nd.SetBends(newE, pts...)
 			}
 		}
-		out[c] = InducedDrawing{D: nd, Nodes: p.Nodes, EdgeOf: p.EdgeOf}
+		out[c].D = nd
 	}
 	return out
 }

@@ -60,7 +60,7 @@ func Generate(l *layout.Layout, r layout.Rules) (*Set, error) {
 		if !r.IsCritical(f) {
 			continue
 		}
-		lo, hi := flanks(f, r)
+		lo, hi := Flanks(f, r)
 		a := len(s.Shifters)
 		s.Shifters = append(s.Shifters,
 			Shifter{Rect: lo, Feature: fi, Side: LowSide},
@@ -72,10 +72,10 @@ func Generate(l *layout.Layout, r layout.Rules) (*Set, error) {
 	return s, nil
 }
 
-// flanks computes the two shifter rectangles for critical feature f: they
+// Flanks computes the two shifter rectangles for critical feature f: they
 // run the full feature length on both sides of its narrow dimension,
 // separated from the feature edge by the shifter gap.
-func flanks(f layout.Feature, r layout.Rules) (lo, hi geom.Rect) {
+func Flanks(f layout.Feature, r layout.Rules) (lo, hi geom.Rect) {
 	rect := f.Rect
 	if f.Orient() == layout.Horizontal {
 		lo = geom.R(rect.X0, rect.Y0-r.ShifterGap-r.ShifterWidth, rect.X1, rect.Y0-r.ShifterGap)
@@ -85,6 +85,20 @@ func flanks(f layout.Feature, r layout.Rules) (lo, hi geom.Rect) {
 	lo = geom.R(rect.X0-r.ShifterGap-r.ShifterWidth, rect.Y0, rect.X0-r.ShifterGap, rect.Y1)
 	hi = geom.R(rect.X1+r.ShifterGap, rect.Y0, rect.X1+r.ShifterGap+r.ShifterWidth, rect.Y1)
 	return lo, hi
+}
+
+// OverlapDeficit evaluates the Condition-2 predicate on two shifter
+// rectangles: it reports whether the pair is closer than the minimum
+// shifter spacing, and if so the extra space needed to legalize it (the
+// edge weight conflict detection uses). Every overlap enumeration —
+// the full generator below and the incremental engine's neighborhood
+// patching — must go through this single definition.
+func OverlapDeficit(a, b geom.Rect, r layout.Rules) (int64, bool) {
+	sep := geom.Separation(a, b)
+	if sep >= r.MinShifterSpacing {
+		return 0, false
+	}
+	return r.MinShifterSpacing - sep, true
 }
 
 // findOverlaps fills s.Overlaps with every pair of shifters whose
@@ -106,13 +120,11 @@ func (s *Set) findOverlaps(r layout.Rules) {
 		if a.Feature == b.Feature {
 			return
 		}
-		sep := geom.Separation(a.Rect, b.Rect)
-		if sep >= r.MinShifterSpacing {
+		deficit, ok := OverlapDeficit(a.Rect, b.Rect, r)
+		if !ok {
 			return
 		}
-		s.Overlaps = append(s.Overlaps, Overlap{
-			A: int(i), B: int(j), Deficit: r.MinShifterSpacing - sep,
-		})
+		s.Overlaps = append(s.Overlaps, Overlap{A: int(i), B: int(j), Deficit: deficit})
 	})
 	// Deterministic order for downstream graph construction.
 	sortOverlaps(s.Overlaps)

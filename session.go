@@ -28,7 +28,19 @@ import (
 // cancellation down to the matching solver's inner loop; a cancelled attempt
 // is NOT memoized, so the stage can be retried with a live context.
 //
-// The input layout must not be mutated while the session is in use.
+// A Session also supports in-place layout edits: AddFeature, MoveFeature,
+// DeleteFeature, and the batched Edit. The first edit switches the session
+// onto a private copy of the layout (the caller's layout is never mutated)
+// backed by an incremental detection engine: every edit invalidates the
+// memoized stages, and the next Detect re-solves only the conflict clusters
+// whose geometric neighborhood the edits touched, reusing cached per-cluster
+// results for the rest. Results are bit-identical to a from-scratch
+// detection of the edited layout. Edits also clear memoized stage errors, so
+// a layout that was ErrNotAssignable can be fixed and re-checked on the same
+// session.
+//
+// The input layout must not be mutated by the caller while the session is in
+// use.
 type Session struct {
 	engine *Engine
 	layout *Layout
@@ -38,6 +50,11 @@ type Session struct {
 
 	mu         sync.Mutex
 	detectRuns int
+	edits      int
+	// inc is the incremental edit-and-re-detect engine, armed by the first
+	// mutation; once set, s.layout aliases inc.Layout() and detection routes
+	// through it.
+	inc *core.Incremental
 
 	detect     stage[*Result]
 	assignment stage[*Assignment]
@@ -81,21 +98,216 @@ func memoLocked[T any](s *Session, st *stage[T], ctx context.Context, fs FlowSta
 // Engine returns the engine this session was created by.
 func (s *Session) Engine() *Engine { return s.engine }
 
-// Layout returns the session's input layout.
-func (s *Session) Layout() *Layout { return s.layout }
+// Layout returns the session's current layout: the input layout until the
+// first edit, the session's private edited copy afterwards. Callers must
+// treat it as read-only; mutate through the edit methods.
+func (s *Session) Layout() *Layout {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.layout
+}
 
 // SessionStats reports how much pipeline work a session has actually done.
 type SessionStats struct {
-	// DetectRuns counts how many times the conflict graph was built and the
-	// detection flow executed. Memoization keeps this at most 1.
+	// DetectRuns counts how many times the detection flow executed.
+	// Memoization keeps this at most 1 per edit generation: stages share one
+	// detection until the next mutation invalidates it.
 	DetectRuns int
+	// Edits counts accepted layout mutations.
+	Edits int
+	// Incremental reports the incremental engine's cumulative work profile
+	// (shards reused vs re-solved); zero until the session's first edit.
+	Incremental IncrementalStats
 }
 
 // Stats returns the session's work counters.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return SessionStats{DetectRuns: s.detectRuns}
+	st := SessionStats{DetectRuns: s.detectRuns, Edits: s.edits}
+	if s.inc != nil {
+		st.Incremental = s.inc.Stats()
+	}
+	return st
+}
+
+// ensureEditableLocked arms the incremental engine on the first mutation,
+// switching the session onto its own copy of the layout.
+func (s *Session) ensureEditableLocked() error {
+	if s.inc != nil {
+		return nil
+	}
+	inc, err := core.NewIncremental(s.layout, s.engine.rules, s.engine.opts.Graph, s.engine.opts.coreOptions())
+	if err != nil {
+		return err
+	}
+	s.inc = inc
+	s.layout = inc.Layout()
+	return nil
+}
+
+// invalidateLocked drops every memoized stage value and error after a
+// mutation. Detection state inside the incremental engine survives — that is
+// what makes the next Detect cheap.
+func (s *Session) invalidateLocked() {
+	s.detect = stage[*Result]{}
+	s.assignment = stage[*Assignment]{}
+	s.correction = stage[*Correction]{}
+	s.maskView = stage[*Layout]{}
+	s.drcResult = stage[[]DRCViolation]{}
+	s.junctions = stage[[]Junction]{}
+}
+
+// EnableEdits arms the incremental edit engine without mutating the layout.
+// Call it before the first Detect of a session that will be edited: that
+// detection then populates the per-cluster cache, so the first real edit
+// re-detects incrementally instead of from scratch. Without it the engine is
+// armed by the first mutation, and a detection memoized before that point
+// cannot seed the cache (its per-cluster results were already discarded), so
+// the first post-edit Detect runs full. Idempotent; safe at any time.
+func (s *Session) EnableEdits() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inc != nil {
+		return nil
+	}
+	if err := s.ensureEditableLocked(); err != nil {
+		return flowErr(StageEdit, s.layout.Name, err)
+	}
+	// A detection memoized before arming did not populate the incremental
+	// cache; drop it so the next Detect does.
+	s.invalidateLocked()
+	return nil
+}
+
+// AddFeature appends a feature rectangle on layer 0 and returns its index.
+func (s *Session) AddFeature(r Rect) (int, error) {
+	return s.AddFeatureOnLayer(r, 0)
+}
+
+// AddFeatureOnLayer appends a feature on an explicit layer and returns its
+// index.
+func (s *Session) AddFeatureOnLayer(r Rect, layer int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureEditableLocked(); err != nil {
+		return 0, flowErr(StageEdit, s.layout.Name, err)
+	}
+	i := s.inc.AddFeature(r, layer)
+	s.edits++
+	s.invalidateLocked()
+	return i, nil
+}
+
+// MoveFeature moves (or resizes) feature i to rectangle r.
+func (s *Session) MoveFeature(i int, r Rect) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureEditableLocked(); err != nil {
+		return flowErr(StageEdit, s.layout.Name, err)
+	}
+	if err := s.inc.MoveFeature(i, r); err != nil {
+		return flowErr(StageEdit, s.layout.Name, err)
+	}
+	s.edits++
+	s.invalidateLocked()
+	return nil
+}
+
+// DeleteFeature removes feature i; features after it shift down one index,
+// as with a slice deletion.
+func (s *Session) DeleteFeature(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureEditableLocked(); err != nil {
+		return flowErr(StageEdit, s.layout.Name, err)
+	}
+	if err := s.inc.DeleteFeature(i); err != nil {
+		return flowErr(StageEdit, s.layout.Name, err)
+	}
+	s.edits++
+	s.invalidateLocked()
+	return nil
+}
+
+// LayoutEditor applies a batch of mutations inside Session.Edit. Operations
+// apply immediately in call order; after the first failing operation (an
+// out-of-range index) the remaining calls are no-ops and Edit returns the
+// error. The editor must not escape the Edit callback, and the callback must
+// not call other methods of the same Session (the session lock is held).
+type LayoutEditor struct {
+	s   *Session
+	err error
+}
+
+// Add appends a feature rectangle on layer 0 and returns its index.
+func (ed *LayoutEditor) Add(r Rect) int { return ed.AddOnLayer(r, 0) }
+
+// AddOnLayer appends a feature on an explicit layer and returns its index.
+func (ed *LayoutEditor) AddOnLayer(r Rect, layer int) int {
+	if ed.err != nil {
+		return -1
+	}
+	i := ed.s.inc.AddFeature(r, layer)
+	ed.s.edits++
+	return i
+}
+
+// Move moves (or resizes) feature i to rectangle r.
+func (ed *LayoutEditor) Move(i int, r Rect) {
+	if ed.err != nil {
+		return
+	}
+	if err := ed.s.inc.MoveFeature(i, r); err != nil {
+		ed.err = err
+		return
+	}
+	ed.s.edits++
+}
+
+// Delete removes feature i (later features shift down one index).
+func (ed *LayoutEditor) Delete(i int) {
+	if ed.err != nil {
+		return
+	}
+	if err := ed.s.inc.DeleteFeature(i); err != nil {
+		ed.err = err
+		return
+	}
+	ed.s.edits++
+}
+
+// Err returns the first operation error, if any.
+func (ed *LayoutEditor) Err() error { return ed.err }
+
+// NumFeatures returns the current feature count, reflecting the operations
+// applied so far in this batch.
+func (ed *LayoutEditor) NumFeatures() int { return len(ed.s.layout.Features) }
+
+// Feature returns feature i of the current (mid-batch) layout.
+func (ed *LayoutEditor) Feature(i int) Feature { return ed.s.layout.Features[i] }
+
+// Edit applies a batch of mutations atomically with respect to other session
+// callers: fn runs under the session lock and the memoized stages are
+// invalidated once, after the whole batch. The next Detect then re-solves
+// only the conflict clusters the batch touched. Edit returns the first
+// operation error (a *FlowError at StageEdit); operations before the failure
+// remain applied.
+func (s *Session) Edit(fn func(*LayoutEditor)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureEditableLocked(); err != nil {
+		return flowErr(StageEdit, s.layout.Name, err)
+	}
+	// Invalidate via defer: ops apply as fn runs, so even a panicking
+	// callback must not leave memoized pre-edit stages behind.
+	defer s.invalidateLocked()
+	ed := &LayoutEditor{s: s}
+	fn(ed)
+	if ed.err != nil {
+		return flowErr(StageEdit, s.layout.Name, ed.err)
+	}
+	return nil
 }
 
 // Detect synthesizes shifters, builds the conflict graph and runs the full
@@ -110,15 +322,26 @@ func (s *Session) Detect(ctx context.Context) (*Result, error) {
 func (s *Session) detectLocked(ctx context.Context) (*Result, error) {
 	return memoLocked(s, &s.detect, ctx, StageDetect, func(ctx context.Context) (*Result, error) {
 		s.detectRuns++
+		workers := s.engine.workers
+		if s.detectWorkers > 0 {
+			workers = s.detectWorkers
+		}
+		if s.inc != nil {
+			// Edited session: incremental re-detect, reusing every cluster
+			// result the edits did not touch.
+			s.inc.SetWorkers(workers)
+			det, err := s.inc.Detect(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Graph: det.Graph, Detection: det}, nil
+		}
 		cg, err := core.BuildGraph(s.layout, s.engine.rules, s.engine.opts.Graph)
 		if err != nil {
 			return nil, err
 		}
 		copts := s.engine.opts.coreOptions()
-		copts.Workers = s.engine.workers
-		if s.detectWorkers > 0 {
-			copts.Workers = s.detectWorkers
-		}
+		copts.Workers = workers
 		det, err := core.DetectContext(ctx, cg, copts)
 		if err != nil {
 			return nil, err
