@@ -1,0 +1,127 @@
+// Command aapsmd serves the AAPSM pipeline as a long-running HTTP/JSON
+// service over the Engine/Session API: clients create sessions from layout
+// uploads, then address every stage of the paper's flow — detection, phase
+// assignment, correction, mask view, DRC, SVG render — and apply batched
+// edits with incremental re-detection, all against a bounded LRU+TTL session
+// store.
+//
+// Usage:
+//
+//	aapsmd [-addr :8080] [-parallelism N] [-detect-workers N]
+//	       [-store-capacity N] [-session-ttl 30m] [-request-timeout 60s]
+//	       [-max-body 33554432] [-graph pcg|fg] [-method gen|opt|lawler]
+//	       [-improved-recheck] [-no-incremental] [-drain-timeout 15s]
+//
+// See the README's "Serving" section for the endpoint reference and curl
+// examples. SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503,
+// in-flight requests finish (bounded by -drain-timeout), then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	aapsm "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		par      = flag.Int("parallelism", 0, "engine worker bound (0 = GOMAXPROCS)")
+		workers  = flag.Int("detect-workers", 1, "shard workers per session detection")
+		capacity = flag.Int("store-capacity", 1024, "max live sessions (LRU eviction past it)")
+		ttl      = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime (negative = never expire)")
+		reqTO    = flag.Duration("request-timeout", 60*time.Second, "per-request pipeline timeout (negative = none)")
+		maxBody  = flag.Int64("max-body", 32<<20, "max upload body bytes")
+		graph    = flag.String("graph", "pcg", "graph representation: pcg | fg")
+		method   = flag.String("method", "gen", "T-join reduction: gen | opt | lawler")
+		imp      = flag.Bool("improved-recheck", false, "use parity-based crossing recheck")
+		noInc    = flag.Bool("no-incremental", false, "do not arm sessions for incremental edit-and-re-detect")
+		drainTO  = flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	opts := []aapsm.EngineOption{
+		aapsm.WithRules(aapsm.Default90nmRules()),
+		aapsm.WithParallelism(*par),
+		aapsm.WithImprovedRecheck(*imp),
+	}
+	switch *graph {
+	case "pcg":
+		opts = append(opts, aapsm.WithGraph(aapsm.PCG))
+	case "fg":
+		opts = append(opts, aapsm.WithGraph(aapsm.FG))
+	default:
+		fatalf("unknown -graph %q", *graph)
+	}
+	switch *method {
+	case "gen":
+		opts = append(opts, aapsm.WithTJoinMethod(aapsm.GeneralizedGadgets))
+	case "opt":
+		opts = append(opts, aapsm.WithTJoinMethod(aapsm.OptimizedGadgets))
+	case "lawler":
+		opts = append(opts, aapsm.WithTJoinMethod(aapsm.LawlerReduction))
+	default:
+		fatalf("unknown -method %q", *method)
+	}
+
+	srv := server.New(server.Config{
+		Engine:         aapsm.NewEngine(opts...),
+		StoreCapacity:  *capacity,
+		SessionTTL:     *ttl,
+		RequestTimeout: *reqTO,
+		DetectWorkers:  *workers,
+		MaxBodyBytes:   *maxBody,
+		IncrementalOff: *noInc,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("aapsmd listening on %s (capacity %d, ttl %v)", *addr, *capacity, *ttl)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("aapsmd draining (up to %v)", *drainTO)
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// A timeout here means in-flight requests were cut off; report it
+		// but still exit cleanly — the drain did all it could.
+		log.Printf("aapsmd shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("aapsmd serve: %v", err)
+	}
+	log.Printf("aapsmd stopped")
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "aapsmd: "+format+"\n", args...)
+	os.Exit(2)
+}

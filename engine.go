@@ -91,6 +91,20 @@ func (e *Engine) NewSession(l *Layout) *Session {
 	return &Session{engine: e, layout: l}
 }
 
+// NewSessionWithParallelism starts a session whose detection uses at most n
+// shard workers instead of the engine-wide bound (n <= 0 keeps the default).
+// Services multiplexing many concurrent sessions over one engine use this
+// the same way DetectBatch divides its budget: each session gets a small
+// per-detection fan-out so total concurrency stays near the request-level
+// parallelism instead of multiplying by it.
+func (e *Engine) NewSessionWithParallelism(l *Layout, n int) *Session {
+	s := e.NewSession(l)
+	if n > 0 {
+		s.detectWorkers = n
+	}
+	return s
+}
+
 // Detect is the one-shot form of NewSession(l).Detect(ctx) for callers that
 // do not need later stages.
 func (e *Engine) Detect(ctx context.Context, l *Layout) (*Result, error) {

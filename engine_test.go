@@ -290,3 +290,50 @@ func TestParallelismEquivalence(t *testing.T) {
 		t.Fatalf("expected multiple conflict clusters, got %d", ref.Detection.Stats.Shards)
 	}
 }
+
+// TestRenderConcurrentWithEdits: RenderSVG must not scan the live layout
+// while another goroutine mutates it — the session snapshots under its lock.
+// Run with -race.
+func TestRenderConcurrentWithEdits(t *testing.T) {
+	l := NewLayout("render-race")
+	for i := int64(0); i < 8; i++ {
+		l.Add(R(i*560, 0, i*560+100, 1000))
+	}
+	s := NewEngine().NewSession(l)
+	if err := s.EnableEdits(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.MoveFeature(0, R(i%40, 0, i%40+100, 1000)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if err := s.RenderSVG(ctx, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "<svg") {
+			t.Fatal("render produced no svg")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// NumFeatures reads under the lock too (the serving layer's counter).
+	if n := s.NumFeatures(); n != 8 {
+		t.Fatalf("NumFeatures = %d, want 8", n)
+	}
+}

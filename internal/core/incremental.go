@@ -90,20 +90,21 @@ func overlapEdgeKey(ovUID int32, half int) int64 {
 func featureEdgeKey(featUID int32) int64 { return int64(featUID)<<2 | 3 }
 
 // IncStats reports the cumulative work profile of an Incremental engine.
+// The JSON tags are the wire form served by aapsmd's session-info endpoint.
 type IncStats struct {
 	// Edits counts accepted mutations (add/move/delete).
-	Edits int
+	Edits int `json:"edits"`
 	// Detects counts successful Detect calls, FullDetects those that could
 	// reuse nothing (the first run, or a run after state loss).
-	Detects     int
-	FullDetects int
+	Detects     int `json:"detects"`
+	FullDetects int `json:"full_detects"`
 	// ShardsReused / ShardsSolved tally conflict clusters whose result was
 	// taken from cache vs recomputed, across all Detects.
-	ShardsReused int
-	ShardsSolved int
+	ShardsReused int `json:"shards_reused"`
+	ShardsSolved int `json:"shards_solved"`
 	// FallbackDirty counts clusters conservatively re-solved because a reuse
 	// invariant check failed; it should stay 0.
-	FallbackDirty int
+	FallbackDirty int `json:"fallback_dirty"`
 }
 
 // NewIncremental starts an edit session on a deep copy of l (the caller's

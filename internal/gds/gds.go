@@ -114,7 +114,11 @@ func Write(w io.Writer, l *layout.Layout) error {
 	}
 	for i, f := range l.Features {
 		r := f.Rect
-		if r.X0 < math.MinInt32 || r.X1 > math.MaxInt32 || r.Y0 < math.MinInt32 || r.Y1 > math.MaxInt32 {
+		// Every coordinate must be checked against both bounds: an
+		// unnormalized rectangle (X0 > X1 or Y0 > Y1) can place X0 above
+		// MaxInt32 or X1 below MinInt32, which a min-side-only check lets
+		// silently wrap in the int32() conversions below.
+		if !inInt32Range(r.X0) || !inInt32Range(r.X1) || !inInt32Range(r.Y0) || !inInt32Range(r.Y1) {
 			return fmt.Errorf("gds: feature %d exceeds int32 coordinate range", i)
 		}
 		if err := emit(recBOUNDARY, dtNone, nil); err != nil {
@@ -265,9 +269,14 @@ func rectsFromXY(xy []int32) ([]geom.Rect, error) {
 }
 
 // encodeReal8 converts a float64 to the GDSII excess-64 base-16 real.
+// Values outside the representable range saturate: magnitudes at or above
+// 16^63 (including infinities) encode as the largest representable real of
+// the same sign, magnitudes below the smallest normalized real (16^-65,
+// which covers every float64 denormal) and NaN flush to zero. Negative zero
+// encodes as plain zero — GDSII zero is all-bytes-zero with no sign.
 func encodeReal8(v float64) []byte {
 	out := make([]byte, 8)
-	if v == 0 {
+	if v == 0 || math.IsNaN(v) {
 		return out
 	}
 	neg := v < 0
@@ -275,11 +284,11 @@ func encodeReal8(v float64) []byte {
 		v = -v
 	}
 	exp := 0
-	for v >= 1 {
+	for v >= 1 && exp <= 64 {
 		v /= 16
 		exp++
 	}
-	for v < 1.0/16 {
+	for v < 1.0/16 && exp >= -65 {
 		v *= 16
 		exp--
 	}
@@ -287,6 +296,12 @@ func encodeReal8(v float64) []byte {
 	if mant == 1<<56 { // rounding overflow
 		mant >>= 4
 		exp++
+	}
+	if exp > 63 { // overflow: saturate to the largest representable real
+		exp, mant = 63, 1<<56-1
+	}
+	if exp < -64 || mant == 0 { // underflow: flush to zero
+		return out
 	}
 	b0 := byte(exp + 64)
 	if neg {
@@ -298,6 +313,11 @@ func encodeReal8(v float64) []byte {
 		mant >>= 8
 	}
 	return out
+}
+
+// inInt32Range reports whether v survives an int32() conversion unchanged.
+func inInt32Range(v int64) bool {
+	return v >= math.MinInt32 && v <= math.MaxInt32
 }
 
 // decodeReal8 converts a GDSII excess-64 real to float64.

@@ -84,12 +84,138 @@ func TestEmptyLayoutRoundTrip(t *testing.T) {
 }
 
 func TestCoordinateRangeCheck(t *testing.T) {
-	l := layout.New("big")
-	l.Add(geom.R(0, 0, int64(math.MaxInt32)+10, 100))
-	var buf bytes.Buffer
-	if err := Write(&buf, l); err == nil {
-		t.Fatal("out-of-range coordinates must be rejected")
+	const (
+		lo = int64(math.MinInt32)
+		hi = int64(math.MaxInt32)
+	)
+	cases := []struct {
+		name string
+		rect geom.Rect
+		ok   bool
+	}{
+		{"in-range", geom.Rect{X0: lo, Y0: lo, X1: hi, Y1: hi}, true},
+		{"x1 too big", geom.Rect{X0: 0, Y0: 0, X1: hi + 10, Y1: 100}, false},
+		{"x0 too small", geom.Rect{X0: lo - 10, Y0: 0, X1: 100, Y1: 100}, false},
+		{"y1 too big", geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: hi + 10}, false},
+		{"y0 too small", geom.Rect{X0: 0, Y0: lo - 10, X1: 100, Y1: 100}, false},
+		// Unnormalized rectangles (X0 > X1, Y0 > Y1): the maximum coordinate
+		// sits in X0/Y0 and the minimum in X1/Y1, so a check testing only
+		// X0/Y0 against MinInt32 and X1/Y1 against MaxInt32 passes them and
+		// the int32() conversions silently wrap.
+		{"unnormalized x0 too big", geom.Rect{X0: hi + 10, Y0: 0, X1: 5, Y1: 10}, false},
+		{"unnormalized x1 too small", geom.Rect{X0: 5, Y0: 0, X1: lo - 10, Y1: 10}, false},
+		{"unnormalized y0 too big", geom.Rect{X0: 0, Y0: hi + 10, X1: 10, Y1: 5}, false},
+		{"unnormalized y1 too small", geom.Rect{X0: 0, Y0: 5, X1: 10, Y1: lo - 10}, false},
 	}
+	for _, tc := range cases {
+		l := layout.New("big")
+		l.Features = append(l.Features, layout.Feature{Rect: tc.rect})
+		var buf bytes.Buffer
+		err := Write(&buf, l)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: out-of-range coordinates must be rejected", tc.name)
+		}
+	}
+}
+
+// maxReal8 is the largest magnitude a GDSII real can represent:
+// (2^56-1)/2^56 * 16^63.
+var maxReal8 = float64(uint64(1)<<56-1) / float64(uint64(1)<<56) * math.Pow(16, 63)
+
+func TestReal8ExtremeValues(t *testing.T) {
+	exact := []float64{
+		// Extreme in-range exponents round-trip bit-exactly: base-16
+		// normalization and the 56-bit mantissa are exact for float64.
+		math.Pow(16, 62), -math.Pow(16, 62), math.Pow(16, 63) / 2,
+		math.Pow(16, -64), -math.Pow(16, -64), math.Pow(16, -65), // smallest normalized reals
+		1e75, -1e75, 5.4e-79,
+		maxReal8, -maxReal8,
+		math.MaxInt64, 1.5e-60,
+	}
+	for _, v := range exact {
+		if got := decodeReal8(encodeReal8(v)); got != v {
+			t.Errorf("round trip %g -> %g", v, got)
+		}
+	}
+	saturate := []struct {
+		in, want float64
+	}{
+		// Above 16^63: saturate to the largest representable real.
+		{math.Pow(16, 63), maxReal8},
+		{1e308, maxReal8},
+		{-1e308, -maxReal8},
+		{math.MaxFloat64, maxReal8},
+		{math.Inf(1), maxReal8},
+		{math.Inf(-1), -maxReal8},
+		// Below 16^-65 (including every float64 denormal): flush to zero.
+		{math.Pow(16, -66), 0},
+		{5e-324, 0},            // smallest positive denormal
+		{-5e-324, 0},           //
+		{2.2250738585e-308, 0}, // largest denormal neighborhood
+		{1e-100, 0},
+	}
+	for _, tc := range saturate {
+		if got := decodeReal8(encodeReal8(tc.in)); got != tc.want {
+			t.Errorf("saturating round trip %g -> %g, want %g", tc.in, got, tc.want)
+		}
+	}
+	// NaN flushes to zero rather than emitting a garbage exponent byte.
+	if got := decodeReal8(encodeReal8(math.NaN())); got != 0 {
+		t.Errorf("NaN encoded to %g, want 0", got)
+	}
+	// Negative zero encodes as canonical all-zero bytes: GDSII zero carries
+	// no sign, and readers must not see a sign bit with a zero mantissa.
+	negZero := math.Copysign(0, -1)
+	b := encodeReal8(negZero)
+	if !bytes.Equal(b, make([]byte, 8)) {
+		t.Errorf("negative zero encoded to % x, want all zero", b)
+	}
+	if got := decodeReal8(b); got != 0 || math.Signbit(got) {
+		t.Errorf("negative zero decoded to %g (signbit %v)", got, math.Signbit(got))
+	}
+	// A denormalized encoding (sign bit set, mantissa zero) decodes to plain
+	// zero, and re-encoding it stays canonical.
+	if got := decodeReal8([]byte{0xC0, 0, 0, 0, 0, 0, 0, 0}); got != 0 || math.Signbit(got) {
+		t.Errorf("signed zero encoding decoded to %g (signbit %v)", got, math.Signbit(got))
+	}
+}
+
+// FuzzReal8 checks two invariants over arbitrary 8-byte encodings: decoding
+// never yields NaN/Inf, and encode∘decode is a projection — after one round
+// through encodeReal8 the representation is stable bit-for-bit.
+func FuzzReal8(f *testing.F) {
+	f.Add(make([]byte, 8))                                        // zero
+	f.Add(encodeReal8(1e-9))                                      // the UNITS values
+	f.Add(encodeReal8(1e-3))                                      //
+	f.Add(encodeReal8(maxReal8))                                  // extremes
+	f.Add(encodeReal8(-maxReal8))                                 //
+	f.Add(encodeReal8(math.Pow(16, -65)))                         //
+	f.Add([]byte{0x00, 0xFF, 0, 0, 0, 0, 0, 0})                   // unnormalized: exp -64
+	f.Add([]byte{0x7F, 0, 0, 0, 0, 0, 0, 0x01})                   // tiny mantissa, max exp
+	f.Add([]byte{0xC0, 0, 0, 0, 0, 0, 0, 0})                      // signed zero
+	f.Add([]byte{0x40, 0x10, 0, 0, 0, 0, 0, 0})                   // 1.0
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // -max
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) != 8 {
+			return
+		}
+		v := decodeReal8(b)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("decodeReal8(% x) = %g", b, v)
+		}
+		e1 := encodeReal8(v)
+		v1 := decodeReal8(e1)
+		if math.IsNaN(v1) || math.IsInf(v1, 0) {
+			t.Fatalf("re-decode of % x = %g", e1, v1)
+		}
+		e2 := encodeReal8(v1)
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("encoding not stable: % x -> %g -> % x -> %g -> % x", b, v, e1, v1, e2)
+		}
+	})
 }
 
 func TestReadErrors(t *testing.T) {

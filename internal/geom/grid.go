@@ -59,6 +59,7 @@ func (g *Grid) Insert(id int32, r Rect) {
 			g.adds = append(g.adds, gridEntry{packCell(cx, cy), id})
 		}
 	}
+	g.maybeCompact()
 }
 
 // Remove unregisters an id previously Inserted with the same bounding box r.
@@ -70,6 +71,26 @@ func (g *Grid) Remove(id int32, r Rect) {
 		for cy := cy0; cy <= cy1; cy++ {
 			g.dels = append(g.dels, gridEntry{packCell(cx, cy), id})
 		}
+	}
+	g.maybeCompact()
+}
+
+// compactMinPending is the pending-log size below which mutations never
+// trigger a compaction, so one-shot build-then-sweep callers still pay a
+// single sort at the first query.
+const compactMinPending = 1 << 10
+
+// maybeCompact folds the pending logs into the base once they grow past a
+// threshold. Without it a long-lived grid mutated in Insert/Remove cycles
+// that are never interleaved with queries — exactly what an idle session's
+// edit stream looks like — accumulates an unbounded log: cancelled pairs are
+// only discarded by build. Folding when the log reaches a fraction of the
+// base keeps memory proportional to the live entry count and amortizes the
+// O(base) merge over the edits that filled the log.
+func (g *Grid) maybeCompact() {
+	pending := len(g.adds) + len(g.dels)
+	if pending >= compactMinPending && pending >= len(g.base)/4 {
+		g.build()
 	}
 }
 

@@ -127,3 +127,77 @@ func TestGridDuplicateEntries(t *testing.T) {
 		t.Fatal("id 7 present after matched removes")
 	}
 }
+
+// TestGridBoundedPendingLog: a long-lived grid mutated in Insert/Remove
+// cycles with no interleaved queries (an idle session's edit stream) must
+// keep its pending logs bounded — compaction folds them into the base
+// instead of letting cancelled pairs accumulate forever.
+func TestGridBoundedPendingLog(t *testing.T) {
+	g := NewGrid(100)
+	const live = 500
+	for i := 0; i < live; i++ {
+		g.Insert(int32(i), R(int64(i)*40, 0, int64(i)*40+30, 30))
+	}
+	// Cell registrations, not ids: rects straddling a cell border occupy two
+	// cells.
+	baseline := g.Len()
+	// 10k edit cycles: move one feature back and forth (Remove + Insert),
+	// never querying.
+	for c := 0; c < 10000; c++ {
+		id := int32(c % live)
+		r0 := R(int64(id)*40, 0, int64(id)*40+30, 30)
+		r1 := r0.Translate(Pt(5, 5))
+		g.Remove(id, r0)
+		g.Insert(id, r1)
+		g.Remove(id, r1)
+		g.Insert(id, r0)
+		if pending := len(g.adds) + len(g.dels); pending > 4*compactMinPending {
+			t.Fatalf("cycle %d: pending log grew to %d entries (base %d)", c, pending, len(g.base))
+		}
+	}
+	// The live set is unchanged, so after folding the base must hold exactly
+	// the original registrations.
+	if got := g.Len(); got != baseline {
+		t.Fatalf("Len = %d after balanced edit cycles, want %d", got, baseline)
+	}
+	for i := 0; i < live; i++ {
+		found := false
+		g.Query(R(int64(i)*40, 0, int64(i)*40+30, 30), nil, func(id int32) { found = found || id == int32(i) })
+		if !found {
+			t.Fatalf("id %d lost", i)
+		}
+	}
+}
+
+// TestGridCompactionPreservesSemantics: interleaving enough mutations to
+// cross the compaction threshold must not change Remove's cancel-one-Insert
+// semantics.
+func TestGridCompactionPreservesSemantics(t *testing.T) {
+	g := NewGrid(50)
+	r := R(0, 0, 10, 10)
+	g.Insert(1, r)
+	g.Insert(1, r) // duplicate registration
+	g.Remove(1, r) // cancels one of the two
+	// Push far past the threshold so at least one compaction runs with the
+	// duplicate/cancel state pending.
+	for i := 0; i < 3*compactMinPending; i++ {
+		id := int32(100 + i%64)
+		rr := R(int64(i%64)*20, 100, int64(i%64)*20+10, 110)
+		g.Insert(id, rr)
+		g.Remove(id, rr)
+	}
+	seen := false
+	g.Query(r, nil, func(id int32) { seen = seen || id == 1 })
+	if !seen {
+		t.Fatal("surviving duplicate registration lost across compaction")
+	}
+	g.Remove(1, r)
+	seen = false
+	g.Query(r, nil, func(id int32) { seen = seen || id == 1 })
+	if seen {
+		t.Fatal("id 1 present after matched removes")
+	}
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", g.Len())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/correct"
@@ -41,12 +42,31 @@ func SVG(w io.Writer, l *layout.Layout, opt Options) error {
 		}
 	}
 	bb = bb.Expand(200)
+	// Degenerate bounds — an empty layout, all-zero-area features, or
+	// coordinate overflow in Expand — must still yield a valid document:
+	// fall back to a minimal canvas instead of computing NaN offsets or
+	// negative dimensions below.
+	if bb.Width() <= 0 || bb.Height() <= 0 {
+		bb = geom.R(-200, -200, 200, 200)
+	}
 	scale := opt.Scale
-	if scale <= 0 {
+	// A non-positive, NaN or infinite Scale falls back to the automatic
+	// choice (~1000 px wide).
+	if !(scale > 0) || math.IsInf(scale, 0) {
 		scale = float64(bb.Width()) / 1000
 		if scale < 1 {
 			scale = 1
 		}
+	}
+	// The emitted canvas must never be zero-sized (e.g. a huge Scale on a
+	// small layout rounds the width to 0, which is not a valid SVG).
+	docW := float64(bb.Width()) / scale
+	docH := float64(bb.Height()) / scale
+	if !(docW >= 1) {
+		docW = 1
+	}
+	if !(docH >= 1) {
+		docH = 1
 	}
 	px := func(v int64) float64 { return float64(v-bb.X0) / scale }
 	// SVG y grows downward; flip so layout +y is up.
@@ -61,8 +81,7 @@ func SVG(w io.Writer, l *layout.Layout, opt Options) error {
 	}
 
 	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
-		float64(bb.Width())/scale, float64(bb.Height())/scale,
-		float64(bb.Width())/scale, float64(bb.Height())/scale)
+		docW, docH, docW, docH)
 	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
 
 	// Shifters under features.

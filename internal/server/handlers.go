@@ -1,0 +1,569 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	aapsm "repro"
+	"repro/internal/core"
+)
+
+// errorBody is the typed JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Stage   string `json:"stage,omitempty"`  // FlowError stage, when the pipeline failed
+	Layout  string `json:"layout,omitempty"` // layout name the stage was working on
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, stage, layout, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{errorDetail{
+		Status: status, Code: code, Stage: stage, Layout: layout, Message: msg,
+	}})
+}
+
+// writeFlowError maps a pipeline error to a typed JSON response. Sentinel
+// causes get stable machine-readable codes and a 409 (the layout is live but
+// needs repair work); context errors map to timeout/cancellation statuses;
+// any other *FlowError is a 422 (the pipeline rejected the data), and
+// everything else is a 500.
+func writeFlowError(w http.ResponseWriter, err error) {
+	stage, layoutName := "", ""
+	var fe *aapsm.FlowError
+	isFlow := errors.As(err, &fe)
+	if isFlow {
+		stage, layoutName = fe.Stage.String(), fe.Layout
+	}
+	switch {
+	case errors.Is(err, aapsm.ErrNotAssignable):
+		writeError(w, http.StatusConflict, "not_assignable", stage, layoutName, err.Error())
+	case errors.Is(err, aapsm.ErrUnfixable):
+		writeError(w, http.StatusConflict, "unfixable", stage, layoutName, err.Error())
+	case errors.Is(err, aapsm.ErrMaskInconsistent):
+		writeError(w, http.StatusConflict, "mask_inconsistent", stage, layoutName, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "timeout", stage, layoutName, err.Error())
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "cancelled", stage, layoutName, err.Error())
+	case isFlow:
+		writeError(w, http.StatusUnprocessableEntity, "stage_failed", stage, layoutName, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", stage, layoutName, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// ---- session lifecycle ----
+
+type createResponse struct {
+	ID       string `json:"id"`
+	Hash     string `json:"hash"`
+	Name     string `json:"name"`
+	Features int    `json:"features"`
+	Reused   bool   `json:"reused"` // an existing pristine session was reattached
+}
+
+// handleCreate builds (or reattaches to) a session from an uploaded layout.
+// The body is the plain-text interchange format by default, or a GDSII
+// stream with ?format=gds. Identical content — text or GDS — canonicalizes
+// to the same hash, so repeated uploads coalesce onto one session until it
+// is edited.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var (
+		l   *aapsm.Layout
+		err error
+	)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "text":
+		l, err = aapsm.ReadLayoutText(body)
+	case "gds":
+		l, err = aapsm.ReadGDS(body)
+	default:
+		writeError(w, http.StatusBadRequest, "bad_format", "", "", fmt.Sprintf("unknown format %q (want text or gds)", format))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_layout", "", "", err.Error())
+		return
+	}
+	hash, err := layoutHash(l)
+	if err != nil {
+		writeFlowError(w, err)
+		return
+	}
+	ent, reused, err := s.store.getOrCreate(r.Context(), hash, func() (*aapsm.Session, error) {
+		sess := s.cfg.Engine.NewSessionWithParallelism(l, s.cfg.DetectWorkers)
+		if !s.cfg.IncrementalOff {
+			// Arm incremental edits up front so this session's first
+			// detection seeds the per-cluster cache and post-edit re-detects
+			// stay cheap for its whole store lifetime.
+			if err := sess.EnableEdits(); err != nil {
+				return nil, err
+			}
+		}
+		return sess, nil
+	})
+	if err != nil {
+		writeFlowError(w, err)
+		return
+	}
+	if reused {
+		s.metrics.sessionsReused.Add(1)
+	} else {
+		s.metrics.sessionsCreated.Add(1)
+	}
+	writeJSON(w, createResponse{
+		ID: ent.ID, Hash: ent.Hash,
+		Name:     ent.Sess.LayoutName(),
+		Features: ent.Sess.NumFeatures(),
+		Reused:   reused,
+	})
+}
+
+// layoutHash canonicalizes a layout (name, feature order, coordinates,
+// layers) through the text serialization and hashes it.
+func layoutHash(l *aapsm.Layout) (string, error) {
+	var buf bytes.Buffer
+	if err := aapsm.WriteLayoutText(&buf, l); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+type infoResponse struct {
+	ID          string                 `json:"id"`
+	Hash        string                 `json:"hash"`
+	Name        string                 `json:"name"`
+	Features    int                    `json:"features"`
+	Edits       int                    `json:"edits"`
+	DetectRuns  int                    `json:"detect_runs"`
+	Incremental aapsm.IncrementalStats `json:"incremental"`
+	CreatedAt   time.Time              `json:"created_at"`
+	ExpiresAt   *time.Time             `json:"expires_at,omitempty"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request, ent *sessionEntry) {
+	st := ent.Sess.Stats()
+	resp := infoResponse{
+		ID: ent.ID, Hash: ent.Hash,
+		Name:     ent.Sess.LayoutName(),
+		Features: ent.Sess.NumFeatures(),
+		Edits:    st.Edits, DetectRuns: st.DetectRuns, Incremental: st.Incremental,
+		CreatedAt: ent.Created,
+	}
+	if s.cfg.SessionTTL > 0 {
+		exp := s.store.expires(ent)
+		resp.ExpiresAt = &exp
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.store.delete(id) {
+		writeError(w, http.StatusNotFound, "unknown_session", "", "",
+			"no live session "+fmt.Sprintf("%q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- edits ----
+
+// editOp is one mutation in a batch. Op is "add", "move" or "del"; Rect is
+// [x0, y0, x1, y1] in nm. Index is required for move/del (a pointer, so an
+// omitted field is rejected instead of silently targeting feature 0).
+type editOp struct {
+	Op    string  `json:"op"`
+	Rect  []int64 `json:"rect,omitempty"`
+	Layer int     `json:"layer,omitempty"`
+	Index *int    `json:"index,omitempty"`
+}
+
+type editsRequest struct {
+	Ops []editOp `json:"ops"`
+}
+
+type editsResponse struct {
+	Applied  int `json:"applied"`
+	Features int `json:"features"`
+	// Added holds, per "add" op in order, the feature's index after the
+	// whole batch: later del ops shift indices down, and an added feature
+	// deleted later in the same batch reports -1.
+	Added []int `json:"added,omitempty"`
+}
+
+// handleEdits applies a batch of layout mutations atomically: shapes are
+// validated up front, index ranges are simulated against the feature count
+// under the session lock before the first op is applied, and Session.Edit
+// holds the lock for the whole batch — so a rejected batch applies nothing
+// and a 200 means every op landed. Memoized stages are invalidated once;
+// the next detect re-solves only the touched conflict clusters.
+func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request, ent *sessionEntry) {
+	var req editsRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "", "", "invalid edit batch: "+err.Error())
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "", "", "empty edit batch")
+		return
+	}
+	rect := func(op editOp) (aapsm.Rect, error) {
+		if len(op.Rect) != 4 {
+			return aapsm.Rect{}, fmt.Errorf("op %q needs rect [x0 y0 x1 y1], got %d values", op.Op, len(op.Rect))
+		}
+		return aapsm.R(op.Rect[0], op.Rect[1], op.Rect[2], op.Rect[3]), nil
+	}
+	// Validate shapes before touching the session.
+	for _, op := range req.Ops {
+		switch op.Op {
+		case "add":
+			if _, err := rect(op); err != nil {
+				writeError(w, http.StatusBadRequest, "bad_request", "", "", err.Error())
+				return
+			}
+		case "move", "del":
+			if op.Index == nil {
+				writeError(w, http.StatusBadRequest, "bad_request", "", "", fmt.Sprintf("op %q needs an explicit index", op.Op))
+				return
+			}
+			if op.Op == "move" {
+				if _, err := rect(op); err != nil {
+					writeError(w, http.StatusBadRequest, "bad_request", "", "", err.Error())
+					return
+				}
+			}
+		default:
+			writeError(w, http.StatusBadRequest, "bad_request", "", "", fmt.Sprintf("unknown op %q (want add, move or del)", op.Op))
+			return
+		}
+	}
+	// Mark the session diverged before applying: a concurrent same-hash
+	// create must not reattach to a layout that is about to change. (If the
+	// batch is rejected below the mark is conservative — the session merely
+	// stops coalescing, it stays correct.)
+	s.store.markEdited(ent.ID)
+	var added []int
+	var rangeErr error
+	applied := 0
+	err := ent.Sess.Edit(func(ed *aapsm.LayoutEditor) {
+		// Simulate index validity against the live feature count first:
+		// range errors are the only way an op can fail, so checking them up
+		// front makes the batch all-or-nothing.
+		count := ed.NumFeatures()
+		for k, op := range req.Ops {
+			switch op.Op {
+			case "add":
+				count++
+			case "move":
+				if *op.Index < 0 || *op.Index >= count {
+					rangeErr = fmt.Errorf("op %d: move index %d out of range [0,%d)", k, *op.Index, count)
+					return
+				}
+			case "del":
+				if *op.Index < 0 || *op.Index >= count {
+					rangeErr = fmt.Errorf("op %d: delete index %d out of range [0,%d)", k, *op.Index, count)
+					return
+				}
+				count--
+			}
+		}
+		for _, op := range req.Ops {
+			switch op.Op {
+			case "add":
+				r, _ := rect(op)
+				added = append(added, ed.AddOnLayer(r, op.Layer))
+			case "move":
+				r, _ := rect(op)
+				ed.Move(*op.Index, r)
+			case "del":
+				ed.Delete(*op.Index)
+				// Keep reported add indices valid after the batch: a delete
+				// below an added feature shifts it down, deleting the added
+				// feature itself voids it.
+				for j, a := range added {
+					switch {
+					case a == *op.Index:
+						added[j] = -1
+					case a > *op.Index:
+						added[j] = a - 1
+					}
+				}
+			}
+			if ed.Err() != nil {
+				return
+			}
+			applied++
+		}
+	})
+	s.metrics.edits.Add(int64(applied))
+	if rangeErr != nil && err == nil {
+		writeError(w, http.StatusUnprocessableEntity, "bad_index", "edit", "", rangeErr.Error()+" (no ops applied)")
+		return
+	}
+	if err != nil {
+		writeFlowError(w, err)
+		return
+	}
+	writeJSON(w, editsResponse{
+		Applied:  applied,
+		Features: ent.Sess.NumFeatures(),
+		Added:    added,
+	})
+}
+
+// ---- pipeline stages ----
+
+// conflictJSON is one detected conflict in wire form.
+type conflictJSON struct {
+	Edge     int    `json:"edge"`
+	Kind     string `json:"kind"` // "overlap" or "feature"
+	Shifters [2]int `json:"shifters"`
+	Feature  int    `json:"feature"` // critical feature index; -1 for overlap conflicts
+	Deficit  int64  `json:"deficit"`
+}
+
+type detectStatsJSON struct {
+	GraphNodes    int   `json:"graph_nodes"`
+	GraphEdges    int   `json:"graph_edges"`
+	CrossingPairs int   `json:"crossing_pairs"`
+	Shards        int   `json:"shards"`
+	ReusedShards  int   `json:"reused_shards"`
+	TotalNS       int64 `json:"total_ns"`
+}
+
+type detectResponse struct {
+	ID         string          `json:"id"`
+	Graph      string          `json:"graph"`
+	Features   int             `json:"features"`
+	Assignable bool            `json:"assignable"`
+	Conflicts  []conflictJSON  `json:"conflicts"`
+	Stats      detectStatsJSON `json:"stats"`
+}
+
+// buildDetectResponse converts a session's detection result to the wire
+// form. It is shared by the HTTP handler and by tests that compare the
+// served bytes against an in-process oracle session.
+func buildDetectResponse(id string, sess *aapsm.Session, res *aapsm.Result) detectResponse {
+	conflicts := make([]conflictJSON, 0, len(res.Conflicts()))
+	for _, c := range res.Conflicts() {
+		cj := conflictJSON{
+			Edge:     c.Edge,
+			Shifters: [2]int{c.Meta.S1, c.Meta.S2},
+			Feature:  -1,
+			Deficit:  c.Deficit,
+		}
+		if c.Meta.Kind == core.FeatureEdge {
+			cj.Kind = "feature"
+			cj.Feature = c.Meta.Feature
+		} else {
+			cj.Kind = "overlap"
+		}
+		conflicts = append(conflicts, cj)
+	}
+	st := res.Detection.Stats
+	return detectResponse{
+		ID:         id,
+		Graph:      res.Graph.Kind.String(),
+		Features:   sess.NumFeatures(),
+		Assignable: res.Assignable(),
+		Conflicts:  conflicts,
+		Stats: detectStatsJSON{
+			GraphNodes:    st.GraphNodes,
+			GraphEdges:    st.GraphEdges,
+			CrossingPairs: st.CrossingPairs,
+			Shards:        st.Shards,
+			ReusedShards:  st.ReusedShards,
+			TotalNS:       st.TotalTime.Nanoseconds(),
+		},
+	}
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request, ent *sessionEntry) {
+	res, err := ent.Sess.Detect(r.Context())
+	if err != nil {
+		writeFlowError(w, err)
+		return
+	}
+	s.metrics.detects.Add(1)
+	writeJSON(w, buildDetectResponse(ent.ID, ent.Sess, res))
+}
+
+type assignResponse struct {
+	ID     string `json:"id"`
+	Phases []int  `json:"phases"` // 0 or 180 per shifter
+	Waived int    `json:"waived"`
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request, ent *sessionEntry) {
+	a, err := ent.Sess.Assignment(r.Context())
+	if err != nil {
+		writeFlowError(w, err)
+		return
+	}
+	phases := make([]int, len(a.Phases))
+	for i, p := range a.Phases {
+		if p == core.Phase180 {
+			phases[i] = 180
+		}
+	}
+	writeJSON(w, assignResponse{ID: ent.ID, Phases: phases, Waived: len(a.Waived)})
+}
+
+type correctResponse struct {
+	ID           string  `json:"id"`
+	Cuts         int     `json:"cuts"`
+	Unfixable    int     `json:"unfixable"`
+	AreaBefore   int64   `json:"area_before"`
+	AreaAfter    int64   `json:"area_after"`
+	AreaIncrease float64 `json:"area_increase_pct"`
+	Layout       string  `json:"layout,omitempty"` // corrected layout text with ?include_layout=1
+}
+
+func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request, ent *sessionEntry) {
+	cor, err := ent.Sess.Correction(r.Context())
+	if err != nil {
+		writeFlowError(w, err)
+		return
+	}
+	resp := correctResponse{
+		ID:           ent.ID,
+		Cuts:         len(cor.Plan.Cuts),
+		Unfixable:    len(cor.Plan.Unfixable),
+		AreaBefore:   cor.Stats.AreaBefore,
+		AreaAfter:    cor.Stats.AreaAfter,
+		AreaIncrease: cor.Stats.AreaIncrease,
+	}
+	if r.URL.Query().Get("include_layout") == "1" {
+		var buf bytes.Buffer
+		if err := aapsm.WriteLayoutText(&buf, cor.Layout); err != nil {
+			writeFlowError(w, err)
+			return
+		}
+		resp.Layout = buf.String()
+	}
+	writeJSON(w, resp)
+}
+
+type drcResponse struct {
+	ID         string   `json:"id"`
+	Violations []string `json:"violations"`
+}
+
+func (s *Server) handleDRC(w http.ResponseWriter, _ *http.Request, ent *sessionEntry) {
+	vs := ent.Sess.DRC()
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	writeJSON(w, drcResponse{ID: ent.ID, Violations: out})
+}
+
+func (s *Server) handleMask(w http.ResponseWriter, r *http.Request, ent *sessionEntry) {
+	m, err := ent.Sess.Mask(r.Context())
+	if err != nil {
+		writeFlowError(w, err)
+		return
+	}
+	writeLayoutBody(w, r, m)
+}
+
+func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request, ent *sessionEntry) {
+	writeLayoutBody(w, r, ent.Sess.SnapshotLayout())
+}
+
+// writeLayoutBody serializes a layout as the response body: text by default,
+// GDSII with ?format=gds.
+func writeLayoutBody(w http.ResponseWriter, r *http.Request, l *aapsm.Layout) {
+	var buf bytes.Buffer
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "text":
+		if err := aapsm.WriteLayoutText(&buf, l); err != nil {
+			writeFlowError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	case "gds":
+		if err := aapsm.WriteGDS(&buf, l); err != nil {
+			writeFlowError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+	default:
+		writeError(w, http.StatusBadRequest, "bad_format", "", "", fmt.Sprintf("unknown format %q (want text or gds)", format))
+		return
+	}
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleSVG(w http.ResponseWriter, r *http.Request, ent *sessionEntry) {
+	// Render to a buffer first: RenderSVG streams, and a stage error after
+	// the first write would corrupt an already-started 200 response.
+	var buf bytes.Buffer
+	if err := ent.Sess.RenderSVG(r.Context(), &buf); err != nil {
+		writeFlowError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.Write(buf.Bytes())
+}
+
+// ---- health and metrics ----
+
+type healthResponse struct {
+	Status      string `json:"status"` // "ok" or "draining"
+	Sessions    int    `json:"sessions"`
+	Parallelism int    `json:"parallelism"`
+	UptimeS     int64  `json:"uptime_s"`
+}
+
+// handleHealthz reports liveness. While draining it answers 503 so load
+// balancers pull the instance, which is what makes shutdown graceful: new
+// traffic stops arriving while in-flight requests finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := healthResponse{
+		Status:      "ok",
+		Sessions:    s.store.len(),
+		Parallelism: s.cfg.Engine.Parallelism(),
+		UptimeS:     int64(s.cfg.now().Sub(s.metrics.start).Seconds()),
+	}
+	if s.Draining() {
+		resp.Status = "draining"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var buf bytes.Buffer
+	s.metrics.write(&buf, s.store.len(), s.cfg.now())
+	io.Copy(w, &buf)
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is a minimal Prometheus-text-format registry: a fixed set of
+// counters and gauges the handlers bump with atomics, plus one labelled
+// request counter under a mutex. No external client library — the text
+// exposition format is stable and trivial to emit.
+type metrics struct {
+	start time.Time
+
+	sessionsCreated atomic.Int64
+	sessionsReused  atomic.Int64 // create requests coalesced onto a stored session
+	sessionsEvicted struct{ lru, ttl, del atomic.Int64 }
+	detects         atomic.Int64
+	edits           atomic.Int64
+	inflight        atomic.Int64
+	draining        atomic.Bool
+
+	mu       sync.Mutex
+	requests map[requestKey]int64
+	seconds  map[string]*latency
+}
+
+type requestKey struct {
+	route string
+	code  int
+}
+
+type latency struct {
+	count int64
+	sum   float64
+}
+
+func newMetrics(now time.Time) *metrics {
+	return &metrics{
+		start:    now,
+		requests: make(map[requestKey]int64),
+		seconds:  make(map[string]*latency),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[requestKey{route, code}]++
+	l := m.seconds[route]
+	if l == nil {
+		l = &latency{}
+		m.seconds[route] = l
+	}
+	l.count++
+	l.sum += d.Seconds()
+}
+
+func (m *metrics) evicted(why evictReason) {
+	switch why {
+	case evictLRU:
+		m.sessionsEvicted.lru.Add(1)
+	case evictTTL:
+		m.sessionsEvicted.ttl.Add(1)
+	default:
+		m.sessionsEvicted.del.Add(1)
+	}
+}
+
+// write emits the registry in Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, sessionsLive int, now time.Time) {
+	fmt.Fprintf(w, "# HELP aapsmd_up Whether the daemon is serving (0 while draining).\n# TYPE aapsmd_up gauge\n")
+	up := 1
+	if m.draining.Load() {
+		up = 0
+	}
+	fmt.Fprintf(w, "aapsmd_up %d\n", up)
+	fmt.Fprintf(w, "# HELP aapsmd_uptime_seconds Time since the server started.\n# TYPE aapsmd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "aapsmd_uptime_seconds %.3f\n", now.Sub(m.start).Seconds())
+	fmt.Fprintf(w, "# HELP aapsmd_sessions_live Sessions currently held in the store.\n# TYPE aapsmd_sessions_live gauge\n")
+	fmt.Fprintf(w, "aapsmd_sessions_live %d\n", sessionsLive)
+	fmt.Fprintf(w, "# HELP aapsmd_sessions_created_total Sessions built from uploaded layouts.\n# TYPE aapsmd_sessions_created_total counter\n")
+	fmt.Fprintf(w, "aapsmd_sessions_created_total %d\n", m.sessionsCreated.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_sessions_reused_total Create requests coalesced onto a stored session by layout hash.\n# TYPE aapsmd_sessions_reused_total counter\n")
+	fmt.Fprintf(w, "aapsmd_sessions_reused_total %d\n", m.sessionsReused.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_sessions_evicted_total Sessions removed from the store.\n# TYPE aapsmd_sessions_evicted_total counter\n")
+	fmt.Fprintf(w, "aapsmd_sessions_evicted_total{reason=\"lru\"} %d\n", m.sessionsEvicted.lru.Load())
+	fmt.Fprintf(w, "aapsmd_sessions_evicted_total{reason=\"ttl\"} %d\n", m.sessionsEvicted.ttl.Load())
+	fmt.Fprintf(w, "aapsmd_sessions_evicted_total{reason=\"delete\"} %d\n", m.sessionsEvicted.del.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_detects_total Detect stage requests served.\n# TYPE aapsmd_detects_total counter\n")
+	fmt.Fprintf(w, "aapsmd_detects_total %d\n", m.detects.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_edits_total Edit operations applied to sessions.\n# TYPE aapsmd_edits_total counter\n")
+	fmt.Fprintf(w, "aapsmd_edits_total %d\n", m.edits.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_inflight_requests Requests currently being served.\n# TYPE aapsmd_inflight_requests gauge\n")
+	fmt.Fprintf(w, "aapsmd_inflight_requests %d\n", m.inflight.Load())
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintf(w, "# HELP aapsmd_requests_total Finished HTTP requests.\n# TYPE aapsmd_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "aapsmd_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+	routes := make([]string, 0, len(m.seconds))
+	for r := range m.seconds {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	fmt.Fprintf(w, "# HELP aapsmd_request_seconds Request latency.\n# TYPE aapsmd_request_seconds summary\n")
+	for _, r := range routes {
+		l := m.seconds[r]
+		fmt.Fprintf(w, "aapsmd_request_seconds_sum{route=%q} %.6f\n", r, l.sum)
+		fmt.Fprintf(w, "aapsmd_request_seconds_count{route=%q} %d\n", r, l.count)
+	}
+}

@@ -1,0 +1,234 @@
+// Package server implements aapsmd, the long-running AAPSM layout service:
+// an HTTP/JSON facade over the Engine/Session pipeline with a bounded
+// LRU+TTL session store, single-flight creation coalescing, per-request
+// timeouts, typed error responses, health and Prometheus-style metrics
+// endpoints, and graceful drain.
+//
+// Every pipeline stage of the paper's flow is separately addressable:
+//
+//	POST   /v1/sessions                  create a session (layout text or GDS body)
+//	GET    /v1/sessions/{id}             session info and work counters
+//	DELETE /v1/sessions/{id}             drop the session
+//	POST   /v1/sessions/{id}/edits       batched add/move/del edits (incremental re-detect)
+//	GET    /v1/sessions/{id}/detect      conflict detection
+//	GET    /v1/sessions/{id}/assign      phase assignment
+//	GET    /v1/sessions/{id}/correct     end-to-end-space correction
+//	GET    /v1/sessions/{id}/drc         design-rule check
+//	GET    /v1/sessions/{id}/mask        mask view (text or GDS)
+//	GET    /v1/sessions/{id}/layout      current layout export (text or GDS)
+//	GET    /v1/sessions/{id}/svg         SVG render with overlays
+//	GET    /healthz                      liveness (503 while draining)
+//	GET    /metrics                      Prometheus text metrics
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	aapsm "repro"
+)
+
+// Config parameterizes a Server. The zero value of every field selects a
+// production-safe default.
+type Config struct {
+	// Engine is the shared pipeline engine; nil builds one with default
+	// rules.
+	Engine *aapsm.Engine
+	// StoreCapacity bounds the number of live sessions (LRU eviction past
+	// it). Default 1024.
+	StoreCapacity int
+	// SessionTTL is the idle lifetime of a stored session; every access
+	// refreshes it. 0 means the default 30m; negative disables expiry.
+	SessionTTL time.Duration
+	// RequestTimeout bounds each request's pipeline work via context
+	// cancellation. 0 means the default 60s; negative disables the limit.
+	RequestTimeout time.Duration
+	// DetectWorkers bounds one session's shard fan-out (see
+	// Engine.NewSessionWithParallelism). Default 1: request-level
+	// concurrency is the parallelism axis of a multi-tenant server.
+	DetectWorkers int
+	// MaxBodyBytes caps uploaded layout bodies. Default 32 MiB.
+	MaxBodyBytes int64
+	// Incremental arms every new session for incremental edit-and-re-detect
+	// (Session.EnableEdits) so the first detection seeds the per-cluster
+	// cache. Default on; set Off to true to disable.
+	IncrementalOff bool
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Engine == nil {
+		c.Engine = aapsm.NewEngine()
+	}
+	if c.StoreCapacity == 0 {
+		c.StoreCapacity = 1024
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
+	if c.SessionTTL < 0 {
+		c.SessionTTL = 0 // store interprets 0 as "no expiry"
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
+	if c.DetectWorkers <= 0 {
+		c.DetectWorkers = 1
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Server is the aapsmd request handler plus its session store and metrics.
+// Create with New, mount Handler on an http.Server, and call BeginDrain
+// before http.Server.Shutdown, then Close once drained.
+type Server struct {
+	cfg     Config
+	store   *sessionStore
+	metrics *metrics
+	mux     *http.ServeMux
+	stop    chan struct{}
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(cfg.now()),
+		mux:     http.NewServeMux(),
+		stop:    make(chan struct{}),
+	}
+	s.store = newSessionStore(cfg.StoreCapacity, cfg.SessionTTL, cfg.now, s.metrics.evicted)
+	s.routes()
+	go s.sweepLoop()
+	return s
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips the server into draining mode: /healthz starts answering
+// 503 so load balancers stop routing new work, while in-flight and
+// still-arriving requests keep being served until the caller's
+// http.Server.Shutdown completes the connection drain.
+func (s *Server) BeginDrain() { s.metrics.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.metrics.draining.Load() }
+
+// Close releases the background sweeper. The server must not be used after
+// Close.
+func (s *Server) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+}
+
+// Sessions returns the live session count.
+func (s *Server) Sessions() int { return s.store.len() }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/sessions", s.route("create", s.handleCreate))
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.route("info", s.session(s.handleInfo)))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.handleDelete))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/edits", s.route("edits", s.session(s.handleEdits)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/detect", s.route("detect", s.session(s.handleDetect)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/assign", s.route("assign", s.session(s.handleAssign)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/correct", s.route("correct", s.session(s.handleCorrect)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/drc", s.route("drc", s.session(s.handleDRC)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/mask", s.route("mask", s.session(s.handleMask)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/layout", s.route("layout", s.session(s.handleLayout)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/svg", s.route("svg", s.session(s.handleSVG)))
+}
+
+// route wraps a handler with the cross-cutting serving concerns: in-flight
+// accounting, the per-request pipeline timeout, and request metrics keyed by
+// a stable route name (not the raw path, which would explode label
+// cardinality).
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.observe(name, sw.code, time.Since(start))
+	}
+}
+
+// session resolves the {id} path component to a stored session before
+// invoking the handler.
+func (s *Server) session(h func(http.ResponseWriter, *http.Request, *sessionEntry)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		ent, ok := s.store.get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown_session", "", "",
+				"no live session "+strconv.Quote(id)+" (expired, evicted, or never created)")
+			return
+		}
+		h(w, r, ent)
+	}
+}
+
+// statusWriter records the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// sweepLoop expires idle sessions in the background.
+func (s *Server) sweepLoop() {
+	if s.cfg.SessionTTL <= 0 {
+		return
+	}
+	period := s.cfg.SessionTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.store.sweep()
+		case <-s.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	aapsm "repro"
+)
+
+// sessionEntry is one stored session plus its bookkeeping. The session
+// itself is concurrency-safe; the entry's mutable fields (expiry, LRU
+// position, edited flag) are guarded by the store mutex.
+type sessionEntry struct {
+	ID   string
+	Hash string // content hash of the layout the session was created from
+	Sess *aapsm.Session
+
+	Created time.Time
+	expires time.Time
+	edited  bool // once true, the entry no longer satisfies create-by-hash
+	elem    *list.Element
+}
+
+// evictReason labels why a session left the store (metrics).
+type evictReason string
+
+const (
+	evictLRU      evictReason = "lru"
+	evictTTL      evictReason = "ttl"
+	evictExplicit evictReason = "delete"
+)
+
+// sessionStore is a bounded LRU+TTL map of live sessions.
+//
+// Sessions are keyed two ways: by session ID (every lookup), and by layout
+// content hash (creation). Creating a session whose layout hashes to a
+// pristine — never edited — stored session reattaches to it instead of
+// rebuilding, and concurrent creations of the same hash are single-flighted
+// so the layout is parsed and the session built exactly once. An edited
+// session stays addressable by ID but is removed from the hash index: its
+// contents have diverged from the uploaded bytes, so a fresh upload of the
+// original layout gets a fresh session.
+//
+// Every access refreshes both the TTL and the LRU position. Capacity
+// overflow evicts the least recently used entry; expiry is enforced lazily
+// on access and eagerly by sweep (driven by the server's ticker).
+type sessionStore struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	now      func() time.Time
+	byID     map[string]*sessionEntry
+	byHash   map[string]*sessionEntry // pristine sessions only
+	lru      *list.List               // front = most recently used; values are *sessionEntry
+	seq      int64
+	creating map[string]*createCall
+	onEvict  func(evictReason)
+}
+
+// createCall is one in-flight session construction other creators of the
+// same hash wait on.
+type createCall struct {
+	done chan struct{}
+	ent  *sessionEntry
+	err  error
+}
+
+func newSessionStore(capacity int, ttl time.Duration, now func() time.Time, onEvict func(evictReason)) *sessionStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	if onEvict == nil {
+		onEvict = func(evictReason) {}
+	}
+	return &sessionStore{
+		capacity: capacity,
+		ttl:      ttl,
+		now:      now,
+		byID:     make(map[string]*sessionEntry),
+		byHash:   make(map[string]*sessionEntry),
+		lru:      list.New(),
+		creating: make(map[string]*createCall),
+		onEvict:  onEvict,
+	}
+}
+
+// getOrCreate returns the pristine session stored for hash, or builds one
+// with mk and stores it. Concurrent calls for the same hash coalesce: one
+// caller runs mk, the rest wait and share the result (or the error, which is
+// not cached — a later create retries). A waiting follower honors ctx and
+// gives up without a session when its request deadline passes; the leader's
+// construction itself runs to completion (its result is useful to every
+// later creator). reused reports whether an existing session was returned.
+func (st *sessionStore) getOrCreate(ctx context.Context, hash string, mk func() (*aapsm.Session, error)) (ent *sessionEntry, reused bool, err error) {
+	var call *createCall
+	for call == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		st.mu.Lock()
+		if e, ok := st.byHash[hash]; ok && !st.expired(e) {
+			st.touchLocked(e)
+			st.mu.Unlock()
+			return e, true, nil
+		}
+		if inflight, ok := st.creating[hash]; ok {
+			st.mu.Unlock()
+			select {
+			case <-inflight.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if inflight.err == nil {
+				return inflight.ent, true, nil
+			}
+			continue // the leader failed; retry as a new leader
+		}
+		call = &createCall{done: make(chan struct{})}
+		st.creating[hash] = call
+		st.mu.Unlock()
+	}
+	sess, err := mk()
+	st.mu.Lock()
+	delete(st.creating, hash)
+	if err != nil {
+		call.err = err
+		st.mu.Unlock()
+		close(call.done)
+		return nil, false, err
+	}
+	st.seq++
+	ent = &sessionEntry{
+		ID:      fmt.Sprintf("%s-%d", hash[:12], st.seq),
+		Hash:    hash,
+		Sess:    sess,
+		Created: st.now(),
+	}
+	st.byID[ent.ID] = ent
+	st.byHash[hash] = ent
+	ent.elem = st.lru.PushFront(ent)
+	ent.expires = st.now().Add(st.ttl)
+	st.evictOverflowLocked()
+	call.ent = ent
+	st.mu.Unlock()
+	close(call.done)
+	return ent, false, nil
+}
+
+// get returns the live entry for id, refreshing its TTL and LRU position.
+func (st *sessionStore) get(id string) (*sessionEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.byID[id]
+	if !ok {
+		return nil, false
+	}
+	if st.expired(e) {
+		st.removeLocked(e, evictTTL)
+		return nil, false
+	}
+	st.touchLocked(e)
+	return e, true
+}
+
+// markEdited drops the entry from the hash index: its layout has diverged
+// from the content it was created from.
+func (st *sessionStore) markEdited(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.byID[id]; ok && !e.edited {
+		e.edited = true
+		if st.byHash[e.Hash] == e {
+			delete(st.byHash, e.Hash)
+		}
+	}
+}
+
+// delete removes the entry explicitly; it reports whether the id was live.
+func (st *sessionStore) delete(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.byID[id]
+	if !ok || st.expired(e) {
+		if ok {
+			st.removeLocked(e, evictTTL)
+		}
+		return false
+	}
+	st.removeLocked(e, evictExplicit)
+	return true
+}
+
+// sweep removes every expired entry; the server calls it periodically so
+// idle sessions release memory without waiting for an access.
+func (st *sessionStore) sweep() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for el := st.lru.Back(); el != nil; {
+		prev := el.Prev()
+		if e := el.Value.(*sessionEntry); st.expired(e) {
+			st.removeLocked(e, evictTTL)
+		}
+		el = prev
+	}
+}
+
+// len returns the live session count (expired entries not yet swept count
+// until observed).
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.byID)
+}
+
+// expires returns the entry's current deadline (for session info responses).
+func (st *sessionStore) expires(e *sessionEntry) time.Time {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return e.expires
+}
+
+func (st *sessionStore) expired(e *sessionEntry) bool {
+	return st.ttl > 0 && st.now().After(e.expires)
+}
+
+func (st *sessionStore) touchLocked(e *sessionEntry) {
+	e.expires = st.now().Add(st.ttl)
+	st.lru.MoveToFront(e.elem)
+}
+
+func (st *sessionStore) evictOverflowLocked() {
+	for len(st.byID) > st.capacity {
+		back := st.lru.Back()
+		if back == nil {
+			return
+		}
+		st.removeLocked(back.Value.(*sessionEntry), evictLRU)
+	}
+}
+
+func (st *sessionStore) removeLocked(e *sessionEntry, why evictReason) {
+	delete(st.byID, e.ID)
+	if st.byHash[e.Hash] == e {
+		delete(st.byHash, e.Hash)
+	}
+	st.lru.Remove(e.elem)
+	st.onEvict(why)
+}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	aapsm "repro"
+)
+
+// fakeClock is a manually-advanced clock for TTL tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 7, 26, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func testHash(i int) string {
+	return fmt.Sprintf("%016x%048d", i, 0)
+}
+
+func mkSession() (*aapsm.Session, error) {
+	l := aapsm.NewLayout("t")
+	l.Add(aapsm.R(0, 0, 100, 1000))
+	return aapsm.NewEngine().NewSession(l), nil
+}
+
+func TestStoreSingleFlight(t *testing.T) {
+	st := newSessionStore(16, time.Hour, nil, nil)
+	var built atomic.Int32
+	var wg sync.WaitGroup
+	ids := make([]string, 32)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ent, _, err := st.getOrCreate(context.Background(), testHash(1), func() (*aapsm.Session, error) {
+				built.Add(1)
+				time.Sleep(2 * time.Millisecond) // widen the race window
+				return mkSession()
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = ent.ID
+		}(i)
+	}
+	wg.Wait()
+	if n := built.Load(); n != 1 {
+		t.Errorf("construction ran %d times, want 1", n)
+	}
+	for _, id := range ids {
+		if id != ids[0] {
+			t.Fatalf("callers got different sessions: %q vs %q", id, ids[0])
+		}
+	}
+}
+
+func TestStoreSingleFlightErrorNotCached(t *testing.T) {
+	st := newSessionStore(16, time.Hour, nil, nil)
+	boom := errors.New("boom")
+	if _, _, err := st.getOrCreate(context.Background(), testHash(1), func() (*aapsm.Session, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, _, err := st.getOrCreate(context.Background(), testHash(1), mkSession); err != nil {
+		t.Fatalf("create after failed create: %v", err)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	evicted := map[evictReason]int{}
+	st := newSessionStore(3, time.Hour, nil, func(r evictReason) { evicted[r]++ })
+	var ids []string
+	for i := 0; i < 5; i++ {
+		ent, _, err := st.getOrCreate(context.Background(), testHash(i), mkSession)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, ent.ID)
+	}
+	if st.len() != 3 {
+		t.Fatalf("len = %d, want capacity 3", st.len())
+	}
+	if evicted[evictLRU] != 2 {
+		t.Fatalf("lru evictions = %d, want 2", evicted[evictLRU])
+	}
+	// The two oldest are gone, the three newest live.
+	for i, id := range ids {
+		_, ok := st.get(id)
+		if want := i >= 2; ok != want {
+			t.Errorf("session %d live = %v, want %v", i, ok, want)
+		}
+	}
+	// Touching the LRU tail protects it from the next eviction.
+	st.get(ids[2])
+	if _, _, err := st.getOrCreate(context.Background(), testHash(5), mkSession); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.get(ids[2]); !ok {
+		t.Error("recently-touched session evicted before older one")
+	}
+	if _, ok := st.get(ids[3]); ok {
+		t.Error("least-recently-used session survived eviction")
+	}
+}
+
+func TestStoreTTL(t *testing.T) {
+	clock := newFakeClock()
+	evicted := map[evictReason]int{}
+	st := newSessionStore(16, 10*time.Minute, clock.Now, func(r evictReason) { evicted[r]++ })
+	ent, _, err := st.getOrCreate(context.Background(), testHash(1), mkSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(9 * time.Minute)
+	if _, ok := st.get(ent.ID); !ok {
+		t.Fatal("session expired before its TTL")
+	}
+	// The access refreshed the deadline.
+	clock.Advance(9 * time.Minute)
+	if _, ok := st.get(ent.ID); !ok {
+		t.Fatal("access did not refresh the TTL")
+	}
+	clock.Advance(11 * time.Minute)
+	if _, ok := st.get(ent.ID); ok {
+		t.Fatal("session alive past its TTL")
+	}
+	if evicted[evictTTL] != 1 {
+		t.Fatalf("ttl evictions = %d, want 1", evicted[evictTTL])
+	}
+	// An expired pristine session must not satisfy create-by-hash.
+	ent2, reused, err := st.getOrCreate(context.Background(), testHash(1), mkSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused || ent2.ID == ent.ID {
+		t.Fatal("expired session reattached on create")
+	}
+	// sweep removes expired entries without an access.
+	clock.Advance(11 * time.Minute)
+	st.sweep()
+	if st.len() != 0 {
+		t.Fatalf("len = %d after sweep, want 0", st.len())
+	}
+}
+
+func TestStoreEditedSessionNotReused(t *testing.T) {
+	st := newSessionStore(16, time.Hour, nil, nil)
+	ent, _, err := st.getOrCreate(context.Background(), testHash(1), mkSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2, reused, _ := st.getOrCreate(context.Background(), testHash(1), mkSession); !reused || e2.ID != ent.ID {
+		t.Fatal("pristine session must be reattached by hash")
+	}
+	st.markEdited(ent.ID)
+	e3, reused, err := st.getOrCreate(context.Background(), testHash(1), mkSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused || e3.ID == ent.ID {
+		t.Fatal("edited session must not satisfy create-by-hash")
+	}
+	// The edited session stays addressable by ID.
+	if _, ok := st.get(ent.ID); !ok {
+		t.Fatal("edited session lost")
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	st := newSessionStore(16, time.Hour, nil, nil)
+	ent, _, err := st.getOrCreate(context.Background(), testHash(1), mkSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.delete(ent.ID) {
+		t.Fatal("delete of live session reported false")
+	}
+	if st.delete(ent.ID) {
+		t.Fatal("double delete reported true")
+	}
+	if _, ok := st.get(ent.ID); ok {
+		t.Fatal("session alive after delete")
+	}
+}

@@ -98,6 +98,18 @@ func memoLocked[T any](s *Session, st *stage[T], ctx context.Context, fs FlowSta
 // Engine returns the engine this session was created by.
 func (s *Session) Engine() *Engine { return s.engine }
 
+// SnapshotLayout returns an independent deep copy of the session's current
+// layout, taken atomically with respect to concurrent edits. Unlike Layout,
+// the returned value is owned by the caller: it stays valid (and frozen)
+// while other goroutines keep editing the session, so it is safe to
+// serialize, diff, or hand to another Engine. Long-running services use this
+// as the export hook for sessions that never leave the store.
+func (s *Session) SnapshotLayout() *Layout {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.layout.Clone()
+}
+
 // Layout returns the session's current layout: the input layout until the
 // first edit, the session's private edited copy afterwards. Callers must
 // treat it as read-only; mutate through the edit methods.
@@ -105,6 +117,23 @@ func (s *Session) Layout() *Layout {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.layout
+}
+
+// NumFeatures returns the current feature count, read under the session
+// lock — safe against concurrent edits, unlike len(Layout().Features).
+func (s *Session) NumFeatures() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.layout.Features)
+}
+
+// LayoutName returns the layout's name, read under the session lock. Edits
+// never change the name, so metadata readers can use this instead of
+// cloning the whole layout with SnapshotLayout.
+func (s *Session) LayoutName() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.layout.Name
 }
 
 // SessionStats reports how much pipeline work a session has actually done.
@@ -478,9 +507,12 @@ func (s *Session) Junctions() []Junction {
 // correction stage has already run, its cut lines are drawn too. The output
 // itself is not memoized: every call writes a fresh document to w.
 func (s *Session) RenderSVG(ctx context.Context, w io.Writer) error {
-	// Compute (or fetch) the overlays under the session lock, but write
-	// outside it: stage results are immutable once memoized, and a slow w
-	// must not block other goroutines' stage calls.
+	// Compute (or fetch) the overlays and snapshot the layout under the
+	// session lock, but write outside it: stage results are immutable once
+	// memoized, and a slow w must not block other goroutines' stage calls.
+	// The layout itself is NOT immutable — an edited session mutates it in
+	// place — so rendering must work from a copy taken under the lock, or a
+	// concurrent edit would race with the feature scan.
 	s.mu.Lock()
 	res, err := s.detectLocked(ctx)
 	if err != nil {
@@ -496,9 +528,10 @@ func (s *Session) RenderSVG(ctx context.Context, w io.Writer) error {
 	if s.correction.done && s.correction.err == nil {
 		opt.Plan = s.correction.val.Plan
 	}
+	lay := s.layout.Clone()
 	s.mu.Unlock()
-	if err := RenderSVG(w, s.layout, opt); err != nil {
-		return flowErr(StageRender, s.layout.Name, err)
+	if err := RenderSVG(w, lay, opt); err != nil {
+		return flowErr(StageRender, lay.Name, err)
 	}
 	return nil
 }
