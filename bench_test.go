@@ -22,6 +22,7 @@ package aapsm_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"testing"
@@ -391,6 +392,82 @@ func BenchmarkEditRedetect(b *testing.B) {
 			b.Fatalf("reuse invariant fallbacks: %+v", st)
 		}
 		b.ReportMetric(float64(st.ShardsReused)/float64(st.Detects), "reused-shards/op")
+	})
+}
+
+// runPipeline drives the full downstream flow on a session: detect, phase
+// assignment, correction, mask view, DRC. Mask inconsistency (feature-edge
+// conflicts) is tolerated — it is a legitimate pipeline outcome, and both the
+// from-scratch and incremental paths hit it identically.
+func runPipeline(ctx context.Context, b *testing.B, s *aapsm.Session) {
+	b.Helper()
+	if _, err := s.Detect(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Assignment(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Correction(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Mask(ctx); err != nil && !errors.Is(err, aapsm.ErrMaskInconsistent) {
+		b.Fatal(err)
+	}
+	_ = s.DRC()
+}
+
+// BenchmarkEditRepipeline contrasts the full from-scratch pipeline
+// (detect + assign + correct + mask + DRC) on d3 with the incremental
+// re-pipeline after a single-feature move on an edit session. Downstream
+// stages reuse along the same conflict clusters as detection: clean clusters
+// keep their coloring, correction intervals, mask checks and DRC pairs. The
+// acceptance target is ≥ 3× (recorded per design in BENCH_detect.json
+// schema v3 by cmd/benchtab -json).
+func BenchmarkEditRepipeline(b *testing.B) {
+	ctx := context.Background()
+	d := bench.Suite()[2] // d3
+	mk := func() *layout.Layout { return bench.Generate(d.Name, d.Params) }
+
+	b.Run("full", func(b *testing.B) {
+		l := mk()
+		eng := aapsm.NewEngine(aapsm.WithParallelism(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runPipeline(ctx, b, eng.NewSession(l))
+		}
+	})
+
+	b.Run("incremental-move", func(b *testing.B) {
+		eng := aapsm.NewEngine(aapsm.WithParallelism(1))
+		s := eng.NewSession(mk())
+		mid := len(s.Layout().Features) / 2
+		if err := s.EnableEdits(); err != nil {
+			b.Fatal(err)
+		}
+		runPipeline(ctx, b, s)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := s.Layout().Features[mid].Rect
+			delta := int64(10)
+			if i%2 == 1 {
+				delta = -10
+			}
+			if err := s.MoveFeature(mid, r.Translate(aapsm.Point{X: delta})); err != nil {
+				b.Fatal(err)
+			}
+			runPipeline(ctx, b, s)
+		}
+		b.StopTimer()
+		st := s.Stats().Incremental
+		if st.FallbackDirty != 0 {
+			b.Fatalf("reuse invariant fallbacks: %+v", st)
+		}
+		if st.Detects > 0 {
+			b.ReportMetric(float64(st.ShardsReused)/float64(st.Detects), "reused-shards/op")
+			b.ReportMetric(float64(st.DRCPairsReused)/float64(st.Detects), "reused-drc-pairs/op")
+		}
 	})
 }
 

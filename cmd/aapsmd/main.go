@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -87,15 +88,22 @@ func main() {
 	defer srv.Close()
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Bind before serving so `-addr 127.0.0.1:0` works: the kernel picks a
+	// free port and the log line reports the actual address. Harness scripts
+	// (the CI smoke) parse that line instead of hard-coding a port, so
+	// parallel runs cannot collide.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen %s: %v", *addr, err)
+	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("aapsmd listening on %s (capacity %d, ttl %v)", *addr, *capacity, *ttl)
-		errc <- httpSrv.ListenAndServe()
+		log.Printf("aapsmd listening on %s (capacity %d, ttl %v)", ln.Addr(), *capacity, *ttl)
+		errc <- httpSrv.Serve(ln)
 	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -7,19 +7,31 @@
 //	benchtab -fig 3             # Figures 3/4: gadget construction sizes
 //	benchtab -json BENCH_detect.json -n 5 -workers 4
 //	                            # machine-readable detection perf trajectory
+//	benchtab -json out.json -n 5 -compare BENCH_detect.json
+//	                            # …and gate structural counts against a baseline
 //
 // -n limits the number of suite designs (d1..dN); the full d8 run covers
 // ~160K polygons and takes a few minutes.
 //
-// The -json mode runs the sharded detection flow on each design and writes
-// graph sizes, per-stage nanoseconds and allocation counts to the given
-// file (see README "Performance" for the schema), so successive PRs leave a
-// comparable perf trajectory in the repository.
+// The -json mode runs the sharded detection flow and the incremental
+// edit-repipeline measurement on each design and writes graph sizes,
+// per-stage nanoseconds and allocation counts to the given file (see README
+// "Performance" for the schema), so successive PRs leave a comparable perf
+// trajectory in the repository.
+//
+// The -compare mode is CI's perf-regression gate: after writing the fresh
+// JSON it checks every structural count (graph sizes, crossing pairs,
+// shards, bipartization, conflicts, allocations) against the committed
+// baseline within a generous ratio tolerance (default 2×). Counts are
+// deterministic and allocations nearly so, so a gate trip means the
+// algorithm changed shape — timing noise cannot trip it because timings are
+// never compared.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +51,8 @@ func main() {
 		n        = flag.Int("n", 5, "number of suite designs to run (1..8)")
 		jsonPath = flag.String("json", "", "write the detection perf trajectory to this file (e.g. BENCH_detect.json)")
 		workers  = flag.Int("workers", 0, "detection worker count for -json (0 = GOMAXPROCS)")
+		compare  = flag.String("compare", "", "baseline BENCH_detect.json to gate structural counts against (with -json)")
+		tol      = flag.Float64("tolerance", 2.0, "allowed count ratio for -compare (>= 1)")
 	)
 	flag.Parse()
 	rules := aapsm.Default90nmRules()
@@ -46,8 +60,13 @@ func main() {
 
 	switch {
 	case *jsonPath != "":
-		check(writeDetectJSON(*jsonPath, suite, rules, *workers))
+		doc, err := writeDetectJSON(*jsonPath, suite, rules, *workers)
+		check(err)
 		fmt.Printf("wrote %s (%d designs)\n", *jsonPath, len(suite))
+		if *compare != "" {
+			check(compareBaseline(doc, *compare, *tol))
+			fmt.Printf("structural counts within %.1fx of %s\n", *tol, *compare)
+		}
 	case *table == 1:
 		fmt.Println("Table 1: AAPSM conflict detection (quality and matching runtime)")
 		fmt.Println(experiments.Table1Header())
@@ -153,6 +172,18 @@ type detectRecord struct {
 	EditRedetectNS   int64   `json:"edit_redetect_ns"`
 	EditReusedShards int     `json:"edit_reused_shards"`
 	EditSpeedup      float64 `json:"edit_speedup"`
+	// Incremental full-pipeline trajectory (schema v3): the from-scratch
+	// pipeline latency (build + detect + assign + correct + mask + DRC), the
+	// best-of-7 post-edit incremental re-pipeline latency, their ratio, and
+	// the per-stage reuse counters of the measuring session's last re-run.
+	PipelineNS              int64   `json:"pipeline_ns"`
+	EditRepipelineNS        int64   `json:"edit_repipeline_ns"`
+	EditPipelineSpeedup     float64 `json:"edit_pipeline_speedup"`
+	EditAssignReused        int     `json:"edit_assign_clusters_reused"`
+	EditVerifyChecksReused  int     `json:"edit_verify_checks_reused"`
+	EditCorrIntervalsReused int     `json:"edit_corr_intervals_reused"`
+	EditMaskChecksReused    int     `json:"edit_mask_checks_reused"`
+	EditDRCPairsReused      int     `json:"edit_drc_pairs_reused"`
 }
 
 // detectTrajectory is the top-level BENCH_detect.json document.
@@ -164,12 +195,12 @@ type detectTrajectory struct {
 	Designs     []detectRecord `json:"designs"`
 }
 
-func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, workers int) error {
+func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, workers int) (*detectTrajectory, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	doc := detectTrajectory{
-		Schema:      "aapsm/bench_detect/v2",
+	doc := &detectTrajectory{
+		Schema:      "aapsm/bench_detect/v3",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Workers:     workers,
@@ -184,18 +215,22 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 		tBuild := time.Now()
 		cg, err := core.BuildGraph(l, rules, core.PCG)
 		if err != nil {
-			return fmt.Errorf("%s: %v", d.Name, err)
+			return nil, fmt.Errorf("%s: %v", d.Name, err)
 		}
 		buildNS := time.Since(tBuild).Nanoseconds()
 		det, err := core.Detect(cg, core.Options{Workers: workers})
 		if err != nil {
-			return fmt.Errorf("%s: %v", d.Name, err)
+			return nil, fmt.Errorf("%s: %v", d.Name, err)
 		}
 		runtime.ReadMemStats(&after)
 
 		editNS, editReused, err := measureEditRedetect(d, rules, workers)
 		if err != nil {
-			return fmt.Errorf("%s: edit redetect: %v", d.Name, err)
+			return nil, fmt.Errorf("%s: edit redetect: %v", d.Name, err)
+		}
+		pipe, err := measureEditRepipeline(d, rules, workers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: edit repipeline: %v", d.Name, err)
 		}
 
 		s := det.Stats
@@ -228,18 +263,28 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 			EditRedetectNS:   editNS,
 			EditReusedShards: editReused,
 			EditSpeedup:      float64(buildNS+s.TotalTime.Nanoseconds()) / float64(editNS),
+
+			PipelineNS:              pipe.scratchNS,
+			EditRepipelineNS:        pipe.editNS,
+			EditPipelineSpeedup:     float64(pipe.scratchNS) / float64(pipe.editNS),
+			EditAssignReused:        pipe.assignReused,
+			EditVerifyChecksReused:  pipe.verifyReused,
+			EditCorrIntervalsReused: pipe.corrReused,
+			EditMaskChecksReused:    pipe.maskReused,
+			EditDRCPairsReused:      pipe.drcReused,
 		})
-		fmt.Printf("%-4s %7d polygons %8d edges %5d shards  total %8.2fms  match %8.2fms  edit-redetect %6.2fms (%.1fx)\n",
+		fmt.Printf("%-4s %7d polygons %8d edges %5d shards  total %8.2fms  edit-redetect %6.2fms (%.1fx)  edit-repipeline %6.2fms (%.1fx)\n",
 			d.Name, len(l.Features), s.GraphEdges, s.Shards,
-			float64(s.TotalTime.Nanoseconds())/1e6, float64(s.MatchTime.Nanoseconds())/1e6,
-			float64(editNS)/1e6, float64(buildNS+s.TotalTime.Nanoseconds())/float64(editNS))
+			float64(s.TotalTime.Nanoseconds())/1e6,
+			float64(editNS)/1e6, float64(buildNS+s.TotalTime.Nanoseconds())/float64(editNS),
+			float64(pipe.editNS)/1e6, float64(pipe.scratchNS)/float64(pipe.editNS))
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	buf = append(buf, '\n')
-	return os.WriteFile(path, buf, 0o644)
+	return doc, os.WriteFile(path, buf, 0o644)
 }
 
 // measureEditRedetect times the incremental re-detect after a single-feature
@@ -281,4 +326,143 @@ func measureEditRedetect(d bench.Design, rules aapsm.Rules, workers int) (bestNS
 		return 0, 0, fmt.Errorf("reuse invariant fallbacks: %+v", st)
 	}
 	return bestNS, reused, nil
+}
+
+// repipelineResult is one design's incremental full-pipeline measurement.
+type repipelineResult struct {
+	scratchNS, editNS int64
+	assignReused      int
+	verifyReused      int
+	corrReused        int
+	maskReused        int
+	drcReused         int
+}
+
+// runPipeline drives the full downstream flow on a session. Mask
+// inconsistency (feature-edge conflicts) is a legitimate pipeline outcome
+// and is tolerated; both the from-scratch and incremental paths hit it
+// identically, so the timings stay comparable.
+func runPipeline(ctx context.Context, s *aapsm.Session) error {
+	if _, err := s.Detect(ctx); err != nil {
+		return err
+	}
+	if _, err := s.Assignment(ctx); err != nil {
+		return err
+	}
+	if _, err := s.Correction(ctx); err != nil {
+		return err
+	}
+	if _, err := s.Mask(ctx); err != nil && !errors.Is(err, aapsm.ErrMaskInconsistent) {
+		return err
+	}
+	s.DRC()
+	return nil
+}
+
+// measureEditRepipeline times the full pipeline (detect + assign + correct +
+// mask + DRC) from scratch on a fresh session, then the incremental
+// re-pipeline after a single-feature move on an armed edit session (best of
+// 7 alternating ±10 nm moves), and reports the per-stage reuse counters of
+// the final re-run.
+func measureEditRepipeline(d bench.Design, rules aapsm.Rules, workers int) (repipelineResult, error) {
+	var out repipelineResult
+	ctx := context.Background()
+	eng := aapsm.NewEngine(aapsm.WithRules(rules), aapsm.WithParallelism(workers))
+	l := bench.Generate(d.Name, d.Params)
+
+	t0 := time.Now()
+	if err := runPipeline(ctx, eng.NewSession(l)); err != nil {
+		return out, err
+	}
+	out.scratchNS = time.Since(t0).Nanoseconds()
+
+	s := eng.NewSession(bench.Generate(d.Name, d.Params))
+	mid := len(s.Layout().Features) / 2
+	if err := s.EnableEdits(); err != nil {
+		return out, err
+	}
+	if err := runPipeline(ctx, s); err != nil {
+		return out, err
+	}
+	for k := 0; k < 7; k++ {
+		r := s.Layout().Features[mid].Rect
+		delta := int64(10)
+		if k%2 == 1 {
+			delta = -10
+		}
+		if err := s.MoveFeature(mid, r.Translate(aapsm.Point{X: delta})); err != nil {
+			return out, err
+		}
+		before := s.Stats().Incremental
+		t0 := time.Now()
+		if err := runPipeline(ctx, s); err != nil {
+			return out, err
+		}
+		if ns := time.Since(t0).Nanoseconds(); out.editNS == 0 || ns < out.editNS {
+			out.editNS = ns
+		}
+		after := s.Stats().Incremental
+		out.assignReused = after.AssignClustersReused - before.AssignClustersReused
+		out.verifyReused = after.VerifyChecksReused - before.VerifyChecksReused
+		out.corrReused = after.CorrIntervalsReused - before.CorrIntervalsReused
+		out.maskReused = after.MaskChecksReused - before.MaskChecksReused
+		out.drcReused = after.DRCPairsReused - before.DRCPairsReused
+	}
+	if st := s.Stats().Incremental; st.FallbackDirty != 0 {
+		return out, fmt.Errorf("reuse invariant fallbacks: %+v", st)
+	}
+	return out, nil
+}
+
+// compareBaseline checks the structural counts of doc against the committed
+// baseline file within the given ratio tolerance. Only designs present in
+// both documents are compared; timings are deliberately ignored.
+func compareBaseline(doc *detectTrajectory, path string, tol float64) error {
+	if tol < 1 {
+		return fmt.Errorf("tolerance %g must be >= 1", tol)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base detectTrajectory
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	baseByName := make(map[string]detectRecord, len(base.Designs))
+	for _, r := range base.Designs {
+		baseByName[r.Name] = r
+	}
+	var problems []string
+	for _, got := range doc.Designs {
+		want, ok := baseByName[got.Name]
+		if !ok {
+			continue
+		}
+		checkCount := func(field string, g, w int64) {
+			if g == w {
+				return
+			}
+			lo, hi := float64(w)/tol, float64(w)*tol
+			if w == 0 || float64(g) < lo || float64(g) > hi {
+				problems = append(problems,
+					fmt.Sprintf("%s: %s = %d, baseline %d (outside %.1fx)", got.Name, field, g, w, tol))
+			}
+		}
+		checkCount("polygons", int64(got.Polygons), int64(want.Polygons))
+		checkCount("graph_nodes", int64(got.GraphNodes), int64(want.GraphNodes))
+		checkCount("graph_edges", int64(got.GraphEdges), int64(want.GraphEdges))
+		checkCount("crossing_pairs", int64(got.CrossingPairs), int64(want.CrossingPairs))
+		checkCount("shards", int64(got.Shards), int64(want.Shards))
+		checkCount("bipartization_edges", int64(got.Bipartization), int64(want.Bipartization))
+		checkCount("conflicts", int64(got.Conflicts), int64(want.Conflicts))
+		checkCount("allocs", int64(got.Allocs), int64(want.Allocs))
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "benchtab: perf gate: %s\n", p)
+		}
+		return fmt.Errorf("%d structural count(s) regressed vs %s", len(problems), path)
+	}
+	return nil
 }

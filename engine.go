@@ -88,7 +88,7 @@ func (e *Engine) Parallelism() int { return e.workers }
 // NewSession starts a pipeline session on one layout. The layout must not be
 // mutated while the session is in use.
 func (e *Engine) NewSession(l *Layout) *Session {
-	return &Session{engine: e, layout: l}
+	return &Session{engine: e, layout: l, verifyCleanGen: -1, maskCleanGen: -1}
 }
 
 // NewSessionWithParallelism starts a session whose detection uses at most n

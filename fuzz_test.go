@@ -2,6 +2,7 @@ package aapsm
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -68,6 +69,65 @@ func FuzzReadLayoutText(f *testing.F) {
 		}
 		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
 			t.Fatalf("writer is not idempotent:\n%q\nvs\n%q", w1.Bytes(), w2.Bytes())
+		}
+	})
+}
+
+// FuzzEditPipeline is the differential fuzzer of the incremental pipeline:
+// the input bytes decode into a short edit script applied to a session, and
+// after every mutation the session's full pipeline — detect, assignment,
+// correction, mask, DRC — must be bit-identical to a from-scratch oracle
+// session of the same layout. It complements TestIncrementalDifferential
+// (seeded scripts) with coverage-guided edit sequences.
+func FuzzEditPipeline(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4})                                // one add
+	f.Add([]byte{1, 2, 100, 100, 0, 1, 2, 100, 100, 0})         // jittered moves
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 9, 50, 50, 9})               // delete then add
+	f.Add([]byte{1, 0, 0, 0, 0, 2, 9, 0, 0, 0, 0, 3, 7, 7, 30}) // mixed batch
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const opBytes = 5
+		if len(data) > 8*opBytes {
+			data = data[:8*opBytes] // bound the work per exec
+		}
+		ctx := context.Background()
+		eng := NewEngine(WithParallelism(1))
+		oracle := NewEngine(WithParallelism(1))
+		s := eng.NewSession(Figure5Layout())
+		if err := s.EnableEdits(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Detect(ctx); err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step+opBytes <= len(data); step += opBytes {
+			op, idx := data[step], int(data[step+1])
+			x := int64(int8(data[step+2])) * 40
+			y := int64(int8(data[step+3])) * 40
+			size := 60 + int64(data[step+4])*10
+			n := s.NumFeatures()
+			var err error
+			switch {
+			case op%3 == 0 || n == 0:
+				_, err = s.AddFeature(R(x, y, x+100, y+size))
+			case op%3 == 1:
+				i := idx % n
+				r := s.Layout().Features[i].Rect
+				err = s.MoveFeature(i, r.Translate(Point{X: x, Y: y}))
+			default:
+				err = s.DeleteFeature(idx % n)
+			}
+			if err != nil {
+				t.Fatalf("edit op %d: %v", step/opBytes, err)
+			}
+			if _, err := s.Detect(ctx); err != nil {
+				t.Fatalf("detect after op %d: %v", step/opBytes, err)
+			}
+			assertSamePipeline(t, "fuzz step", ctx, s, oracle)
+		}
+		if fb := s.Stats().Incremental.FallbackDirty; fb != 0 {
+			t.Fatalf("%d reuse-invariant fallbacks", fb)
 		}
 	})
 }

@@ -1,21 +1,25 @@
 package aapsm
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"math/rand"
+	"reflect"
 	"slices"
 	"testing"
 )
 
-// The differential harness: incremental edit-and-re-detect must be
-// bit-identical to from-scratch detection after every step of a seeded
-// random edit script — same crossing removals, same bipartization set and
-// T-join weight, same final conflicts, same phase assignment. Scripts mix
-// adds (including exact-duplicate rectangles, which force the node-position
-// collision nudging paths), moves (including no-op moves and resizes),
-// deletes, and batched edits.
+// The differential harness: the incremental pipeline must be bit-identical
+// to the from-scratch pipeline after every step of a seeded random edit
+// script — not just detection (same crossing removals, bipartization set,
+// T-join weight and final conflicts) but every downstream stage: phase
+// assignment, constraint verification, correction plan and corrected layout,
+// mask view, and DRC. Scripts mix adds (including exact-duplicate
+// rectangles, which force the node-position collision nudging paths), moves
+// (including no-op moves and resizes), deletes, and batched edits.
 
 // assertSameDetection compares an incremental result against the oracle.
 func assertSameDetection(t *testing.T, step string, got, want *Result) {
@@ -57,6 +61,82 @@ func assertSameDetection(t *testing.T, step string, got, want *Result) {
 	}
 	if gerr == nil && !slices.Equal(ga.Phases, wa.Phases) {
 		t.Fatalf("%s: phase assignments diverged", step)
+	}
+}
+
+// layoutText serializes a layout for byte-exact comparison.
+func layoutText(t *testing.T, l *Layout) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteLayoutText(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// assertSamePipeline drives every downstream stage — assignment (with
+// verification), correction, mask, DRC — on the incremental session and on a
+// fresh from-scratch oracle session of the same layout, and requires
+// bit-identical results (or the same error class) from each.
+func assertSamePipeline(t *testing.T, step string, ctx context.Context, s *Session, oracleEng *Engine) {
+	t.Helper()
+	os := oracleEng.NewSession(s.Layout().Clone())
+
+	ga, gerr := s.Assignment(ctx)
+	wa, werr := os.Assignment(ctx)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("%s: Assignment errors diverged: %v vs %v", step, gerr, werr)
+	}
+	if gerr == nil {
+		if !slices.Equal(ga.Phases, wa.Phases) {
+			t.Fatalf("%s: session phase assignments diverged", step)
+		}
+		if !maps.Equal(ga.Waived, wa.Waived) || !maps.Equal(ga.WaivedFeatures, wa.WaivedFeatures) {
+			t.Fatalf("%s: waived sets diverged", step)
+		}
+	}
+
+	gc, gerr := s.Correction(ctx)
+	wc, werr := os.Correction(ctx)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("%s: Correction errors diverged: %v vs %v", step, gerr, werr)
+	}
+	if gerr == nil {
+		if !reflect.DeepEqual(gc.Plan.Cuts, wc.Plan.Cuts) {
+			t.Fatalf("%s: correction cuts diverged:\n inc %+v\n ref %+v", step, gc.Plan.Cuts, wc.Plan.Cuts)
+		}
+		if !slices.Equal(gc.Plan.Unfixable, wc.Plan.Unfixable) {
+			t.Fatalf("%s: unfixable sets diverged: %v vs %v", step, gc.Plan.Unfixable, wc.Plan.Unfixable)
+		}
+		if gc.Plan.GridLines != wc.Plan.GridLines ||
+			gc.Plan.AddedWidth != wc.Plan.AddedWidth || gc.Plan.AddedHeight != wc.Plan.AddedHeight {
+			t.Fatalf("%s: plan summary diverged: %+v vs %+v", step, gc.Plan, wc.Plan)
+		}
+		if gc.Stats != wc.Stats {
+			t.Fatalf("%s: correction stats diverged: %+v vs %+v", step, gc.Stats, wc.Stats)
+		}
+		if layoutText(t, gc.Layout) != layoutText(t, wc.Layout) {
+			t.Fatalf("%s: corrected layouts diverged", step)
+		}
+	}
+
+	gm, gerr := s.Mask(ctx)
+	wm, werr := os.Mask(ctx)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("%s: Mask errors diverged: %v vs %v", step, gerr, werr)
+	}
+	if gerr != nil {
+		// The first reported problem depends on map order, so compare only
+		// the error class.
+		if errors.Is(gerr, ErrMaskInconsistent) != errors.Is(werr, ErrMaskInconsistent) {
+			t.Fatalf("%s: mask error classes diverged: %v vs %v", step, gerr, werr)
+		}
+	} else if layoutText(t, gm) != layoutText(t, wm) {
+		t.Fatalf("%s: mask views diverged", step)
+	}
+
+	if gv, wv := s.DRC(), os.DRC(); !slices.Equal(gv, wv) {
+		t.Fatalf("%s: DRC diverged:\n inc %v\n ref %v", step, gv, wv)
 	}
 }
 
@@ -182,7 +262,9 @@ func runEditScript(t *testing.T, seed int64, workers int) {
 		if err != nil {
 			t.Fatalf("seed %d step %d: oracle detect: %v", seed, step, err)
 		}
-		assertSameDetection(t, fmt.Sprintf("seed %d step %d", seed, step), got, want)
+		label := fmt.Sprintf("seed %d step %d", seed, step)
+		assertSameDetection(t, label, got, want)
+		assertSamePipeline(t, label, ctx, s, oracle)
 	}
 	if fb := s.Stats().Incremental.FallbackDirty; fb != 0 {
 		t.Errorf("seed %d: %d clusters hit the conservative fallback (reuse invariant broke)", seed, fb)
@@ -190,8 +272,9 @@ func runEditScript(t *testing.T, seed int64, workers int) {
 }
 
 // TestIncrementalDifferential runs 200+ seeded edit scripts (70 seeds ×
-// workers 1/2/4) asserting incremental == from-scratch exactly. Run under
-// -race in CI.
+// workers 1/2/4) asserting incremental == from-scratch exactly at EVERY
+// pipeline stage — detect, assign (+verification), correct, mask, DRC —
+// after every script step. Run under -race in CI.
 func TestIncrementalDifferential(t *testing.T) {
 	seeds := 70
 	if testing.Short() {

@@ -50,6 +50,21 @@ type Incremental struct {
 	deleted map[int32]bool // uids of features removed since the last Detect
 
 	prev *incSnapshot // last successful detection state; nil before the first
+	gen  int          // generation counter: incremented per successful Detect
+
+	// Downstream-stage state (the incremental pipeline, ISSUE 5): phase
+	// assignment reuses the previous generation's per-cluster two-coloring,
+	// correction keeps persistent cut-position span indexes, and DRC keeps
+	// the violating feature pairs keyed by stable uids.
+	assignGen  int    // generation prevColors was computed for (0 = none)
+	prevColors []int8 // node 2-coloring of the assignGen graph
+
+	cutV, cutH geom.SpanSet // vertical-feature x-spans / horizontal-feature y-spans
+
+	drcReady bool            // drcPairs reflects the layout as of the last DRC
+	drcPairs map[uint64]bool // packed uid pairs with a live spacing violation
+	drcDirty map[int32]bool  // uids edited since the last DRC
+	drcDel   map[int32]bool  // uids deleted since the last DRC
 
 	stats IncStats
 }
@@ -64,7 +79,9 @@ type pairRec struct {
 	uid          int32 // stable pair-instance uid
 }
 
-// incSnapshot captures everything a later Detect needs to decide reuse.
+// incSnapshot captures everything a later Detect needs to decide reuse, plus
+// the transition maps the downstream stages use for their own cluster-scoped
+// reuse at this generation.
 type incSnapshot struct {
 	set         *shifter.Set
 	det         *Detection
@@ -74,6 +91,17 @@ type incSnapshot struct {
 	edgeCluster []int32 // cluster id per edge
 	nShards     int
 	results     []*shardResult // per cluster; nil for edge-less parts
+
+	gen          int     // generation this snapshot was committed at
+	nodeCluster  []int32 // cluster id per node
+	dirtyCluster []bool  // clusters re-solved by the transition into gen
+	// newToOldNode maps this generation's node indices to the previous
+	// generation's; nil when the transition was a full recompute (first run
+	// or fallback), in which case downstream stages must not reuse.
+	newToOldNode []int
+	ovUID        []int32 // stable pair uid per overlap index
+	featCluster  []int32 // cluster per feature index (-1 for non-critical)
+	ovCluster    []int32 // cluster per overlap index
 }
 
 // Identity-key tags (low 2 bits): 0/1 carry a shifter side or an overlap
@@ -105,6 +133,24 @@ type IncStats struct {
 	// FallbackDirty counts clusters conservatively re-solved because a reuse
 	// invariant check failed; it should stay 0.
 	FallbackDirty int `json:"fallback_dirty"`
+
+	// Downstream-stage reuse counters (…Reused = work taken from cache,
+	// …Solved = work actually performed), cumulative like the shard tallies.
+	// AssignClusters count conflict clusters per phase-assignment coloring;
+	// VerifyChecks and MaskChecks count per-feature/per-overlap constraint
+	// checks; CorrIntervals count per-conflict correction-interval
+	// computations; DRCPairs count spacing-pair evaluations (reused = cached
+	// violating pairs carried over a re-check).
+	AssignClustersReused int `json:"assign_clusters_reused"`
+	AssignClustersSolved int `json:"assign_clusters_solved"`
+	VerifyChecksReused   int `json:"verify_checks_reused"`
+	VerifyChecksSolved   int `json:"verify_checks_solved"`
+	CorrIntervalsReused  int `json:"corr_intervals_reused"`
+	CorrIntervalsSolved  int `json:"corr_intervals_solved"`
+	MaskChecksReused     int `json:"mask_checks_reused"`
+	MaskChecksSolved     int `json:"mask_checks_solved"`
+	DRCPairsReused       int `json:"drc_pairs_reused"`
+	DRCPairsSolved       int `json:"drc_pairs_solved"`
 }
 
 // NewIncremental starts an edit session on a deep copy of l (the caller's
@@ -114,13 +160,16 @@ func NewIncremental(l *layout.Layout, r layout.Rules, kind GraphKind, opt Option
 		return nil, err
 	}
 	inc := &Incremental{
-		rules:   r,
-		kind:    kind,
-		opt:     opt,
-		lay:     l.Clone(),
-		dirty:   make(map[int32]bool),
-		deleted: make(map[int32]bool),
-		grid:    geom.NewGrid(featureGridCell(r)),
+		rules:    r,
+		kind:     kind,
+		opt:      opt,
+		lay:      l.Clone(),
+		dirty:    make(map[int32]bool),
+		deleted:  make(map[int32]bool),
+		grid:     geom.NewGrid(featureGridCell(r)),
+		drcPairs: make(map[uint64]bool),
+		drcDirty: make(map[int32]bool),
+		drcDel:   make(map[int32]bool),
 	}
 	inc.featUID = make([]int32, len(inc.lay.Features))
 	inc.featOf = make([]int32, 0, len(inc.lay.Features))
@@ -130,8 +179,29 @@ func NewIncremental(l *layout.Layout, r layout.Rules, kind GraphKind, opt Option
 		inc.featUID[i] = uid
 		inc.featOf = append(inc.featOf, int32(i))
 		inc.grid.Insert(uid, f.Rect)
+		inc.cutSpanInsert(f)
 	}
 	return inc, nil
+}
+
+// cutSpanInsert registers a feature in the correction cut-position indexes:
+// a vertical feature's x-span blocks vertical cuts (they would stretch its
+// width), a horizontal feature's y-span blocks horizontal cuts.
+func (inc *Incremental) cutSpanInsert(f layout.Feature) {
+	if f.Orient() == layout.Vertical {
+		inc.cutV.Insert(f.Rect.X0, f.Rect.X1)
+	} else {
+		inc.cutH.Insert(f.Rect.Y0, f.Rect.Y1)
+	}
+}
+
+// cutSpanRemove cancels a cutSpanInsert for the feature's previous shape.
+func (inc *Incremental) cutSpanRemove(f layout.Feature) {
+	if f.Orient() == layout.Vertical {
+		inc.cutV.Remove(f.Rect.X0, f.Rect.X1)
+	} else {
+		inc.cutH.Remove(f.Rect.Y0, f.Rect.Y1)
+	}
 }
 
 // featureGridCell sizes the persistent feature grid near the interaction
@@ -171,7 +241,9 @@ func (inc *Incremental) AddFeature(r geom.Rect, layer int) int {
 	inc.featUID = append(inc.featUID, uid)
 	inc.featOf = append(inc.featOf, int32(fi))
 	inc.grid.Insert(uid, r)
+	inc.cutSpanInsert(inc.lay.Features[fi])
 	inc.dirty[uid] = true
+	inc.drcDirty[uid] = true
 	inc.stats.Edits++
 	return fi
 }
@@ -184,9 +256,12 @@ func (inc *Incremental) MoveFeature(i int, r geom.Rect) error {
 	f := &inc.lay.Features[i]
 	uid := inc.featUID[i]
 	inc.grid.Remove(uid, f.Rect)
+	inc.cutSpanRemove(*f)
 	f.Rect = r
 	inc.grid.Insert(uid, r)
+	inc.cutSpanInsert(*f)
 	inc.dirty[uid] = true
+	inc.drcDirty[uid] = true
 	inc.stats.Edits++
 	return nil
 }
@@ -199,6 +274,7 @@ func (inc *Incremental) DeleteFeature(i int) error {
 	}
 	uid := inc.featUID[i]
 	inc.grid.Remove(uid, inc.lay.Features[i].Rect)
+	inc.cutSpanRemove(inc.lay.Features[i])
 	inc.lay.Features = append(inc.lay.Features[:i], inc.lay.Features[i+1:]...)
 	inc.featUID = append(inc.featUID[:i], inc.featUID[i+1:]...)
 	for j := i; j < len(inc.featUID); j++ {
@@ -207,6 +283,8 @@ func (inc *Incremental) DeleteFeature(i int) error {
 	inc.featOf[uid] = -1
 	delete(inc.dirty, uid)
 	inc.deleted[uid] = true
+	delete(inc.drcDirty, uid)
+	inc.drcDel[uid] = true
 	inc.stats.Edits++
 	return nil
 }
@@ -275,13 +353,12 @@ func (inc *Incremental) Detect(ctx context.Context) (*Detection, error) {
 		return inc.dirty[uid] || inc.deleted[uid]
 	}
 
-	var oldToNewEdge, newToOldEdge []int
+	var oldToNewEdge, newToOldEdge, newToOldNode []int
 	var changedNode []bool
 	full := inc.prev == nil
 	if !full {
 		oldToNewEdge, newToOldEdge, err = matchSurvivors(inc.prev.edgeKeys, edgeKeys, isDeadEdge, isNewEdge)
 		if err == nil {
-			var newToOldNode []int
 			_, newToOldNode, err = matchSurvivors(inc.prev.nodeKeys, nodeKeys, isDeadNode, isNewNode)
 			if err == nil {
 				changedNode = make([]bool, g.N())
@@ -472,17 +549,50 @@ func (inc *Incremental) Detect(ctx context.Context) (*Detection, error) {
 	}
 	det.Stats.TotalTime = time.Since(start)
 
-	// --- 9. Commit the new state. ---
+	// --- 9. Commit the new state, including the transition maps the
+	// downstream stages (assignment, correction, mask, DRC) use for their
+	// own cluster-scoped reuse at this generation. ---
 	inc.pairs = records
+	inc.gen++
+	nodeCluster := make([]int32, len(labels))
+	for v, c := range labels {
+		nodeCluster[v] = int32(c)
+	}
+	featCluster := make([]int32, len(inc.lay.Features))
+	for fi := range featCluster {
+		featCluster[fi] = -1
+	}
+	for fi, pair := range set.PairOf {
+		featCluster[fi] = nodeCluster[cg.ShifterNode[pair[0]]]
+	}
+	ovCluster := make([]int32, len(set.Overlaps))
+	for oi := range set.Overlaps {
+		// Aux (overlap) nodes follow the shifter nodes in construction order.
+		ovCluster[oi] = nodeCluster[len(set.Shifters)+oi]
+	}
+	ovUID := make([]int32, len(ovRecs))
+	for i, rec := range ovRecs {
+		ovUID[i] = rec.uid
+	}
+	if full {
+		newToOldNode = nil
+	}
 	inc.prev = &incSnapshot{
-		set:         set,
-		det:         det,
-		nodeKeys:    nodeKeys,
-		edgeKeys:    edgeKeys,
-		crossPairs:  crossPairs,
-		edgeCluster: edgeCluster,
-		nShards:     nShards,
-		results:     results,
+		set:          set,
+		det:          det,
+		nodeKeys:     nodeKeys,
+		edgeKeys:     edgeKeys,
+		crossPairs:   crossPairs,
+		edgeCluster:  edgeCluster,
+		nShards:      nShards,
+		results:      results,
+		gen:          inc.gen,
+		nodeCluster:  nodeCluster,
+		dirtyCluster: dirtyCluster,
+		newToOldNode: newToOldNode,
+		ovUID:        ovUID,
+		featCluster:  featCluster,
+		ovCluster:    ovCluster,
 	}
 	inc.dirty = make(map[int32]bool)
 	inc.deleted = make(map[int32]bool)

@@ -35,15 +35,25 @@ type Assignment struct {
 	WaivedFeatures map[int]bool
 }
 
+// errNotBipartite is the shared inconsistency error of AssignPhases and the
+// incremental assignment path, so both report identically.
+var errNotBipartite = fmt.Errorf("core: conflict set does not make the graph bipartite")
+
 // AssignPhases two-colors the conflict graph after removing the detected
 // conflicts and extracts shifter phases. It fails if the detection result is
 // inconsistent (remaining graph not bipartite).
 func AssignPhases(det *Detection) (*Assignment, error) {
-	cg := det.Graph
-	colors, ok := cg.Drawing.G.VerifyBipartition(det.ConflictEdgeSet())
+	colors, ok := det.Graph.Drawing.G.VerifyBipartition(det.ConflictEdgeSet())
 	if !ok {
-		return nil, fmt.Errorf("core: conflict set does not make the graph bipartite")
+		return nil, errNotBipartite
 	}
+	return assignmentFromColors(det, colors), nil
+}
+
+// assignmentFromColors materializes an Assignment from a node 2-coloring of
+// the conflict-free graph. Shared by the from-scratch and incremental paths.
+func assignmentFromColors(det *Detection, colors []int8) *Assignment {
+	cg := det.Graph
 	a := &Assignment{
 		Phases:         make([]Phase, len(cg.Set.Shifters)),
 		Waived:         make(map[int]bool),
@@ -62,7 +72,7 @@ func AssignPhases(det *Detection) (*Assignment, error) {
 			a.WaivedFeatures[c.Meta.Feature] = true
 		}
 	}
-	return a, nil
+	return a
 }
 
 // Violation describes a broken phase-assignment condition.
@@ -82,8 +92,20 @@ func (v Violation) String() string {
 // waived ones. A fully empty result on an un-waived assignment certifies the
 // layout phase-assignable (the constructive direction of Theorem 1).
 func (a *Assignment) Verify(cg *ConflictGraph) []Violation {
+	return a.VerifySubset(cg, nil, nil)
+}
+
+// VerifySubset is Verify restricted to the features and overlaps the filters
+// admit (nil filters admit everything). The incremental pipeline verifies
+// only the conflict clusters the last edit touched: clean clusters keep their
+// phases, so a constraint there that held at the previous generation still
+// holds and re-checking it would be redundant work.
+func (a *Assignment) VerifySubset(cg *ConflictGraph, checkFeature, checkOverlap func(int) bool) []Violation {
 	var out []Violation
 	for fi, pair := range cg.Set.PairOf {
+		if checkFeature != nil && !checkFeature(fi) {
+			continue
+		}
 		if a.WaivedFeatures[fi] {
 			continue
 		}
@@ -95,6 +117,9 @@ func (a *Assignment) Verify(cg *ConflictGraph) []Violation {
 		}
 	}
 	for oi, ov := range cg.Set.Overlaps {
+		if checkOverlap != nil && !checkOverlap(oi) {
+			continue
+		}
 		if a.Waived[oi] {
 			continue
 		}

@@ -81,9 +81,92 @@ type interval struct {
 	need     int64 // required inserted width
 }
 
+// AxisCut is one axis' candidate cut range for a conflict: positions in
+// [Lo, Hi] with inserted width Need. OK is false when no cut on this axis can
+// separate the pair.
+type AxisCut struct {
+	Lo, Hi int64
+	Need   int64
+	OK     bool
+}
+
+// Intervals groups a conflict's candidate cut ranges on both axes. The value
+// depends only on the two conflicting features' rectangles and the rules, so
+// the incremental pipeline caches it under the conflict's stable overlap-pair
+// identity across edits.
+type Intervals struct {
+	V, H AxisCut
+}
+
+// IntervalsFor computes the candidate cut ranges of one conflict. A
+// feature-edge conflict (not correctable by spacing) yields the zero value.
+func IntervalsFor(l *layout.Layout, r layout.Rules, set *shifter.Set, c core.Conflict) Intervals {
+	var out Intervals
+	if c.Meta.Kind != core.OverlapEdge {
+		return out
+	}
+	sa := set.Shifters[c.Meta.S1]
+	sb := set.Shifters[c.Meta.S2]
+	fa := l.Features[sa.Feature].Rect
+	fb := l.Features[sb.Feature].Rect
+	// A cut separates the conflicting shifters by moving one of their
+	// *features* (shifters are regenerated from features after modification).
+	// The cut must pass strictly between the two features' spans; the width
+	// must close the signed shifter gap — overlapping shifter projections
+	// need more than the nominal deficit.
+	if iv, need, ok := cutInterval(fa.X0, fa.X1, fb.X0, fb.X1,
+		sa.Rect.X0, sa.Rect.X1, sb.Rect.X0, sb.Rect.X1, r.MinShifterSpacing); ok {
+		out.V = AxisCut{Lo: iv.Lo, Hi: iv.Hi, Need: need, OK: true}
+	}
+	if iv, need, ok := cutInterval(fa.Y0, fa.Y1, fb.Y0, fb.Y1,
+		sa.Rect.Y0, sa.Rect.Y1, sb.Rect.Y0, sb.Rect.Y1, r.MinShifterSpacing); ok {
+		out.H = AxisCut{Lo: iv.Lo, Hi: iv.Hi, Need: need, OK: true}
+	}
+	return out
+}
+
+// CutChecker reports whether an end-to-end cut at pos is legal: it must only
+// stretch feature lengths, never widths.
+type CutChecker func(dir Direction, pos int64) bool
+
+// NewCutChecker builds a CutChecker over the layout's current features using
+// per-direction span indexes: a vertical cut is invalid when it stabs the
+// x-span of any vertical feature, and symmetrically. O(log n) per query after
+// one O(n log n) build; the incremental engine maintains the same two span
+// sets persistently across edits instead of rebuilding them here.
+func NewCutChecker(l *layout.Layout) CutChecker {
+	var v, h geom.SpanSet
+	for _, f := range l.Features {
+		if f.Orient() == layout.Vertical {
+			v.Insert(f.Rect.X0, f.Rect.X1)
+		} else {
+			h.Insert(f.Rect.Y0, f.Rect.Y1)
+		}
+	}
+	return func(dir Direction, pos int64) bool {
+		if dir == VerticalCut {
+			return !v.Stab(pos)
+		}
+		return !h.Stab(pos)
+	}
+}
+
 // BuildPlan chooses cuts correcting the given conflicts on layout l.
 // Conflicts must come from a detection on the same layout and rules.
 func BuildPlan(l *layout.Layout, r layout.Rules, set *shifter.Set, conflicts []core.Conflict) (*Plan, error) {
+	ivsets := make([]Intervals, len(conflicts))
+	for ci, c := range conflicts {
+		ivsets[ci] = IntervalsFor(l, r, set, c)
+	}
+	return BuildPlanIntervals(conflicts, ivsets, NewCutChecker(l))
+}
+
+// BuildPlanIntervals is BuildPlan on precomputed per-conflict intervals and
+// an externally supplied cut-position checker. The incremental pipeline calls
+// it with cached intervals and the persistent span indexes of its edit
+// session; results are identical to BuildPlan on the same layout because both
+// paths share every decision procedure.
+func BuildPlanIntervals(conflicts []core.Conflict, ivsets []Intervals, valid CutChecker) (*Plan, error) {
 	p := &Plan{Conflicts: conflicts}
 	var ivs []interval
 	for ci, c := range conflicts {
@@ -91,25 +174,13 @@ func BuildPlan(l *layout.Layout, r layout.Rules, set *shifter.Set, conflicts []c
 			p.Unfixable = append(p.Unfixable, ci)
 			continue
 		}
-		sa := set.Shifters[c.Meta.S1]
-		sb := set.Shifters[c.Meta.S2]
-		fa := l.Features[sa.Feature].Rect
-		fb := l.Features[sb.Feature].Rect
 		got := 0
-		// A cut separates the conflicting shifters by moving one of their
-		// *features* (shifters are regenerated from features after
-		// modification). The cut must pass strictly between the two
-		// features' spans; the width must close the signed shifter gap —
-		// overlapping shifter projections need more than the nominal
-		// deficit.
-		if iv, need, ok := cutInterval(fa.X0, fa.X1, fb.X0, fb.X1,
-			sa.Rect.X0, sa.Rect.X1, sb.Rect.X0, sb.Rect.X1, r.MinShifterSpacing); ok {
-			ivs = append(ivs, interval{ci, VerticalCut, iv.Lo, iv.Hi, need})
+		if ax := ivsets[ci].V; ax.OK {
+			ivs = append(ivs, interval{ci, VerticalCut, ax.Lo, ax.Hi, ax.Need})
 			got++
 		}
-		if iv, need, ok := cutInterval(fa.Y0, fa.Y1, fb.Y0, fb.Y1,
-			sa.Rect.Y0, sa.Rect.Y1, sb.Rect.Y0, sb.Rect.Y1, r.MinShifterSpacing); ok {
-			ivs = append(ivs, interval{ci, HorizontalCut, iv.Lo, iv.Hi, need})
+		if ax := ivsets[ci].H; ax.OK {
+			ivs = append(ivs, interval{ci, HorizontalCut, ax.Lo, ax.Hi, ax.Need})
 			got++
 		}
 		if got == 0 {
@@ -130,7 +201,7 @@ func BuildPlan(l *layout.Layout, r layout.Rules, set *shifter.Set, conflicts []c
 	cands := map[lineKey]bool{}
 	for _, iv := range ivs {
 		for _, pos := range []int64{iv.lo, iv.hi} {
-			if validCut(l, iv.dir, pos) {
+			if valid(iv.dir, pos) {
 				cands[lineKey{iv.dir, pos}] = true
 			}
 		}
@@ -228,24 +299,6 @@ func cutInterval(fa0, fa1, fb0, fb1, sa0, sa1, sb0, sb1, minSpacing int64) (geom
 	default:
 		return geom.Interval{}, 0, false
 	}
-}
-
-// validCut reports whether an end-to-end cut at pos only stretches feature
-// lengths: a vertical cut must not pass through the x-span of a vertical
-// feature (which would widen it), and symmetrically for horizontal cuts.
-func validCut(l *layout.Layout, dir Direction, pos int64) bool {
-	for _, f := range l.Features {
-		if dir == VerticalCut {
-			if f.Orient() == layout.Vertical && f.Rect.X0 < pos && pos <= f.Rect.X1 {
-				return false
-			}
-		} else {
-			if f.Orient() == layout.Horizontal && f.Rect.Y0 < pos && pos <= f.Rect.Y1 {
-				return false
-			}
-		}
-	}
-	return true
 }
 
 // Apply executes the plan on a copy of the layout: coordinates at or beyond

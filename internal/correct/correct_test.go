@@ -183,19 +183,20 @@ func TestApplyStretchesSpanningFeatures(t *testing.T) {
 func TestValidCutAvoidsWidthStretch(t *testing.T) {
 	l := layout.New("v")
 	l.Add(geom.R(0, 0, 100, 1000)) // vertical feature
-	if validCut(l, VerticalCut, 50) {
+	valid := NewCutChecker(l)
+	if valid(VerticalCut, 50) {
 		t.Error("cut through a vertical feature's x-span must be invalid")
 	}
-	if !validCut(l, VerticalCut, 0) {
+	if !valid(VerticalCut, 0) {
 		t.Error("cut at the left edge shifts the whole feature: valid")
 	}
-	if validCut(l, VerticalCut, 100) {
+	if valid(VerticalCut, 100) {
 		t.Error("cut at the right edge would stretch the width")
 	}
-	if !validCut(l, VerticalCut, 101) {
+	if !valid(VerticalCut, 101) {
 		t.Error("cut past the feature: valid")
 	}
-	if !validCut(l, HorizontalCut, 500) {
+	if !valid(HorizontalCut, 500) {
 		t.Error("horizontal cut stretches a vertical feature's length: valid")
 	}
 }

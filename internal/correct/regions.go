@@ -117,10 +117,11 @@ func finishPlan(l *layout.Layout, p *Plan, ivs []interval, regions CutRegions) {
 		dir Direction
 		pos int64
 	}
+	valid := NewCutChecker(l)
 	cands := map[lineKey]bool{}
 	for _, iv := range ivs {
 		for _, pos := range regions.clip(iv.dir, geom.Interval{Lo: iv.lo, Hi: iv.hi}) {
-			if validCut(l, iv.dir, pos) && regions.allows(iv.dir, pos) {
+			if valid(iv.dir, pos) && regions.allows(iv.dir, pos) {
 				cands[lineKey{iv.dir, pos}] = true
 			}
 		}

@@ -44,40 +44,76 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%v: features %d,%d spaced %d < %d at %v", v.Kind, v.A, v.B, v.Actual, v.Limit, v.Where)
 }
 
-// Check runs all rules on the layout. Touching or overlapping features
-// count as merged (no spacing violation between them).
+// WidthViolation checks feature i (rectangle f.Rect) against the minimum
+// drawn width, returning the violation and whether one exists. It is the
+// single width predicate shared by Check and the incremental DRC engine, so
+// both produce identical records.
+func WidthViolation(i int, f layout.Feature, r layout.Rules) (Violation, bool) {
+	if f.Rect.Empty() || f.Rect.MinDim() < r.MinFeatureWidth {
+		return Violation{
+			Kind: MinWidth, A: i, B: -1,
+			Actual: f.Rect.MinDim(), Limit: r.MinFeatureWidth,
+			Where: f.Rect.Center(),
+		}, true
+	}
+	return Violation{}, false
+}
+
+// SpacingViolation checks the same-layer spacing rule for features i and j
+// with rectangles a and b. Touching or overlapping features count as merged
+// (no violation). Like WidthViolation, it is shared with the incremental
+// engine so spliced results match Check bit for bit.
+func SpacingViolation(i, j int, a, b geom.Rect, r layout.Rules) (Violation, bool) {
+	sep := geom.Separation(a, b)
+	if sep > 0 && sep < r.MinFeatureSpacing {
+		return Violation{
+			Kind: MinSpacing, A: i, B: j,
+			Actual: sep, Limit: r.MinFeatureSpacing,
+			Where: geom.Seg(a.Center(), b.Center()).Midpoint(),
+		}, true
+	}
+	return Violation{}, false
+}
+
+// ForEachSpacingViolation enumerates every spacing violation of the layout in
+// ascending (i, j) pair order, calling fn for each, and returns the number of
+// candidate pairs whose separation was actually checked (the work measure the
+// incremental engine's reuse counters are compared against).
+func ForEachSpacingViolation(l *layout.Layout, r layout.Rules, fn func(i, j int32, v Violation)) int {
+	if len(l.Features) <= 1 {
+		return 0
+	}
+	cell := r.MinFeatureSpacing * 4
+	if cell < 64 {
+		cell = 64
+	}
+	g := geom.NewGrid(cell)
+	for i, f := range l.Features {
+		g.Insert(int32(i), f.Rect.Expand(r.MinFeatureSpacing))
+	}
+	checked := 0
+	g.ForEachPair(func(i, j int32) {
+		checked++
+		if v, bad := SpacingViolation(int(i), int(j), l.Features[i].Rect, l.Features[j].Rect, r); bad {
+			fn(i, j, v)
+		}
+	})
+	return checked
+}
+
+// Check runs all rules on the layout: width violations in feature order,
+// then spacing violations in ascending (A, B) pair order. Touching or
+// overlapping features count as merged (no spacing violation between them).
 func Check(l *layout.Layout, r layout.Rules) []Violation {
 	var out []Violation
 	for i, f := range l.Features {
-		if f.Rect.Empty() || f.Rect.MinDim() < r.MinFeatureWidth {
-			out = append(out, Violation{
-				Kind: MinWidth, A: i, B: -1,
-				Actual: f.Rect.MinDim(), Limit: r.MinFeatureWidth,
-				Where: f.Rect.Center(),
-			})
+		if v, bad := WidthViolation(i, f, r); bad {
+			out = append(out, v)
 		}
 	}
-	if len(l.Features) > 1 {
-		cell := r.MinFeatureSpacing * 4
-		if cell < 64 {
-			cell = 64
-		}
-		g := geom.NewGrid(cell)
-		for i, f := range l.Features {
-			g.Insert(int32(i), f.Rect.Expand(r.MinFeatureSpacing))
-		}
-		g.ForEachPair(func(i, j int32) {
-			a, b := l.Features[i].Rect, l.Features[j].Rect
-			sep := geom.Separation(a, b)
-			if sep > 0 && sep < r.MinFeatureSpacing {
-				out = append(out, Violation{
-					Kind: MinSpacing, A: int(i), B: int(j),
-					Actual: sep, Limit: r.MinFeatureSpacing,
-					Where: geom.Seg(a.Center(), b.Center()).Midpoint(),
-				})
-			}
-		})
-	}
+	ForEachSpacingViolation(l, r, func(_, _ int32, v Violation) {
+		out = append(out, v)
+	})
 	return out
 }
 

@@ -75,14 +75,30 @@ func Count(l *layout.Layout) Stats {
 // no two opposite-phase apertures violate the shifter spacing rule unless
 // the pair was waived by detection.
 func Validate(l *layout.Layout, set *shifter.Set, phases []core.Phase, waived map[int]bool, r layout.Rules) []string {
+	return ValidateSubset(l, set, phases, waived, r, nil, nil)
+}
+
+// ValidateSubset is Validate restricted to the features and overlaps the
+// filters admit (a nil filter admits everything). The incremental pipeline
+// passes filters marking the conflict clusters the last edit touched: clean
+// clusters kept their phases and waivers bit-for-bit, so a previously clean
+// validation cannot regress there and re-checking only the dirty scope
+// decides consistency for the whole mask.
+func ValidateSubset(l *layout.Layout, set *shifter.Set, phases []core.Phase, waived map[int]bool, r layout.Rules, checkFeature, checkOverlap func(int) bool) []string {
 	var problems []string
 	for fi, pair := range set.PairOf {
+		if checkFeature != nil && !checkFeature(fi) {
+			continue
+		}
 		if phases[pair[0]] == phases[pair[1]] {
 			problems = append(problems,
 				fmt.Sprintf("feature %d flanked by same-phase apertures", fi))
 		}
 	}
 	for oi, ov := range set.Overlaps {
+		if checkOverlap != nil && !checkOverlap(oi) {
+			continue
+		}
 		if waived[oi] {
 			continue
 		}

@@ -212,6 +212,11 @@ type editsResponse struct {
 	// whole batch: later del ops shift indices down, and an added feature
 	// deleted later in the same batch reports -1.
 	Added []int `json:"added,omitempty"`
+	// Incremental is the session's cumulative per-stage reuse profile after
+	// the batch: shard, coloring, verification, interval, mask-check and
+	// DRC-pair counters showing how much of the pipeline each re-run of this
+	// session has been reusing versus recomputing.
+	Incremental aapsm.IncrementalStats `json:"incremental"`
 }
 
 // handleEdits applies a batch of layout mutations atomically: shapes are
@@ -330,9 +335,10 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request, ent *sessio
 		return
 	}
 	writeJSON(w, editsResponse{
-		Applied:  applied,
-		Features: ent.Sess.NumFeatures(),
-		Added:    added,
+		Applied:     applied,
+		Features:    ent.Sess.NumFeatures(),
+		Added:       added,
+		Incremental: ent.Sess.Stats().Incremental,
 	})
 }
 

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	aapsm "repro"
 )
 
 // metrics is a minimal Prometheus-text-format registry: a fixed set of
@@ -24,9 +26,49 @@ type metrics struct {
 	inflight        atomic.Int64
 	draining        atomic.Bool
 
+	// Incremental-pipeline reuse counters, accumulated per stage from the
+	// work deltas of each served request: "reused" is work taken from a
+	// session's cluster caches, "solved" is work actually performed. The
+	// units differ per stage (detect: shards; assign: clusters; verify/mask:
+	// constraint checks; correct: conflict intervals; drc: spacing pairs) —
+	// the ratio within one stage is the interesting signal.
+	reuse [stageCount]struct{ reused, solved atomic.Int64 }
+
 	mu       sync.Mutex
 	requests map[requestKey]int64
 	seconds  map[string]*latency
+}
+
+// Reuse-counter stages, in the order the metrics are emitted.
+const (
+	stageDetect = iota
+	stageAssign
+	stageVerify
+	stageCorrect
+	stageMask
+	stageDRC
+	stageCount
+)
+
+var stageNames = [stageCount]string{"detect", "assign", "verify", "correct", "mask", "drc"}
+
+// observeReuse folds one request's incremental work profile delta into the
+// per-stage reuse counters.
+func (m *metrics) observeReuse(before, after aapsm.IncrementalStats) {
+	add := func(stage int, reused, solved int) {
+		if reused > 0 {
+			m.reuse[stage].reused.Add(int64(reused))
+		}
+		if solved > 0 {
+			m.reuse[stage].solved.Add(int64(solved))
+		}
+	}
+	add(stageDetect, after.ShardsReused-before.ShardsReused, after.ShardsSolved-before.ShardsSolved)
+	add(stageAssign, after.AssignClustersReused-before.AssignClustersReused, after.AssignClustersSolved-before.AssignClustersSolved)
+	add(stageVerify, after.VerifyChecksReused-before.VerifyChecksReused, after.VerifyChecksSolved-before.VerifyChecksSolved)
+	add(stageCorrect, after.CorrIntervalsReused-before.CorrIntervalsReused, after.CorrIntervalsSolved-before.CorrIntervalsSolved)
+	add(stageMask, after.MaskChecksReused-before.MaskChecksReused, after.MaskChecksSolved-before.MaskChecksSolved)
+	add(stageDRC, after.DRCPairsReused-before.DRCPairsReused, after.DRCPairsSolved-before.DRCPairsSolved)
 }
 
 type requestKey struct {
@@ -98,6 +140,14 @@ func (m *metrics) write(w io.Writer, sessionsLive int, now time.Time) {
 	fmt.Fprintf(w, "aapsmd_edits_total %d\n", m.edits.Load())
 	fmt.Fprintf(w, "# HELP aapsmd_inflight_requests Requests currently being served.\n# TYPE aapsmd_inflight_requests gauge\n")
 	fmt.Fprintf(w, "aapsmd_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_incremental_reused_total Pipeline work units served from session cluster caches, by stage.\n# TYPE aapsmd_incremental_reused_total counter\n")
+	for i, name := range stageNames {
+		fmt.Fprintf(w, "aapsmd_incremental_reused_total{stage=%q} %d\n", name, m.reuse[i].reused.Load())
+	}
+	fmt.Fprintf(w, "# HELP aapsmd_incremental_solved_total Pipeline work units actually computed, by stage.\n# TYPE aapsmd_incremental_solved_total counter\n")
+	for i, name := range stageNames {
+		fmt.Fprintf(w, "aapsmd_incremental_solved_total{stage=%q} %d\n", name, m.reuse[i].solved.Load())
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

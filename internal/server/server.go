@@ -178,7 +178,10 @@ func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // session resolves the {id} path component to a stored session before
-// invoking the handler.
+// invoking the handler, and folds the request's incremental work profile
+// delta into the per-stage reuse metrics afterwards. (Concurrent requests to
+// the same session can observe overlapping deltas — the counters are
+// operational telemetry, not an exact ledger.)
 func (s *Server) session(h func(http.ResponseWriter, *http.Request, *sessionEntry)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
@@ -188,7 +191,9 @@ func (s *Server) session(h func(http.ResponseWriter, *http.Request, *sessionEntr
 				"no live session "+strconv.Quote(id)+" (expired, evicted, or never created)")
 			return
 		}
+		before := ent.Sess.Stats().Incremental
 		h(w, r, ent)
+		s.metrics.observeReuse(before, ent.Sess.Stats().Incremental)
 	}
 }
 

@@ -609,6 +609,67 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestIncrementalReuseSurfaces: after an edit-and-repipeline cycle the edits
+// response reports the session's cumulative per-stage reuse profile, and
+// /metrics exposes the per-stage reused/solved counters with detect-stage
+// reuse actually observed.
+func TestIncrementalReuseSurfaces(t *testing.T) {
+	_, tc := newTestServer(t, Config{Engine: aapsm.NewEngine()})
+	// A multi-cluster layout, so a single-feature move leaves most conflict
+	// clusters clean and reusable.
+	l := bench.Generate("reuse-surface", bench.DefaultParams(7, 2, 40))
+	var created createResponse
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions", layoutText(t, l), 200), &created); err != nil {
+		t.Fatal(err)
+	}
+	base := "/v1/sessions/" + created.ID
+	// First full pipeline seeds the cluster caches.
+	for _, ep := range []string{"/detect", "/assign", "/correct", "/drc"} {
+		tc.must("GET", base+ep, nil, 200)
+	}
+	r0 := l.Features[0].Rect
+	moved := []int64{r0.X0, r0.Y0 + 5, r0.X1, r0.Y1 + 5}
+	var edited editsResponse
+	body := tc.must("POST", base+"/edits", encodeJSON(t, editsRequest{Ops: []editOp{
+		{Op: "move", Index: idx(0), Rect: moved},
+	}}), 200)
+	if err := json.Unmarshal(body, &edited); err != nil {
+		t.Fatal(err)
+	}
+	if edited.Incremental.Edits != 1 {
+		t.Fatalf("edits response incremental profile = %+v, want Edits 1", edited.Incremental)
+	}
+	// Re-run the pipeline: the re-detect must reuse shards, and the reuse
+	// must surface both in the session profile and the /metrics counters.
+	for _, ep := range []string{"/detect", "/assign", "/correct", "/drc"} {
+		tc.must("GET", base+ep, nil, 200)
+	}
+	if err := json.Unmarshal(tc.must("POST", base+"/edits", encodeJSON(t, editsRequest{Ops: []editOp{
+		{Op: "move", Index: idx(0), Rect: []int64{r0.X0, r0.Y0, r0.X1, r0.Y1}},
+	}}), 200), &edited); err != nil {
+		t.Fatal(err)
+	}
+	if edited.Incremental.ShardsReused == 0 {
+		t.Fatalf("post-edit re-detect reused no shards: %+v", edited.Incremental)
+	}
+	metrics := string(tc.must("GET", "/metrics", nil, 200))
+	for _, want := range []string{
+		`aapsmd_incremental_reused_total{stage="detect"} `,
+		`aapsmd_incremental_solved_total{stage="drc"} `,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, `aapsmd_incremental_reused_total{stage="detect"} `) {
+			if strings.TrimPrefix(line, `aapsmd_incremental_reused_total{stage="detect"} `) == "0" {
+				t.Errorf("detect-stage reuse counter stayed 0 after an incremental re-detect")
+			}
+		}
+	}
+}
+
 // TestGDSUpload: a GDS body creates the same session as the equivalent text
 // upload (the hash is computed over the canonical text form).
 func TestGDSUpload(t *testing.T) {
