@@ -11,11 +11,21 @@
 //	aapsm -cmd svg       -in design.txt -out design.svg
 //	aapsm -cmd junctions -in design.txt
 //	aapsm -cmd edit      -in design.txt -script edits.txt [-out final.txt]
+//	aapsm -cmd snapshot  -in design.txt -snapshot sess.snap
+//	aapsm -cmd restore   -snapshot sess.snap [further subcommands...]
 //
 // -cmd also accepts a comma-separated list (e.g. -cmd detect,assign,correct);
 // all subcommands of one invocation share a single pipeline session, so
 // detection runs exactly once no matter how many stages are requested.
 // Interrupting the process (SIGINT/SIGTERM) cancels the pipeline promptly.
+//
+// snapshot serializes the session — layout, memoized stage results, and the
+// incremental engine's caches — to -snapshot (typically after other
+// subcommands warmed it, e.g. -cmd edit,snapshot). restore replaces the
+// session with one rebuilt from such a file; the subcommands after it in the
+// same -cmd list operate on the restored session, and -in may be omitted when
+// restore comes first. A snapshot only restores under the engine
+// configuration (-graph / -method / -improved-recheck) it was taken with.
 //
 // The edit subcommand replays an edit script against the session and
 // re-detects incrementally after each `detect` line and once at the end,
@@ -48,9 +58,10 @@ import (
 
 func main() {
 	var (
-		cmd     = flag.String("cmd", "detect", "comma-separated subcommands: detect | correct | assign | drc | mask | svg | junctions | edit")
-		in      = flag.String("in", "", "input layout (.txt or .gds)")
+		cmd     = flag.String("cmd", "detect", "comma-separated subcommands: detect | correct | assign | drc | mask | svg | junctions | edit | snapshot | restore")
+		in      = flag.String("in", "", "input layout (.txt or .gds); optional when -cmd starts with restore")
 		out     = flag.String("out", "", "output file for correct / mask / svg / edit (default: none)")
+		snap    = flag.String("snapshot", "", "session snapshot file for the snapshot / restore subcommands")
 		graph   = flag.String("graph", "pcg", "graph representation: pcg | fg")
 		method  = flag.String("method", "gen", "T-join reduction: gen | opt | lawler")
 		imp     = flag.Bool("improved-recheck", false, "use parity-based crossing recheck")
@@ -58,11 +69,19 @@ func main() {
 		verbose = flag.Bool("v", false, "verbose conflict listing")
 	)
 	flag.Parse()
+	cmds := strings.Split(*cmd, ",")
+	// restore rebuilds the layout from the snapshot, so -in is only
+	// mandatory when something runs before the restore.
+	var l *aapsm.Layout
 	if *in == "" {
-		fatalf("missing -in; see -help")
+		if strings.TrimSpace(cmds[0]) != "restore" {
+			fatalf("missing -in; see -help (only a leading restore subcommand may omit it)")
+		}
+	} else {
+		var err error
+		l, err = readLayout(*in)
+		check(err)
 	}
-	l, err := readLayout(*in)
-	check(err)
 
 	opts := []aapsm.EngineOption{
 		aapsm.WithRules(aapsm.Default90nmRules()),
@@ -90,7 +109,6 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cmds := strings.Split(*cmd, ",")
 	// All subcommands share the single -out flag; combining two writers in
 	// one invocation would silently overwrite the earlier output.
 	if *out != "" {
@@ -107,15 +125,47 @@ func main() {
 	}
 
 	// One engine and one session per invocation: every requested subcommand
-	// reuses the same memoized detection.
+	// reuses the same memoized detection. restore swaps the session, so the
+	// loop threads it through.
 	eng := aapsm.NewEngine(opts...)
-	s := eng.NewSession(l)
+	var s *aapsm.Session
+	if l != nil {
+		s = eng.NewSession(l)
+	}
 	for _, c := range cmds {
-		run(ctx, eng, s, strings.TrimSpace(c), *out, *script, *verbose)
+		s = run(ctx, eng, s, strings.TrimSpace(c), *out, *script, *snap, *verbose)
 	}
 }
 
-func run(ctx context.Context, eng *aapsm.Engine, s *aapsm.Session, cmd, out, script string, verbose bool) {
+func run(ctx context.Context, eng *aapsm.Engine, s *aapsm.Session, cmd, out, script, snap string, verbose bool) *aapsm.Session {
+	switch cmd {
+	case "snapshot":
+		if snap == "" {
+			fatalf("snapshot needs -snapshot")
+		}
+		data, err := s.Snapshot()
+		check(err)
+		check(os.WriteFile(snap, data, 0o644))
+		fmt.Printf("wrote session snapshot %s (%d bytes)\n", snap, len(data))
+		return s
+
+	case "restore":
+		if snap == "" {
+			fatalf("restore needs -snapshot")
+		}
+		data, err := os.ReadFile(snap)
+		check(err)
+		rs, err := eng.RestoreSession(ctx, data)
+		check(err)
+		st := rs.Stats()
+		fmt.Printf("restored %s: %d features, %d detects, %d edits\n",
+			rs.Layout().Name, len(rs.Layout().Features), st.DetectRuns, st.Edits)
+		return rs
+	}
+
+	if s == nil {
+		fatalf("subcommand %q needs a session; pass -in or lead with restore", cmd)
+	}
 	l := s.Layout()
 	switch cmd {
 	case "drc":
@@ -249,6 +299,7 @@ func run(ctx context.Context, eng *aapsm.Engine, s *aapsm.Session, cmd, out, scr
 	default:
 		fatalf("unknown -cmd %q", cmd)
 	}
+	return s
 }
 
 // replayEdits applies an edit script to the session (see the package comment

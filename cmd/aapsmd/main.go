@@ -11,11 +11,16 @@
 //	       [-store-capacity N] [-session-ttl 30m] [-request-timeout 60s]
 //	       [-max-body 33554432] [-graph pcg|fg] [-method gen|opt|lawler]
 //	       [-improved-recheck] [-no-incremental] [-drain-timeout 15s]
+//	       [-store-dir DIR] [-flush-interval 30s]
 //
-// See the README's "Serving" section for the endpoint reference and curl
-// examples. SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503,
-// in-flight requests finish (bounded by -drain-timeout), then the process
-// exits 0.
+// See the README's "Serving" and "Persistence" sections for the endpoint
+// reference and curl examples. -store-dir enables session persistence:
+// snapshots land in DIR/snapshots (written on eviction, every
+// -flush-interval, and at shutdown) and raw GDS upload bodies in DIR/blobs,
+// so sessions survive a crash or restart and are rehydrated on their next
+// request. SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503,
+// in-flight requests finish (bounded by -drain-timeout), every live session
+// is flushed, then the process exits 0.
 package main
 
 import (
@@ -28,10 +33,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	aapsm "repro"
+	"repro/internal/persist"
 	"repro/internal/server"
 )
 
@@ -49,6 +56,8 @@ func main() {
 		imp      = flag.Bool("improved-recheck", false, "use parity-based crossing recheck")
 		noInc    = flag.Bool("no-incremental", false, "do not arm sessions for incremental edit-and-re-detect")
 		drainTO  = flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
+		storeDir = flag.String("store-dir", "", "persistence root: snapshots + GDS blobs survive restarts (empty = in-memory only)")
+		flushInt = flag.Duration("flush-interval", 30*time.Second, "period of the background snapshot flush (negative = eviction/shutdown only)")
 	)
 	flag.Parse()
 
@@ -76,7 +85,7 @@ func main() {
 		fatalf("unknown -method %q", *method)
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Engine:         aapsm.NewEngine(opts...),
 		StoreCapacity:  *capacity,
 		SessionTTL:     *ttl,
@@ -84,7 +93,21 @@ func main() {
 		DetectWorkers:  *workers,
 		MaxBodyBytes:   *maxBody,
 		IncrementalOff: *noInc,
-	})
+		FlushInterval:  *flushInt,
+	}
+	if *storeDir != "" {
+		snaps, err := persist.NewDiskStore(filepath.Join(*storeDir, "snapshots"))
+		if err != nil {
+			fatalf("open snapshot store: %v", err)
+		}
+		blobs, err := persist.NewDiskBlobStore(filepath.Join(*storeDir, "blobs"))
+		if err != nil {
+			fatalf("open blob store: %v", err)
+		}
+		cfg.Snapshots = snaps
+		cfg.Blobs = blobs
+	}
+	srv := server.New(cfg)
 	defer srv.Close()
 
 	httpSrv := &http.Server{
@@ -125,6 +148,12 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("aapsmd serve: %v", err)
+	}
+	if *storeDir != "" {
+		// Persist even sessions that were never evicted, so a graceful stop
+		// loses nothing.
+		srv.FlushAll()
+		log.Printf("aapsmd flushed sessions to %s", *storeDir)
 	}
 	log.Printf("aapsmd stopped")
 }

@@ -184,6 +184,14 @@ type detectRecord struct {
 	EditCorrIntervalsReused int     `json:"edit_corr_intervals_reused"`
 	EditMaskChecksReused    int     `json:"edit_mask_checks_reused"`
 	EditDRCPairsReused      int     `json:"edit_drc_pairs_reused"`
+	// Session persistence trajectory (schema v4): the serialized snapshot
+	// size of a pipeline-warmed session and the best-of-7 latency of
+	// restoring it (decode + deterministic rebuild + memo re-run — aapsmd's
+	// cold-start rehydration path), against the from-scratch pipeline_ns
+	// above.
+	SnapshotBytes  int     `json:"snapshot_bytes"`
+	RestoreNS      int64   `json:"restore_ns"`
+	RestoreSpeedup float64 `json:"restore_speedup"`
 }
 
 // detectTrajectory is the top-level BENCH_detect.json document.
@@ -200,7 +208,7 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 		workers = runtime.GOMAXPROCS(0)
 	}
 	doc := &detectTrajectory{
-		Schema:      "aapsm/bench_detect/v3",
+		Schema:      "aapsm/bench_detect/v4",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Workers:     workers,
@@ -231,6 +239,10 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 		pipe, err := measureEditRepipeline(d, rules, workers)
 		if err != nil {
 			return nil, fmt.Errorf("%s: edit repipeline: %v", d.Name, err)
+		}
+		snapBytes, restoreNS, err := measureRestore(d, rules, workers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: restore: %v", d.Name, err)
 		}
 
 		s := det.Stats
@@ -272,12 +284,17 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 			EditCorrIntervalsReused: pipe.corrReused,
 			EditMaskChecksReused:    pipe.maskReused,
 			EditDRCPairsReused:      pipe.drcReused,
+
+			SnapshotBytes:  snapBytes,
+			RestoreNS:      restoreNS,
+			RestoreSpeedup: float64(pipe.scratchNS) / float64(restoreNS),
 		})
-		fmt.Printf("%-4s %7d polygons %8d edges %5d shards  total %8.2fms  edit-redetect %6.2fms (%.1fx)  edit-repipeline %6.2fms (%.1fx)\n",
+		fmt.Printf("%-4s %7d polygons %8d edges %5d shards  total %8.2fms  edit-redetect %6.2fms (%.1fx)  edit-repipeline %6.2fms (%.1fx)  restore %6.2fms (%.1fx)\n",
 			d.Name, len(l.Features), s.GraphEdges, s.Shards,
 			float64(s.TotalTime.Nanoseconds())/1e6,
 			float64(editNS)/1e6, float64(buildNS+s.TotalTime.Nanoseconds())/float64(editNS),
-			float64(pipe.editNS)/1e6, float64(pipe.scratchNS)/float64(pipe.editNS))
+			float64(pipe.editNS)/1e6, float64(pipe.scratchNS)/float64(pipe.editNS),
+			float64(restoreNS)/1e6, float64(pipe.scratchNS)/float64(restoreNS))
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -414,6 +431,38 @@ func measureEditRepipeline(d bench.Design, rules aapsm.Rules, workers int) (repi
 	return out, nil
 }
 
+// measureRestore warms a session through the full pipeline, snapshots it,
+// and times session rehydration from those bytes (best of 7): decode, the
+// deterministic secondary-state rebuild, and the memoized-stage re-run. This
+// is the cold-start path aapsmd takes for a request hitting a persisted
+// session, reported against pipeline_ns (create + full pipeline from
+// scratch).
+func measureRestore(d bench.Design, rules aapsm.Rules, workers int) (snapBytes int, bestNS int64, err error) {
+	ctx := context.Background()
+	eng := aapsm.NewEngine(aapsm.WithRules(rules), aapsm.WithParallelism(workers))
+	s := eng.NewSession(bench.Generate(d.Name, d.Params))
+	if err := s.EnableEdits(); err != nil {
+		return 0, 0, err
+	}
+	if err := runPipeline(ctx, s); err != nil {
+		return 0, 0, err
+	}
+	data, err := s.Snapshot()
+	if err != nil {
+		return 0, 0, err
+	}
+	for k := 0; k < 7; k++ {
+		t0 := time.Now()
+		if _, err := eng.RestoreSessionWithParallelism(ctx, data, workers); err != nil {
+			return 0, 0, err
+		}
+		if ns := time.Since(t0).Nanoseconds(); bestNS == 0 || ns < bestNS {
+			bestNS = ns
+		}
+	}
+	return len(data), bestNS, nil
+}
+
 // compareBaseline checks the structural counts of doc against the committed
 // baseline file within the given ratio tolerance. Only designs present in
 // both documents are compared; timings are deliberately ignored.
@@ -457,6 +506,11 @@ func compareBaseline(doc *detectTrajectory, path string, tol float64) error {
 		checkCount("bipartization_edges", int64(got.Bipartization), int64(want.Bipartization))
 		checkCount("conflicts", int64(got.Conflicts), int64(want.Conflicts))
 		checkCount("allocs", int64(got.Allocs), int64(want.Allocs))
+		// Snapshot size is deterministic for a layout+rules pair; only gate it
+		// once the baseline carries the v4 field.
+		if want.SnapshotBytes != 0 {
+			checkCount("snapshot_bytes", int64(got.SnapshotBytes), int64(want.SnapshotBytes))
+		}
 	}
 	if len(problems) > 0 {
 		for _, p := range problems {

@@ -1,0 +1,142 @@
+package persist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// BlobStore holds large raw layout uploads (GDS bodies) content-addressed by
+// SHA-256, so the snapshot index never carries multi-megabyte blobs. PutBlob
+// is idempotent: storing the same bytes twice returns the same hash and
+// writes once.
+type BlobStore interface {
+	PutBlob(data []byte) (hash string, err error)
+	GetBlob(hash string) ([]byte, error)
+	Close() error
+}
+
+// BlobHash returns the content address PutBlob would assign to data.
+func BlobHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// checkBlobHash rejects anything that is not a lowercase hex SHA-256, which
+// also keeps attacker-controlled hashes from traversing the disk layout.
+func checkBlobHash(hash string) error {
+	if len(hash) != 64 {
+		return fmt.Errorf("persist: blob hash %q: want 64 hex chars", hash)
+	}
+	for _, c := range hash {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("persist: blob hash %q: non-hex character", hash)
+		}
+	}
+	return nil
+}
+
+// MemBlobStore is an in-process BlobStore for tests.
+type MemBlobStore struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+// NewMemBlobStore returns an empty in-memory blob store.
+func NewMemBlobStore() *MemBlobStore {
+	return &MemBlobStore{blobs: make(map[string][]byte)}
+}
+
+func (m *MemBlobStore) PutBlob(data []byte) (string, error) {
+	h := BlobHash(data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.blobs[h]; !ok {
+		m.blobs[h] = append([]byte(nil), data...)
+	}
+	return h, nil
+}
+
+func (m *MemBlobStore) GetBlob(hash string) ([]byte, error) {
+	if err := checkBlobHash(hash); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.blobs[hash]
+	if !ok {
+		return nil, fmt.Errorf("%w: blob %s", ErrNotFound, hash)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (m *MemBlobStore) Close() error { return nil }
+
+// DiskBlobStore stores blobs at root/<hash[:2]>/<hash>, atomically written.
+type DiskBlobStore struct {
+	root string
+	mu   sync.Mutex
+}
+
+// NewDiskBlobStore opens (creating if needed) a blob store rooted at dir.
+func NewDiskBlobStore(dir string) (*DiskBlobStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskBlobStore{root: dir}, nil
+}
+
+func (d *DiskBlobStore) blobPath(hash string) string {
+	return filepath.Join(d.root, hash[:2], hash)
+}
+
+func (d *DiskBlobStore) PutBlob(data []byte) (string, error) {
+	h := BlobHash(data)
+	path := d.blobPath(h)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := os.Stat(path); err == nil {
+		return h, nil // content-addressed: already stored
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return "", werr
+	}
+	syncDir(dir)
+	return h, nil
+}
+
+func (d *DiskBlobStore) GetBlob(hash string) ([]byte, error) {
+	if err := checkBlobHash(hash); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(d.blobPath(hash))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: blob %s", ErrNotFound, hash)
+	}
+	return data, err
+}
+
+func (d *DiskBlobStore) Close() error { return nil }

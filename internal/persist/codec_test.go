@@ -1,0 +1,159 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/correct"
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// sampleState builds a representative SessionState exercising every encoded
+// field, including optional sections.
+func sampleState(withPrev bool) *SessionState {
+	st := &SessionState{
+		Rules: layout.Rules{
+			CriticalWidth: 150, ShifterWidth: 90, ShifterGap: 120,
+			MinShifterSpacing: 200, MinFeatureWidth: 80, MinFeatureSpacing: 280,
+			FeatureConflictWeight: 1 << 20,
+		},
+		Kind:           core.PCG,
+		DetectRuns:     7,
+		Edits:          3,
+		VerifyCleanGen: 2,
+		MaskCleanGen:   -1,
+		Memo:           MemoDetect | MemoAssign | MemoDRC,
+		IvKeys:         []int32{1, 5, 9},
+		IvVals: []correct.Intervals{
+			{V: correct.AxisCut{Lo: -3, Hi: 88, Need: 12, OK: true}},
+			{H: correct.AxisCut{Lo: 4, Hi: 5, Need: 0, OK: true}, V: correct.AxisCut{OK: false}},
+			{},
+		},
+		Inc: &core.IncrementalState{
+			LayoutName: "snap-π", // non-ASCII name round-trips
+			Features: []layout.Feature{
+				{Rect: geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 400}, Layer: 0},
+				{Rect: geom.Rect{X0: 600, Y0: -20, X1: 700, Y1: 380}, Layer: 2},
+			},
+			FeatUID:   []int32{0, 1},
+			NextUID:   2,
+			NextOvUID: 1,
+			Pairs:     []core.PairRecState{{UIDA: 0, UIDB: 1, SideA: 1, SideB: 0, Deficit: 40, UID: 0}},
+			Gen:       4,
+			AssignGen: 4,
+
+			PrevColors: []int8{0, 1, -1, 0},
+			DRCReady:   true,
+			DRCPairs:   []uint64{1<<32 | 3, 2<<32 | 7},
+			Stats:      core.IncStats{Edits: 3, Detects: 4, ShardsReused: 9},
+		},
+	}
+	if withPrev {
+		st.Inc.HasPrev = true
+		st.Inc.CrossPairs = [][2]int32{{0, 2}, {1, 3}}
+		st.Inc.NShards = 2
+		st.Inc.Shards = []*core.ShardState{
+			nil,
+			{Removed: []int32{0}, Bipart: []int32{1, 2}, Final: []int32{2},
+				DualNodes: 5, DualEdges: 9, OddFaces: 2, GadgetNodes: 4, GadgetEdges: 7},
+		}
+		st.Inc.DirtyCluster = []bool{true, false}
+		st.Inc.HasNewToOld = true
+		st.Inc.NewToOldNode = []int32{0, 1, -1, 2}
+		st.Inc.DetStats = core.Stats{GraphNodes: 4, GraphEdges: 3, Shards: 2, TotalTime: 12345}
+	}
+	return st
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, withPrev := range []bool{false, true} {
+		st := sampleState(withPrev)
+		data := Encode(st)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("withPrev=%v: decode: %v", withPrev, err)
+		}
+		if !reflect.DeepEqual(st, got) {
+			t.Fatalf("withPrev=%v: round trip diverged:\n in  %+v\n out %+v", withPrev, st, got)
+		}
+		if !bytes.Equal(data, Encode(got)) {
+			t.Fatalf("withPrev=%v: re-encode is not byte-identical", withPrev)
+		}
+	}
+}
+
+func TestCodecNilInc(t *testing.T) {
+	st := &SessionState{Rules: layout.Default90nm(), VerifyCleanGen: -1, MaskCleanGen: -1}
+	got, err := Decode(Encode(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip diverged: %+v vs %+v", st, got)
+	}
+}
+
+// reseal recomputes the trailing checksum after tampering with the payload,
+// so decode failures exercise the structural validation, not just the CRC.
+func reseal(data []byte) []byte {
+	binary.LittleEndian.PutUint32(data[len(data)-4:],
+		crc32.ChecksumIEEE(data[:len(data)-4]))
+	return data
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	data := Encode(sampleState(true))
+
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	for i := 0; i < len(data); i += 11 {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x20
+		if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("bit flip at %d: got %v", i, err)
+		}
+	}
+
+	// Version skew with a valid checksum must be ErrVersion, so callers can
+	// distinguish "snapshot from a newer build" from damage.
+	skew := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint16(skew[len(snapMagic):], Version+1)
+	if _, err := Decode(reseal(skew)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version skew: got %v, want ErrVersion", err)
+	}
+
+	// Trailing garbage with a resealed checksum is still corrupt.
+	long := append(append([]byte(nil), data...), 0, 0, 0, 0)
+	copy(long[len(long)-4:], long[len(data)-4:len(data)])
+	if _, err := Decode(reseal(long)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: got %v, want ErrCorrupt", err)
+	}
+}
+
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add(Encode(sampleState(false)))
+	f.Add(Encode(sampleState(true)))
+	f.Add(append([]byte(nil), snapMagic[:]...))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode byte-identically: with the
+		// checksum covering the payload this pins the codec to a canonical
+		// form.
+		if !bytes.Equal(Encode(st), data) {
+			t.Fatalf("decoded snapshot re-encodes differently")
+		}
+	})
+}

@@ -1,0 +1,264 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Ref names one stored snapshot: the session ID it belongs to, the content
+// hash of the layout the session was created from, and whether the session
+// had diverged from that content (edited) at snapshot time. Pristine
+// snapshots additionally satisfy create-by-hash rehydration; edited ones are
+// reachable only by ID.
+type Ref struct {
+	ID     string
+	Hash   string
+	Edited bool
+}
+
+// ErrNotFound marks a Get/Delete for a snapshot the store does not hold.
+var ErrNotFound = errors.New("persist: snapshot not found")
+
+// Store is a snapshot index: encoded session snapshots keyed by Ref. Put
+// replaces any previous snapshot for the same session ID (including one with
+// a different Edited flag — a session snapshots pristine first and edited
+// later). Implementations are safe for concurrent use.
+type Store interface {
+	Put(ref Ref, data []byte) error
+	Get(ref Ref) ([]byte, error)
+	List() ([]Ref, error)
+	Delete(ref Ref) error
+	Close() error
+}
+
+// ---- memory store ----
+
+// MemStore is an in-process Store for tests and single-process setups.
+type MemStore struct {
+	mu   sync.Mutex
+	byID map[string]memSnap
+}
+
+type memSnap struct {
+	ref  Ref
+	data []byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{byID: make(map[string]memSnap)}
+}
+
+func (m *MemStore) Put(ref Ref, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byID[ref.ID] = memSnap{ref: ref, data: append([]byte(nil), data...)}
+	return nil
+}
+
+func (m *MemStore) Get(ref Ref) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.byID[ref.ID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, ref.ID)
+	}
+	return append([]byte(nil), s.data...), nil
+}
+
+func (m *MemStore) List() ([]Ref, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	refs := make([]Ref, 0, len(m.byID))
+	for _, s := range m.byID {
+		refs = append(refs, s.ref)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].ID < refs[j].ID })
+	return refs, nil
+}
+
+func (m *MemStore) Delete(ref Ref) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byID[ref.ID]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, ref.ID)
+	}
+	delete(m.byID, ref.ID)
+	return nil
+}
+
+func (m *MemStore) Close() error { return nil }
+
+// ---- disk store ----
+
+// DiskStore persists snapshots as one file per session under a
+// directory-per-content-hash layout:
+//
+//	root/<hash>/<id>.p.snap   pristine snapshot
+//	root/<hash>/<id>.e.snap   edited snapshot
+//
+// Writes are atomic (temp file + rename + directory fsync), so a crash
+// mid-flush leaves either the old snapshot or the new one, never a torn
+// file; torn data is additionally caught by the codec checksum at read time.
+// Files that do not match the naming scheme are ignored by List, so foreign
+// files in the tree cannot break startup.
+type DiskStore struct {
+	root string
+	mu   sync.Mutex
+}
+
+var snapFileRe = regexp.MustCompile(`^([A-Za-z0-9_.-]+)\.([pe])\.snap$`)
+
+// NewDiskStore opens (creating if needed) a disk store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskStore{root: dir}, nil
+}
+
+func (d *DiskStore) path(ref Ref) (string, error) {
+	if err := checkComponent(ref.Hash); err != nil {
+		return "", fmt.Errorf("persist: bad snapshot hash %q: %w", ref.Hash, err)
+	}
+	if err := checkComponent(ref.ID); err != nil {
+		return "", fmt.Errorf("persist: bad snapshot id %q: %w", ref.ID, err)
+	}
+	flavor := "p"
+	if ref.Edited {
+		flavor = "e"
+	}
+	return filepath.Join(d.root, ref.Hash, ref.ID+"."+flavor+".snap"), nil
+}
+
+// checkComponent rejects names that could escape the store directory or
+// collide with the file naming scheme.
+func checkComponent(s string) error {
+	if s == "" || len(s) > 255 {
+		return errors.New("empty or oversized path component")
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("character %q not allowed", c)
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		return errors.New("leading dot not allowed")
+	}
+	return nil
+}
+
+func (d *DiskStore) Put(ref Ref, data []byte) error {
+	path, err := d.path(ref)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return werr
+	}
+	syncDir(dir)
+	// A session that diverged after its pristine snapshot (or vice versa)
+	// must not leave a stale sibling of the other flavor behind.
+	other := Ref{ID: ref.ID, Hash: ref.Hash, Edited: !ref.Edited}
+	if op, err := d.path(other); err == nil {
+		os.Remove(op)
+	}
+	return nil
+}
+
+func (d *DiskStore) Get(ref Ref) ([]byte, error) {
+	path, err := d.path(ref)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, ref.ID)
+	}
+	return data, err
+}
+
+func (d *DiskStore) List() ([]Ref, error) {
+	dirs, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, err
+	}
+	var refs []Ref
+	for _, de := range dirs {
+		if !de.IsDir() || checkComponent(de.Name()) != nil {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(d.root, de.Name()))
+		if err != nil {
+			continue
+		}
+		for _, fe := range files {
+			m := snapFileRe.FindStringSubmatch(fe.Name())
+			if fe.IsDir() || m == nil {
+				continue
+			}
+			refs = append(refs, Ref{ID: m[1], Hash: de.Name(), Edited: m[2] == "e"})
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].ID < refs[j].ID })
+	return refs, nil
+}
+
+func (d *DiskStore) Delete(ref Ref) error {
+	path, err := d.path(ref)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err = os.Remove(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotFound, ref.ID)
+	}
+	// Prune the hash directory once its last snapshot is gone; a non-empty
+	// directory makes Remove fail, which is fine.
+	os.Remove(filepath.Dir(path))
+	return err
+}
+
+func (d *DiskStore) Close() error { return nil }
+
+// syncDir fsyncs a directory so a rename survives power loss; best-effort
+// (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}

@@ -1,0 +1,210 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testStore(t *testing.T, mk func(t *testing.T) Store) {
+	t.Helper()
+	s := mk(t)
+	defer s.Close()
+
+	a := Ref{ID: "aaa-1", Hash: "deadbeef0001"}
+	b := Ref{ID: "bbb-2", Hash: "deadbeef0001", Edited: true}
+	c := Ref{ID: "ccc-3", Hash: "cafebabe0002"}
+
+	if _, err := s.Get(a); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get missing: %v", err)
+	}
+	if err := s.Delete(a); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing: %v", err)
+	}
+
+	for _, put := range []struct {
+		ref  Ref
+		data string
+	}{{a, "snap-a"}, {b, "snap-b"}, {c, "snap-c"}} {
+		if err := s.Put(put.ref, []byte(put.data)); err != nil {
+			t.Fatalf("put %v: %v", put.ref, err)
+		}
+	}
+	got, err := s.Get(b)
+	if err != nil || string(got) != "snap-b" {
+		t.Fatalf("get b: %q, %v", got, err)
+	}
+	refs, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Ref{a, b, c}; !reflect.DeepEqual(refs, want) {
+		t.Fatalf("list: %+v, want %+v", refs, want)
+	}
+
+	// Overwriting with the other flavor replaces, never duplicates: a
+	// session that diverges after its pristine snapshot must not leave both
+	// on disk.
+	aEdited := Ref{ID: a.ID, Hash: a.Hash, Edited: true}
+	if err := s.Put(aEdited, []byte("snap-a2")); err != nil {
+		t.Fatal(err)
+	}
+	refs, err = s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Ref{aEdited, b, c}; !reflect.DeepEqual(refs, want) {
+		t.Fatalf("list after flavor change: %+v, want %+v", refs, want)
+	}
+	if got, err := s.Get(aEdited); err != nil || string(got) != "snap-a2" {
+		t.Fatalf("get a after flavor change: %q, %v", got, err)
+	}
+
+	if err := s.Delete(aEdited); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(b); err != nil {
+		t.Fatal(err)
+	}
+	refs, err = s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Ref{c}; !reflect.DeepEqual(refs, want) {
+		t.Fatalf("list after deletes: %+v, want %+v", refs, want)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	testStore(t, func(t *testing.T) Store { return NewMemStore() })
+}
+
+func TestDiskStore(t *testing.T) {
+	testStore(t, func(t *testing.T) Store {
+		s, err := NewDiskStore(filepath.Join(t.TempDir(), "snaps"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}
+
+func TestDiskStoreLayoutAndReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Ref{ID: "abc123-7", Hash: "00ff00ff00ff"}
+	if err := s.Put(ref, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	// Directory-per-content-hash layout, as documented.
+	if _, err := os.Stat(filepath.Join(dir, ref.Hash, ref.ID+".p.snap")); err != nil {
+		t.Fatalf("expected layout file: %v", err)
+	}
+	// Foreign files are ignored, not fatal.
+	os.WriteFile(filepath.Join(dir, ref.Hash, "README"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, "stray"), []byte("x"), 0o644)
+	s.Close()
+
+	// A fresh store over the same directory (process restart) sees the
+	// snapshot.
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	refs, err := s2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refs, []Ref{ref}) {
+		t.Fatalf("reopened list: %+v", refs)
+	}
+	// Deleting the last snapshot prunes the (now otherwise empty) hash
+	// directory.
+	os.Remove(filepath.Join(dir, ref.Hash, "README"))
+	if err := s2.Delete(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ref.Hash)); !os.IsNotExist(err) {
+		t.Fatalf("hash dir not pruned: %v", err)
+	}
+}
+
+func TestDiskStoreRejectsTraversal(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, ref := range []Ref{
+		{ID: "../evil", Hash: "aabb"},
+		{ID: "ok-1", Hash: "../../etc"},
+		{ID: "", Hash: "aabb"},
+		{ID: "a/b", Hash: "aabb"},
+		{ID: ".hidden", Hash: "aabb"},
+	} {
+		if err := s.Put(ref, []byte("x")); err == nil {
+			t.Errorf("Put(%+v) accepted a hostile ref", ref)
+		}
+		if _, err := s.Get(ref); err == nil {
+			t.Errorf("Get(%+v) accepted a hostile ref", ref)
+		}
+	}
+}
+
+func testBlobStore(t *testing.T, bs BlobStore) {
+	t.Helper()
+	defer bs.Close()
+	data := []byte("raw gds payload")
+	h, err := bs.PutBlob(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != BlobHash(data) {
+		t.Fatalf("hash %s != BlobHash %s", h, BlobHash(data))
+	}
+	if len(h) != 64 || strings.ToLower(h) != h {
+		t.Fatalf("hash %q is not lowercase hex sha256", h)
+	}
+	h2, err := bs.PutBlob(data)
+	if err != nil || h2 != h {
+		t.Fatalf("second put: %s, %v", h2, err)
+	}
+	got, err := bs.GetBlob(h)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get: %q, %v", got, err)
+	}
+	if _, err := bs.GetBlob(strings.Repeat("0", 64)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get missing: %v", err)
+	}
+	for _, bad := range []string{"", "short", strings.Repeat("Z", 64), "../" + strings.Repeat("a", 61)} {
+		if _, err := bs.GetBlob(bad); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("GetBlob(%q): want validation error, got %v", bad, err)
+		}
+	}
+}
+
+func TestMemBlobStore(t *testing.T) {
+	testBlobStore(t, NewMemBlobStore())
+}
+
+func TestDiskBlobStore(t *testing.T) {
+	dir := t.TempDir()
+	bs, err := NewDiskBlobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testBlobStore(t, bs)
+	// Sharded content-addressed layout, as documented.
+	h := BlobHash([]byte("raw gds payload"))
+	if _, err := os.Stat(filepath.Join(dir, h[:2], h)); err != nil {
+		t.Fatalf("expected blob layout file: %v", err)
+	}
+}

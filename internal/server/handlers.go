@@ -79,25 +79,41 @@ type createResponse struct {
 	Hash     string `json:"hash"`
 	Name     string `json:"name"`
 	Features int    `json:"features"`
-	Reused   bool   `json:"reused"` // an existing pristine session was reattached
+	Reused   bool   `json:"reused"` // an existing pristine session (or snapshot) was reattached
+	// Blob is the content address of the archived raw upload body (GDS
+	// uploads with a blob store configured).
+	Blob string `json:"blob,omitempty"`
 }
 
 // handleCreate builds (or reattaches to) a session from an uploaded layout.
 // The body is the plain-text interchange format by default, or a GDSII
 // stream with ?format=gds. Identical content — text or GDS — canonicalizes
 // to the same hash, so repeated uploads coalesce onto one session until it
-// is edited.
+// is edited; with persistence configured, a pristine snapshot of the same
+// content rehydrates instead of re-detecting.
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_layout", "", "", err.Error())
+		return
+	}
 	var (
-		l   *aapsm.Layout
-		err error
+		l    *aapsm.Layout
+		blob string
 	)
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "text":
-		l, err = aapsm.ReadLayoutText(body)
+		l, err = aapsm.ReadLayoutText(bytes.NewReader(raw))
 	case "gds":
-		l, err = aapsm.ReadGDS(body)
+		l, err = aapsm.ReadGDS(bytes.NewReader(raw))
+		// Archive the raw binary original: sessions persist derived state
+		// only, so the blob store is what lets an operator re-create any
+		// session from first principles.
+		if err == nil && s.cfg.Blobs != nil {
+			if h, berr := s.cfg.Blobs.PutBlob(raw); berr == nil {
+				blob = h
+			}
+		}
 	default:
 		writeError(w, http.StatusBadRequest, "bad_format", "", "", fmt.Sprintf("unknown format %q (want text or gds)", format))
 		return
@@ -110,6 +126,23 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeFlowError(w, err)
 		return
+	}
+	// A pristine snapshot of identical content reattaches under its
+	// original session ID, warm caches included. (rehydrate double-checks
+	// the live store, so a currently-live session wins over its snapshot.)
+	if ref, ok := s.pristineSnapshotFor(hash); ok {
+		if ent, ok := s.rehydrate(r.Context(), ref.ID); ok {
+			defer s.store.release(ent)
+			s.metrics.sessionsReused.Add(1)
+			writeJSON(w, createResponse{
+				ID: ent.ID, Hash: ent.Hash,
+				Name:     ent.Sess.LayoutName(),
+				Features: ent.Sess.NumFeatures(),
+				Reused:   true,
+				Blob:     blob,
+			})
+			return
+		}
 	}
 	ent, reused, err := s.store.getOrCreate(r.Context(), hash, func() (*aapsm.Session, error) {
 		sess := s.cfg.Engine.NewSessionWithParallelism(l, s.cfg.DetectWorkers)
@@ -127,6 +160,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeFlowError(w, err)
 		return
 	}
+	defer s.store.release(ent)
 	if reused {
 		s.metrics.sessionsReused.Add(1)
 	} else {
@@ -137,6 +171,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Name:     ent.Sess.LayoutName(),
 		Features: ent.Sess.NumFeatures(),
 		Reused:   reused,
+		Blob:     blob,
 	})
 }
 
@@ -181,12 +216,40 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request, ent *session
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.store.delete(id) {
+	live := s.store.delete(id) // eviction callback also deletes the snapshot
+	if !live && s.cfg.Snapshots != nil {
+		// Not live, but a dormant snapshot still answers by this ID; delete
+		// must kill that too or the session would resurrect on next access.
+		s.snapMu.Lock()
+		_, hasSnap := s.snapByID[id]
+		s.snapMu.Unlock()
+		if hasSnap {
+			s.snapshotDelete(id)
+			live = true
+		}
+	}
+	if !live {
 		writeError(w, http.StatusNotFound, "unknown_session", "", "",
 			"no live session "+fmt.Sprintf("%q", id))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleFlush forces a snapshot write of the session (persistence must be
+// configured). Clients checkpoint explicitly before risky operations; the
+// kill-restart test uses it to bound what a SIGKILL may lose.
+func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request, ent *sessionEntry) {
+	if s.cfg.Snapshots == nil {
+		writeError(w, http.StatusConflict, "no_snapshot_store", "", "",
+			"server runs without a snapshot store (-store-dir)")
+		return
+	}
+	if err := s.snapshotWrite(ent); err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot_failed", "", "", err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"flushed": true, "id": ent.ID})
 }
 
 // ---- edits ----
@@ -271,7 +334,7 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request, ent *sessio
 	// create must not reattach to a layout that is about to change. (If the
 	// batch is rejected below the mark is conservative — the session merely
 	// stops coalescing, it stays correct.)
-	s.store.markEdited(ent.ID)
+	s.store.markEdited(ent)
 	var added []int
 	var rangeErr error
 	applied := 0

@@ -26,6 +26,15 @@ type metrics struct {
 	inflight        atomic.Int64
 	draining        atomic.Bool
 
+	// Persistence counters: snapshot writes (evict/flush/endpoint),
+	// successful restores, and snapshots found unusable (corrupt,
+	// version-skewed, or engine-configuration-mismatched). Restore latency
+	// is a sum/count pair, nanoseconds summed atomically.
+	snapshotWrites   atomic.Int64
+	snapshotRestores atomic.Int64
+	snapshotCorrupt  atomic.Int64
+	restoreNanos     atomic.Int64
+
 	// Incremental-pipeline reuse counters, accumulated per stage from the
 	// work deltas of each served request: "reused" is work taken from a
 	// session's cluster caches, "solved" is work actually performed. The
@@ -103,6 +112,11 @@ func (m *metrics) observe(route string, code int, d time.Duration) {
 	l.sum += d.Seconds()
 }
 
+// observeRestore records one successful snapshot restore's latency.
+func (m *metrics) observeRestore(d time.Duration) {
+	m.restoreNanos.Add(d.Nanoseconds())
+}
+
 func (m *metrics) evicted(why evictReason) {
 	switch why {
 	case evictLRU:
@@ -140,6 +154,15 @@ func (m *metrics) write(w io.Writer, sessionsLive int, now time.Time) {
 	fmt.Fprintf(w, "aapsmd_edits_total %d\n", m.edits.Load())
 	fmt.Fprintf(w, "# HELP aapsmd_inflight_requests Requests currently being served.\n# TYPE aapsmd_inflight_requests gauge\n")
 	fmt.Fprintf(w, "aapsmd_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_snapshot_write_total Session snapshots written to the persistence store.\n# TYPE aapsmd_snapshot_write_total counter\n")
+	fmt.Fprintf(w, "aapsmd_snapshot_write_total %d\n", m.snapshotWrites.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_snapshot_restore_total Sessions rehydrated from snapshots.\n# TYPE aapsmd_snapshot_restore_total counter\n")
+	fmt.Fprintf(w, "aapsmd_snapshot_restore_total %d\n", m.snapshotRestores.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_snapshot_corrupt_total Snapshots rejected as corrupt, version-skewed, or configuration-mismatched.\n# TYPE aapsmd_snapshot_corrupt_total counter\n")
+	fmt.Fprintf(w, "aapsmd_snapshot_corrupt_total %d\n", m.snapshotCorrupt.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_snapshot_restore_seconds Snapshot restore latency.\n# TYPE aapsmd_snapshot_restore_seconds summary\n")
+	fmt.Fprintf(w, "aapsmd_snapshot_restore_seconds_sum %.6f\n", float64(m.restoreNanos.Load())/1e9)
+	fmt.Fprintf(w, "aapsmd_snapshot_restore_seconds_count %d\n", m.snapshotRestores.Load())
 	fmt.Fprintf(w, "# HELP aapsmd_incremental_reused_total Pipeline work units served from session cluster caches, by stage.\n# TYPE aapsmd_incremental_reused_total counter\n")
 	for i, name := range stageNames {
 		fmt.Fprintf(w, "aapsmd_incremental_reused_total{stage=%q} %d\n", name, m.reuse[i].reused.Load())

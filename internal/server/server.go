@@ -2,7 +2,8 @@
 // an HTTP/JSON facade over the Engine/Session pipeline with a bounded
 // LRU+TTL session store, single-flight creation coalescing, per-request
 // timeouts, typed error responses, health and Prometheus-style metrics
-// endpoints, and graceful drain.
+// endpoints, graceful drain, and optional session persistence (snapshot
+// store + blob backend) for crash-restart rehydration.
 //
 // Every pipeline stage of the paper's flow is separately addressable:
 //
@@ -10,6 +11,7 @@
 //	GET    /v1/sessions/{id}             session info and work counters
 //	DELETE /v1/sessions/{id}             drop the session
 //	POST   /v1/sessions/{id}/edits       batched add/move/del edits (incremental re-detect)
+//	POST   /v1/sessions/{id}/flush       force a snapshot write (persistence configured)
 //	GET    /v1/sessions/{id}/detect      conflict detection
 //	GET    /v1/sessions/{id}/assign      phase assignment
 //	GET    /v1/sessions/{id}/correct     end-to-end-space correction
@@ -25,9 +27,11 @@ import (
 	"context"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	aapsm "repro"
+	"repro/internal/persist"
 )
 
 // Config parameterizes a Server. The zero value of every field selects a
@@ -55,6 +59,25 @@ type Config struct {
 	// (Session.EnableEdits) so the first detection seeds the per-cluster
 	// cache. Default on; set Off to true to disable.
 	IncrementalOff bool
+
+	// Snapshots, when set, persists sessions across process restarts:
+	// sessions are snapshotted on LRU/TTL eviction, on the periodic flush,
+	// and on demand (the flush endpoint / FlushAll at drain); a session that
+	// is not live is rehydrated from its snapshot on the next request, and
+	// creating a session whose content hash matches a pristine snapshot
+	// reattaches instead of re-detecting. The engine configuration must
+	// match the one the snapshots were taken under (mismatched snapshots
+	// count as corrupt and are ignored).
+	Snapshots persist.Store
+	// Blobs, when set, archives raw GDS upload bodies content-addressed by
+	// SHA-256 so the large binary originals survive independently of the
+	// session index; create responses then carry the blob hash.
+	Blobs persist.BlobStore
+	// FlushInterval is the period of the background snapshot flush of live
+	// sessions. 0 means the default 30s (when Snapshots is set); negative
+	// disables periodic flushing (eviction and drain still snapshot).
+	FlushInterval time.Duration
+
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -84,6 +107,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 30 * time.Second
+	}
+	if c.FlushInterval < 0 {
+		c.FlushInterval = 0
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -92,27 +121,56 @@ func (c Config) withDefaults() Config {
 
 // Server is the aapsmd request handler plus its session store and metrics.
 // Create with New, mount Handler on an http.Server, and call BeginDrain
-// before http.Server.Shutdown, then Close once drained.
+// before http.Server.Shutdown, then FlushAll and Close once drained.
 type Server struct {
 	cfg     Config
 	store   *sessionStore
 	metrics *metrics
 	mux     *http.ServeMux
 	stop    chan struct{}
+
+	// Snapshot index: which snapshot the store holds per session ID, and —
+	// for pristine snapshots — per content hash, loaded from
+	// cfg.Snapshots.List at startup and maintained on every write/delete.
+	// rehydrating single-flights concurrent restores of one session ID.
+	snapMu      sync.Mutex
+	snapByID    map[string]persist.Ref
+	snapByHash  map[string]persist.Ref
+	rehydrating map[string]*rehydrateCall
 }
+
+// rehydrateCall is one in-flight snapshot restore other requests for the
+// same session wait on.
+type rehydrateCall struct{ done chan struct{} }
 
 // New builds a Server from the config.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		metrics: newMetrics(cfg.now()),
-		mux:     http.NewServeMux(),
-		stop:    make(chan struct{}),
+		cfg:         cfg,
+		metrics:     newMetrics(cfg.now()),
+		mux:         http.NewServeMux(),
+		stop:        make(chan struct{}),
+		snapByID:    make(map[string]persist.Ref),
+		snapByHash:  make(map[string]persist.Ref),
+		rehydrating: make(map[string]*rehydrateCall),
 	}
-	s.store = newSessionStore(cfg.StoreCapacity, cfg.SessionTTL, cfg.now, s.metrics.evicted)
+	s.store = newSessionStore(cfg.StoreCapacity, cfg.SessionTTL, cfg.now, s.onEvict)
+	if cfg.Snapshots != nil {
+		if refs, err := cfg.Snapshots.List(); err == nil {
+			for _, ref := range refs {
+				s.snapByID[ref.ID] = ref
+				if !ref.Edited {
+					s.snapByHash[ref.Hash] = ref
+				}
+			}
+		}
+	}
 	s.routes()
 	go s.sweepLoop()
+	if cfg.Snapshots != nil && cfg.FlushInterval > 0 {
+		go s.flushLoop()
+	}
 	return s
 }
 
@@ -128,8 +186,8 @@ func (s *Server) BeginDrain() { s.metrics.draining.Store(true) }
 // Draining reports whether BeginDrain was called.
 func (s *Server) Draining() bool { return s.metrics.draining.Load() }
 
-// Close releases the background sweeper. The server must not be used after
-// Close.
+// Close releases the background sweeper and flusher. The server must not be
+// used after Close.
 func (s *Server) Close() {
 	select {
 	case <-s.stop:
@@ -141,6 +199,190 @@ func (s *Server) Close() {
 // Sessions returns the live session count.
 func (s *Server) Sessions() int { return s.store.len() }
 
+// FlushAll snapshots every live session to the snapshot store (no-op
+// without one). aapsmd calls it after the connection drain so a graceful
+// shutdown persists even sessions that were never evicted.
+func (s *Server) FlushAll() {
+	if s.cfg.Snapshots == nil {
+		return
+	}
+	for _, e := range s.store.snapshotEntries() {
+		s.snapshotWrite(e)
+		s.store.release(e)
+	}
+}
+
+// flushLoop periodically persists live sessions so a crash loses at most
+// one flush interval of session work.
+func (s *Server) flushLoop() {
+	t := time.NewTicker(s.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.FlushAll()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// onEvict is the store's eviction callback: metrics, then — with
+// persistence configured — a final snapshot (LRU/TTL) or snapshot removal
+// (explicit delete). It runs outside the store mutex and only after the
+// last in-flight request released the entry, so taking the session lock
+// here is safe.
+func (s *Server) onEvict(e *sessionEntry, why evictReason) {
+	s.metrics.evicted(why)
+	if s.cfg.Snapshots == nil {
+		return
+	}
+	if why == evictExplicit {
+		s.snapshotDelete(e.ID)
+		return
+	}
+	s.snapshotWrite(e)
+}
+
+// snapshotWrite persists one session and updates the snapshot index.
+func (s *Server) snapshotWrite(e *sessionEntry) error {
+	data, err := e.Sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	ref := persist.Ref{ID: e.ID, Hash: e.Hash, Edited: s.store.isEdited(e)}
+	if err := s.cfg.Snapshots.Put(ref, data); err != nil {
+		return err
+	}
+	s.metrics.snapshotWrites.Add(1)
+	s.snapMu.Lock()
+	if old, ok := s.snapByID[ref.ID]; ok && !old.Edited && ref.Edited {
+		if cur, ok := s.snapByHash[old.Hash]; ok && cur.ID == ref.ID {
+			delete(s.snapByHash, old.Hash)
+		}
+	}
+	s.snapByID[ref.ID] = ref
+	if !ref.Edited {
+		s.snapByHash[ref.Hash] = ref
+	}
+	s.snapMu.Unlock()
+	return nil
+}
+
+// snapshotDelete removes a session's snapshot (explicit session deletion).
+func (s *Server) snapshotDelete(id string) {
+	s.snapMu.Lock()
+	ref, ok := s.snapByID[id]
+	if ok {
+		delete(s.snapByID, id)
+		if cur, ok := s.snapByHash[ref.Hash]; ok && cur.ID == id {
+			delete(s.snapByHash, ref.Hash)
+		}
+	}
+	s.snapMu.Unlock()
+	if ok {
+		s.cfg.Snapshots.Delete(ref)
+	}
+}
+
+// dropSnapshot forgets an unusable (corrupt, version-skewed, or
+// configuration-mismatched) snapshot so requests stop retrying it.
+func (s *Server) dropSnapshot(ref persist.Ref) {
+	s.metrics.snapshotCorrupt.Add(1)
+	s.snapMu.Lock()
+	if cur, ok := s.snapByID[ref.ID]; ok && cur == ref {
+		delete(s.snapByID, ref.ID)
+	}
+	if cur, ok := s.snapByHash[ref.Hash]; ok && cur.ID == ref.ID {
+		delete(s.snapByHash, ref.Hash)
+	}
+	s.snapMu.Unlock()
+}
+
+// pristineSnapshotFor returns the pristine snapshot ref for a content hash,
+// if the index has one.
+func (s *Server) pristineSnapshotFor(hash string) (persist.Ref, bool) {
+	if s.cfg.Snapshots == nil {
+		return persist.Ref{}, false
+	}
+	s.snapMu.Lock()
+	ref, ok := s.snapByHash[hash]
+	s.snapMu.Unlock()
+	return ref, ok
+}
+
+// rehydrate restores session id from its snapshot and adopts it into the
+// live store under its original ID. Concurrent rehydrations of the same ID
+// single-flight; the returned entry (when ok) is acquired and must be
+// released by the caller. A failed restore counts the snapshot corrupt and
+// forgets it.
+func (s *Server) rehydrate(ctx context.Context, id string) (*sessionEntry, bool) {
+	if s.cfg.Snapshots == nil {
+		return nil, false
+	}
+	for {
+		s.snapMu.Lock()
+		ref, ok := s.snapByID[id]
+		if !ok {
+			s.snapMu.Unlock()
+			return nil, false
+		}
+		if call, inflight := s.rehydrating[id]; inflight {
+			s.snapMu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, false
+			}
+			// The leader adopted (or dropped) the snapshot; a live lookup
+			// resolves the former, a fresh spin of the loop the latter.
+			if ent, ok := s.store.get(id); ok {
+				return ent, true
+			}
+			continue
+		}
+		call := &rehydrateCall{done: make(chan struct{})}
+		s.rehydrating[id] = call
+		s.snapMu.Unlock()
+
+		ent, ok := s.rehydrateLeader(ctx, id, ref)
+		s.snapMu.Lock()
+		delete(s.rehydrating, id)
+		s.snapMu.Unlock()
+		close(call.done)
+		return ent, ok
+	}
+}
+
+// rehydrateLeader is the winning flight's restore: read the snapshot bytes,
+// rebuild the session, adopt it under its original ID.
+func (s *Server) rehydrateLeader(ctx context.Context, id string, ref persist.Ref) (*sessionEntry, bool) {
+	// A concurrent request may have adopted the session between this
+	// request's store miss and winning the flight.
+	if ent, ok := s.store.get(id); ok {
+		return ent, true
+	}
+	data, err := s.cfg.Snapshots.Get(ref)
+	if err != nil {
+		s.dropSnapshot(ref)
+		return nil, false
+	}
+	start := time.Now()
+	sess, err := s.cfg.Engine.RestoreSessionWithParallelism(ctx, data, s.cfg.DetectWorkers)
+	if err != nil {
+		// A cancelled restore says nothing about the snapshot; anything
+		// else (corrupt, version skew, configuration mismatch) does.
+		if ctx.Err() == nil {
+			s.dropSnapshot(ref)
+		}
+		return nil, false
+	}
+	s.metrics.snapshotRestores.Add(1)
+	s.metrics.observeRestore(time.Since(start))
+	ent, _ := s.store.adopt(ref.ID, ref.Hash, ref.Edited, sess)
+	return ent, true
+}
+
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
@@ -148,6 +390,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.route("info", s.session(s.handleInfo)))
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.handleDelete))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/edits", s.route("edits", s.session(s.handleEdits)))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/flush", s.route("flush", s.session(s.handleFlush)))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/detect", s.route("detect", s.session(s.handleDetect)))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/assign", s.route("assign", s.session(s.handleAssign)))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/correct", s.route("correct", s.session(s.handleCorrect)))
@@ -177,20 +420,27 @@ func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// session resolves the {id} path component to a stored session before
-// invoking the handler, and folds the request's incremental work profile
-// delta into the per-stage reuse metrics afterwards. (Concurrent requests to
-// the same session can observe overlapping deltas — the counters are
-// operational telemetry, not an exact ledger.)
+// session resolves the {id} path component to a stored session —
+// rehydrating it from its snapshot if it is not live — before invoking the
+// handler, and folds the request's incremental work profile delta into the
+// per-stage reuse metrics afterwards. The entry is held (refcounted) for
+// the duration of the handler, so a concurrent evict can never tear the
+// session out from under the request. (Concurrent requests to the same
+// session can observe overlapping deltas — the counters are operational
+// telemetry, not an exact ledger.)
 func (s *Server) session(h func(http.ResponseWriter, *http.Request, *sessionEntry)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		ent, ok := s.store.get(id)
 		if !ok {
+			ent, ok = s.rehydrate(r.Context(), id)
+		}
+		if !ok {
 			writeError(w, http.StatusNotFound, "unknown_session", "", "",
 				"no live session "+strconv.Quote(id)+" (expired, evicted, or never created)")
 			return
 		}
+		defer s.store.release(ent)
 		before := ent.Sess.Stats().Incremental
 		h(w, r, ent)
 		s.metrics.observeReuse(before, ent.Sess.Stats().Incremental)

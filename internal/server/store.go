@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -12,7 +14,7 @@ import (
 
 // sessionEntry is one stored session plus its bookkeeping. The session
 // itself is concurrency-safe; the entry's mutable fields (expiry, LRU
-// position, edited flag) are guarded by the store mutex.
+// position, edited flag, refcount) are guarded by the store mutex.
 type sessionEntry struct {
 	ID   string
 	Hash string // content hash of the layout the session was created from
@@ -22,6 +24,16 @@ type sessionEntry struct {
 	expires time.Time
 	edited  bool // once true, the entry no longer satisfies create-by-hash
 	elem    *list.Element
+
+	// refs counts in-flight requests holding the entry (acquired by
+	// get/getOrCreate/adopt, dropped by release). An entry evicted while
+	// refs > 0 stays fully usable by those requests — only the indexes
+	// forget it — and its eviction callback is deferred to the last release,
+	// so eviction can never race a request mid-stage.
+	refs      int
+	gone      bool // removed from the indexes; finalize at refs == 0
+	finalized bool
+	why       evictReason
 }
 
 // evictReason labels why a session left the store (metrics).
@@ -47,6 +59,11 @@ const (
 // Every access refreshes both the TTL and the LRU position. Capacity
 // overflow evicts the least recently used entry; expiry is enforced lazily
 // on access and eagerly by sweep (driven by the server's ticker).
+//
+// Lookups hand back refcounted entries: callers MUST pair every successful
+// get/getOrCreate/adopt with release. The eviction callback runs outside the
+// store mutex, exactly once per entry, and only once no request holds it —
+// so it may take the session lock (snapshot-on-evict does).
 type sessionStore struct {
 	mu       sync.Mutex
 	capacity int
@@ -57,7 +74,7 @@ type sessionStore struct {
 	lru      *list.List               // front = most recently used; values are *sessionEntry
 	seq      int64
 	creating map[string]*createCall
-	onEvict  func(evictReason)
+	onEvict  func(*sessionEntry, evictReason)
 }
 
 // createCall is one in-flight session construction other creators of the
@@ -68,7 +85,7 @@ type createCall struct {
 	err  error
 }
 
-func newSessionStore(capacity int, ttl time.Duration, now func() time.Time, onEvict func(evictReason)) *sessionStore {
+func newSessionStore(capacity int, ttl time.Duration, now func() time.Time, onEvict func(*sessionEntry, evictReason)) *sessionStore {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -76,7 +93,7 @@ func newSessionStore(capacity int, ttl time.Duration, now func() time.Time, onEv
 		now = time.Now
 	}
 	if onEvict == nil {
-		onEvict = func(evictReason) {}
+		onEvict = func(*sessionEntry, evictReason) {}
 	}
 	return &sessionStore{
 		capacity: capacity,
@@ -97,6 +114,7 @@ func newSessionStore(capacity int, ttl time.Duration, now func() time.Time, onEv
 // gives up without a session when its request deadline passes; the leader's
 // construction itself runs to completion (its result is useful to every
 // later creator). reused reports whether an existing session was returned.
+// The returned entry is acquired; the caller must release it.
 func (st *sessionStore) getOrCreate(ctx context.Context, hash string, mk func() (*aapsm.Session, error)) (ent *sessionEntry, reused bool, err error) {
 	var call *createCall
 	for call == nil {
@@ -106,6 +124,7 @@ func (st *sessionStore) getOrCreate(ctx context.Context, hash string, mk func() 
 		st.mu.Lock()
 		if e, ok := st.byHash[hash]; ok && !st.expired(e) {
 			st.touchLocked(e)
+			e.refs++
 			st.mu.Unlock()
 			return e, true, nil
 		}
@@ -117,9 +136,20 @@ func (st *sessionStore) getOrCreate(ctx context.Context, hash string, mk func() 
 				return nil, false, ctx.Err()
 			}
 			if inflight.err == nil {
-				return inflight.ent, true, nil
+				// The leader's entry may already have been evicted (or
+				// expired) between its insertion and this wake-up; re-check
+				// liveness under the lock and fall back to a fresh attempt.
+				e := inflight.ent
+				st.mu.Lock()
+				if !e.gone && !st.expired(e) {
+					st.touchLocked(e)
+					e.refs++
+					st.mu.Unlock()
+					return e, true, nil
+				}
+				st.mu.Unlock()
 			}
-			continue // the leader failed; retry as a new leader
+			continue // retry as a new leader
 		}
 		call = &createCall{done: make(chan struct{})}
 		st.creating[hash] = call
@@ -145,35 +175,98 @@ func (st *sessionStore) getOrCreate(ctx context.Context, hash string, mk func() 
 	st.byHash[hash] = ent
 	ent.elem = st.lru.PushFront(ent)
 	ent.expires = st.now().Add(st.ttl)
-	st.evictOverflowLocked()
+	ent.refs++
+	fire := st.evictOverflowLocked()
 	call.ent = ent
 	st.mu.Unlock()
 	close(call.done)
+	st.fire(fire)
 	return ent, false, nil
 }
 
+// adopt inserts a session rehydrated from a snapshot under its original ID,
+// so clients holding the ID across a server restart keep working. If the ID
+// is (again) live — a concurrent rehydration won — the existing entry is
+// returned with adopted=false. The returned entry is acquired; the caller
+// must release it.
+func (st *sessionStore) adopt(id, hash string, edited bool, sess *aapsm.Session) (ent *sessionEntry, adopted bool) {
+	st.mu.Lock()
+	if e, ok := st.byID[id]; ok && !st.expired(e) {
+		st.touchLocked(e)
+		e.refs++
+		st.mu.Unlock()
+		return e, false
+	}
+	// Keep new IDs unique: IDs are "<hash12>-<seq>", and a restarted process
+	// starts over at seq 0, so adopting an old ID must advance seq past it.
+	if i := strings.LastIndexByte(id, '-'); i >= 0 {
+		if n, err := strconv.ParseInt(id[i+1:], 10, 64); err == nil && n > st.seq {
+			st.seq = n
+		}
+	}
+	ent = &sessionEntry{
+		ID:      id,
+		Hash:    hash,
+		Sess:    sess,
+		Created: st.now(),
+		edited:  edited,
+	}
+	st.byID[id] = ent
+	if !edited && st.byHash[hash] == nil {
+		st.byHash[hash] = ent
+	}
+	ent.elem = st.lru.PushFront(ent)
+	ent.expires = st.now().Add(st.ttl)
+	ent.refs++
+	fire := st.evictOverflowLocked()
+	st.mu.Unlock()
+	st.fire(fire)
+	return ent, true
+}
+
 // get returns the live entry for id, refreshing its TTL and LRU position.
+// The returned entry is acquired; the caller must release it.
 func (st *sessionStore) get(id string) (*sessionEntry, bool) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	e, ok := st.byID[id]
 	if !ok {
+		st.mu.Unlock()
 		return nil, false
 	}
 	if st.expired(e) {
-		st.removeLocked(e, evictTTL)
+		fire := st.removeLocked(e, evictTTL)
+		st.mu.Unlock()
+		st.fire(fire)
 		return nil, false
 	}
 	st.touchLocked(e)
+	e.refs++
+	st.mu.Unlock()
 	return e, true
 }
 
+// release drops one in-flight reference. The entry's eviction callback runs
+// here — exactly once — if the entry was evicted while this caller held it.
+func (st *sessionStore) release(e *sessionEntry) {
+	st.mu.Lock()
+	e.refs--
+	var fire []*sessionEntry
+	if e.gone && e.refs == 0 && !e.finalized {
+		e.finalized = true
+		fire = append(fire, e)
+	}
+	st.mu.Unlock()
+	st.fire(fire)
+}
+
 // markEdited drops the entry from the hash index: its layout has diverged
-// from the content it was created from.
-func (st *sessionStore) markEdited(id string) {
+// from the content it was created from. It takes the entry, not the ID, so
+// an edit landing on an evicted-but-held entry still flips the flag — the
+// deferred eviction snapshot must not be stored as pristine.
+func (st *sessionStore) markEdited(e *sessionEntry) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if e, ok := st.byID[id]; ok && !e.edited {
+	if !e.edited {
 		e.edited = true
 		if st.byHash[e.Hash] == e {
 			delete(st.byHash, e.Hash)
@@ -184,30 +277,49 @@ func (st *sessionStore) markEdited(id string) {
 // delete removes the entry explicitly; it reports whether the id was live.
 func (st *sessionStore) delete(id string) bool {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	e, ok := st.byID[id]
-	if !ok || st.expired(e) {
-		if ok {
-			st.removeLocked(e, evictTTL)
-		}
+	if !ok {
+		st.mu.Unlock()
 		return false
 	}
-	st.removeLocked(e, evictExplicit)
-	return true
+	live := !st.expired(e)
+	why := evictExplicit
+	if !live {
+		why = evictTTL
+	}
+	fire := st.removeLocked(e, why)
+	st.mu.Unlock()
+	st.fire(fire)
+	return live
 }
 
 // sweep removes every expired entry; the server calls it periodically so
 // idle sessions release memory without waiting for an access.
 func (st *sessionStore) sweep() {
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	var fire []*sessionEntry
 	for el := st.lru.Back(); el != nil; {
 		prev := el.Prev()
 		if e := el.Value.(*sessionEntry); st.expired(e) {
-			st.removeLocked(e, evictTTL)
+			fire = append(fire, st.removeLocked(e, evictTTL)...)
 		}
 		el = prev
 	}
+	st.mu.Unlock()
+	st.fire(fire)
+}
+
+// snapshotEntries returns every live entry acquired, for flush loops; the
+// caller must release each one.
+func (st *sessionStore) snapshotEntries() []*sessionEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*sessionEntry, 0, len(st.byID))
+	for _, e := range st.byID {
+		e.refs++
+		out = append(out, e)
+	}
+	return out
 }
 
 // len returns the live session count (expired entries not yet swept count
@@ -225,6 +337,13 @@ func (st *sessionStore) expires(e *sessionEntry) time.Time {
 	return e.expires
 }
 
+// isEdited returns the entry's edited flag under the store mutex.
+func (st *sessionStore) isEdited(e *sessionEntry) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return e.edited
+}
+
 func (st *sessionStore) expired(e *sessionEntry) bool {
 	return st.ttl > 0 && st.now().After(e.expires)
 }
@@ -234,21 +353,45 @@ func (st *sessionStore) touchLocked(e *sessionEntry) {
 	st.lru.MoveToFront(e.elem)
 }
 
-func (st *sessionStore) evictOverflowLocked() {
+// evictOverflowLocked trims the store to capacity and returns the entries
+// whose eviction callback is due now (none were held by requests).
+func (st *sessionStore) evictOverflowLocked() []*sessionEntry {
+	var fire []*sessionEntry
 	for len(st.byID) > st.capacity {
 		back := st.lru.Back()
 		if back == nil {
-			return
+			break
 		}
-		st.removeLocked(back.Value.(*sessionEntry), evictLRU)
+		fire = append(fire, st.removeLocked(back.Value.(*sessionEntry), evictLRU)...)
 	}
+	return fire
 }
 
-func (st *sessionStore) removeLocked(e *sessionEntry, why evictReason) {
+// removeLocked unlinks the entry from every index. Its eviction callback is
+// due immediately when no request holds it, and otherwise deferred to the
+// last release; either way the returned slice (at most one entry) is what
+// the caller must fire after unlocking.
+func (st *sessionStore) removeLocked(e *sessionEntry, why evictReason) []*sessionEntry {
+	if e.gone {
+		return nil
+	}
+	e.gone = true
+	e.why = why
 	delete(st.byID, e.ID)
 	if st.byHash[e.Hash] == e {
 		delete(st.byHash, e.Hash)
 	}
 	st.lru.Remove(e.elem)
-	st.onEvict(why)
+	if e.refs == 0 && !e.finalized {
+		e.finalized = true
+		return []*sessionEntry{e}
+	}
+	return nil
+}
+
+// fire runs deferred eviction callbacks outside the store mutex.
+func (st *sessionStore) fire(entries []*sessionEntry) {
+	for _, e := range entries {
+		st.onEvict(e, e.why)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -42,6 +43,12 @@ func mkSession() (*aapsm.Session, error) {
 	l := aapsm.NewLayout("t")
 	l.Add(aapsm.R(0, 0, 100, 1000))
 	return aapsm.NewEngine().NewSession(l), nil
+}
+
+// mustSession is mkSession without the error, for adopt call sites.
+func mustSession() *aapsm.Session {
+	s, _ := mkSession()
+	return s
 }
 
 func TestStoreSingleFlight(t *testing.T) {
@@ -91,13 +98,14 @@ func TestStoreSingleFlightErrorNotCached(t *testing.T) {
 
 func TestStoreLRUEviction(t *testing.T) {
 	evicted := map[evictReason]int{}
-	st := newSessionStore(3, time.Hour, nil, func(r evictReason) { evicted[r]++ })
+	st := newSessionStore(3, time.Hour, nil, func(_ *sessionEntry, r evictReason) { evicted[r]++ })
 	var ids []string
 	for i := 0; i < 5; i++ {
 		ent, _, err := st.getOrCreate(context.Background(), testHash(i), mkSession)
 		if err != nil {
 			t.Fatal(err)
 		}
+		st.release(ent)
 		ids = append(ids, ent.ID)
 	}
 	if st.len() != 3 {
@@ -108,15 +116,22 @@ func TestStoreLRUEviction(t *testing.T) {
 	}
 	// The two oldest are gone, the three newest live.
 	for i, id := range ids {
-		_, ok := st.get(id)
+		e, ok := st.get(id)
+		if ok {
+			st.release(e)
+		}
 		if want := i >= 2; ok != want {
 			t.Errorf("session %d live = %v, want %v", i, ok, want)
 		}
 	}
 	// Touching the LRU tail protects it from the next eviction.
-	st.get(ids[2])
-	if _, _, err := st.getOrCreate(context.Background(), testHash(5), mkSession); err != nil {
+	if e, ok := st.get(ids[2]); ok {
+		st.release(e)
+	}
+	if e, _, err := st.getOrCreate(context.Background(), testHash(5), mkSession); err != nil {
 		t.Fatal(err)
+	} else {
+		st.release(e)
 	}
 	if _, ok := st.get(ids[2]); !ok {
 		t.Error("recently-touched session evicted before older one")
@@ -129,19 +144,24 @@ func TestStoreLRUEviction(t *testing.T) {
 func TestStoreTTL(t *testing.T) {
 	clock := newFakeClock()
 	evicted := map[evictReason]int{}
-	st := newSessionStore(16, 10*time.Minute, clock.Now, func(r evictReason) { evicted[r]++ })
+	st := newSessionStore(16, 10*time.Minute, clock.Now, func(_ *sessionEntry, r evictReason) { evicted[r]++ })
 	ent, _, err := st.getOrCreate(context.Background(), testHash(1), mkSession)
 	if err != nil {
 		t.Fatal(err)
 	}
+	st.release(ent)
 	clock.Advance(9 * time.Minute)
-	if _, ok := st.get(ent.ID); !ok {
+	if e, ok := st.get(ent.ID); !ok {
 		t.Fatal("session expired before its TTL")
+	} else {
+		st.release(e)
 	}
 	// The access refreshed the deadline.
 	clock.Advance(9 * time.Minute)
-	if _, ok := st.get(ent.ID); !ok {
+	if e, ok := st.get(ent.ID); !ok {
 		t.Fatal("access did not refresh the TTL")
+	} else {
+		st.release(e)
 	}
 	clock.Advance(11 * time.Minute)
 	if _, ok := st.get(ent.ID); ok {
@@ -175,7 +195,7 @@ func TestStoreEditedSessionNotReused(t *testing.T) {
 	if e2, reused, _ := st.getOrCreate(context.Background(), testHash(1), mkSession); !reused || e2.ID != ent.ID {
 		t.Fatal("pristine session must be reattached by hash")
 	}
-	st.markEdited(ent.ID)
+	st.markEdited(ent)
 	e3, reused, err := st.getOrCreate(context.Background(), testHash(1), mkSession)
 	if err != nil {
 		t.Fatal(err)
@@ -204,4 +224,91 @@ func TestStoreDelete(t *testing.T) {
 	if _, ok := st.get(ent.ID); ok {
 		t.Fatal("session alive after delete")
 	}
+}
+
+// TestStoreDeferredEvictionWhileHeld: evicting an entry a request still holds
+// removes it from the indexes immediately but defers the eviction callback to
+// the last release, so snapshot-on-evict can never race the in-flight work.
+func TestStoreDeferredEvictionWhileHeld(t *testing.T) {
+	var fired []string
+	st := newSessionStore(1, time.Hour, nil, func(e *sessionEntry, r evictReason) {
+		fired = append(fired, e.ID+":"+string(r))
+	})
+	a, _, err := st.getOrCreate(context.Background(), testHash(1), mkSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 1: creating b evicts a while this "request" still holds it.
+	b, _, err := st.getOrCreate(context.Background(), testHash(2), mkSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.release(b)
+	if _, ok := st.get(a.ID); ok {
+		t.Fatal("evicted entry still resolvable by ID")
+	}
+	if len(fired) != 0 {
+		t.Fatalf("eviction callback fired while the entry was held: %v", fired)
+	}
+	// The held entry stays fully usable; marking it edited must stick so the
+	// deferred snapshot is not stored as pristine.
+	st.markEdited(a)
+	if !st.isEdited(a) {
+		t.Fatal("markEdited on an evicted-but-held entry did not stick")
+	}
+	st.release(a)
+	if want := []string{a.ID + ":lru"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	// Idempotent: explicit delete of the already-gone entry must not re-fire.
+	st.delete(a.ID)
+	if len(fired) != 1 {
+		t.Fatalf("callback fired twice: %v", fired)
+	}
+}
+
+// TestStoreAdopt: adoption revives a session under its original ID, advances
+// the ID sequence past it, and respects the edited flag for create-by-hash.
+func TestStoreAdopt(t *testing.T) {
+	st := newSessionStore(16, time.Hour, nil, nil)
+	hash := testHash(1)
+	id := hash[:12] + "-41"
+	ent, adopted := st.adopt(id, hash, false, mustSession())
+	if !adopted || ent.ID != id {
+		t.Fatalf("adopt = %v, %v", ent.ID, adopted)
+	}
+	// Adopting the same ID again reattaches instead of replacing.
+	ent2, adopted := st.adopt(id, hash, false, mustSession())
+	if adopted || ent2 != ent {
+		t.Fatal("second adopt of a live ID must reattach")
+	}
+	st.release(ent2)
+	// A pristine adoptee satisfies create-by-hash.
+	e3, reused, err := st.getOrCreate(context.Background(), hash, mkSession)
+	if err != nil || !reused || e3 != ent {
+		t.Fatalf("create-by-hash after adopt: reused=%v err=%v", reused, err)
+	}
+	st.release(e3)
+	// New IDs continue past the adopted sequence number.
+	e4, _, err := st.getOrCreate(context.Background(), testHash(2), mkSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := testHash(2)[:12] + "-42"; e4.ID != want {
+		t.Fatalf("post-adopt ID = %q, want %q", e4.ID, want)
+	}
+	st.release(e4)
+	st.release(ent)
+
+	// An edited adoptee stays out of the hash index.
+	edited, _ := st.adopt(testHash(3)[:12]+"-50", testHash(3), true, mustSession())
+	e5, reused, err := st.getOrCreate(context.Background(), testHash(3), mkSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused || e5 == edited {
+		t.Fatal("edited adoptee satisfied create-by-hash")
+	}
+	st.release(e5)
+	st.release(edited)
 }

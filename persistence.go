@@ -1,0 +1,193 @@
+package aapsm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/correct"
+	"repro/internal/persist"
+)
+
+// ErrSnapshotMismatch reports a snapshot taken under a different engine
+// configuration (rules, graph kind or detection options) than the engine
+// asked to restore it. The incremental caches embed configuration-dependent
+// decisions, so restoring across configurations would silently change
+// results; re-create the session from the layout instead.
+var ErrSnapshotMismatch = errors.New("aapsm: snapshot was taken under a different engine configuration")
+
+// Snapshot serializes the session — layout, incremental detection caches,
+// stage memo map and work counters — into the versioned persist format.
+// The snapshot restores bit-identically via Engine.RestoreSession on an
+// engine with the same configuration.
+//
+// A session with uncommitted edits (mutated since its last Detect) is still
+// snapshottable, but the parts of the incremental cache that describe
+// pre-edit geometry cannot survive serialization; the restored session then
+// runs its next detection from scratch. Snapshot after Detect to keep the
+// caches warm.
+func (s *Session) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inc := s.inc
+	if inc == nil {
+		// Session never armed for edits: build a throwaway incremental
+		// engine just to export the layout in snapshot form. NewIncremental
+		// copies the layout, so the session is not mutated.
+		var err error
+		inc, err = core.NewIncremental(s.layout, s.engine.rules, s.engine.opts.Graph, s.engine.opts.coreOptions())
+		if err != nil {
+			return nil, fmt.Errorf("aapsm: snapshot: %w", err)
+		}
+	}
+	st := &persist.SessionState{
+		Rules:          s.engine.rules,
+		Kind:           s.engine.opts.Graph,
+		Opt:            s.engine.opts.coreOptions(),
+		DetectRuns:     s.detectRuns,
+		Edits:          s.edits,
+		VerifyCleanGen: s.verifyCleanGen,
+		MaskCleanGen:   s.maskCleanGen,
+		Inc:            inc.ExportState(),
+	}
+	st.Opt.Workers = 0 // parallelism never affects results
+	if s.detect.done {
+		st.Memo |= persist.MemoDetect
+	}
+	if s.assignment.done {
+		st.Memo |= persist.MemoAssign
+	}
+	if s.correction.done {
+		st.Memo |= persist.MemoCorrect
+	}
+	if s.maskView.done {
+		st.Memo |= persist.MemoMask
+	}
+	if s.drcResult.done {
+		st.Memo |= persist.MemoDRC
+	}
+	if s.junctions.done {
+		st.Memo |= persist.MemoJunctions
+	}
+	if len(s.ivCache) > 0 {
+		st.IvKeys = make([]int32, 0, len(s.ivCache))
+		for k := range s.ivCache {
+			st.IvKeys = append(st.IvKeys, k)
+		}
+		sort.Slice(st.IvKeys, func(i, j int) bool { return st.IvKeys[i] < st.IvKeys[j] })
+		st.IvVals = make([]correct.Intervals, len(st.IvKeys))
+		for i, k := range st.IvKeys {
+			st.IvVals[i] = s.ivCache[k]
+		}
+	}
+	return persist.Encode(st), nil
+}
+
+// RestoreSession rebuilds a session from a Snapshot. The engine must have
+// the same configuration the snapshot was taken under (ErrSnapshotMismatch
+// otherwise). The restored session serves every pipeline stage bit-identical
+// to the one that was snapshotted, including memoized stage errors, and its
+// incremental caches are as warm as they were at snapshot time.
+//
+// ctx bounds the stage re-runs that rebuild memoized results; a cancelled
+// restore returns the context error and no session.
+func (e *Engine) RestoreSession(ctx context.Context, data []byte) (*Session, error) {
+	return e.RestoreSessionWithParallelism(ctx, data, 0)
+}
+
+// RestoreSessionWithParallelism is RestoreSession with the per-session
+// detection worker bound of NewSessionWithParallelism (n <= 0 keeps the
+// engine default).
+func (e *Engine) RestoreSessionWithParallelism(ctx context.Context, data []byte, n int) (*Session, error) {
+	st, err := persist.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if st.Inc == nil {
+		return nil, fmt.Errorf("%w: snapshot carries no engine state", persist.ErrCorrupt)
+	}
+	if len(st.IvKeys) != len(st.IvVals) {
+		return nil, fmt.Errorf("%w: interval cache keys/values mismatch", persist.ErrCorrupt)
+	}
+	opt := e.opts.coreOptions()
+	opt.Workers = 0
+	if st.Rules != e.rules || st.Kind != e.opts.Graph || st.Opt != opt {
+		return nil, fmt.Errorf("%w (snapshot: rules=%+v kind=%d opt=%+v; engine: rules=%+v kind=%d opt=%+v)",
+			ErrSnapshotMismatch, st.Rules, st.Kind, st.Opt, e.rules, e.opts.Graph, opt)
+	}
+	inc, err := core.RestoreIncremental(st.Inc, e.rules, e.opts.Graph, e.opts.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		engine:         e,
+		layout:         inc.Layout(),
+		inc:            inc,
+		verifyCleanGen: st.VerifyCleanGen,
+		maskCleanGen:   st.MaskCleanGen,
+		ivCache:        ivCacheFrom(st),
+	}
+	if n > 0 {
+		s.detectWorkers = n
+	}
+	// Rebuild the memoized stage outcomes by re-running exactly the stages
+	// that were memoized, in pipeline order. Each re-run is deterministic
+	// given the restored incremental state — detection returns the cached
+	// generation, assignment re-colors to the same phases, correction hits
+	// the interval cache, verification and mask validation take the same
+	// clean-generation branch — so values AND memoized errors come back
+	// bit-identical. Only context errors abort the restore.
+	if err := s.rerunMemo(ctx, st.Memo); err != nil {
+		return nil, err
+	}
+	// The re-runs bumped work counters and reuse stats that the original
+	// session had already accounted for; reset them to the snapshot values.
+	s.mu.Lock()
+	s.detectRuns = st.DetectRuns
+	s.edits = st.Edits
+	s.verifyCleanGen = st.VerifyCleanGen
+	s.maskCleanGen = st.MaskCleanGen
+	s.ivCache = ivCacheFrom(st)
+	inc.RestoreStats(st.Inc.Stats)
+	s.mu.Unlock()
+	return s, nil
+}
+
+func ivCacheFrom(st *persist.SessionState) map[int32]correct.Intervals {
+	if len(st.IvKeys) == 0 {
+		return nil
+	}
+	m := make(map[int32]correct.Intervals, len(st.IvKeys))
+	for i, k := range st.IvKeys {
+		m[k] = st.IvVals[i]
+	}
+	return m
+}
+
+// rerunMemo replays the memoized pipeline stages recorded in memo. Pipeline
+// errors are expected (they re-memoize the error the original session held);
+// context errors abort.
+func (s *Session) rerunMemo(ctx context.Context, memo uint8) error {
+	steps := []struct {
+		bit uint8
+		run func() error
+	}{
+		{persist.MemoDetect, func() error { _, err := s.Detect(ctx); return err }},
+		{persist.MemoAssign, func() error { _, err := s.Assignment(ctx); return err }},
+		{persist.MemoCorrect, func() error { _, err := s.Correction(ctx); return err }},
+		{persist.MemoMask, func() error { _, err := s.Mask(ctx); return err }},
+		{persist.MemoDRC, func() error { s.DRC(); return nil }},
+		{persist.MemoJunctions, func() error { s.Junctions(); return nil }},
+	}
+	for _, step := range steps {
+		if memo&step.bit == 0 {
+			continue
+		}
+		if err := step.run(); err != nil && isContextErr(err) {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package aapsm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"maps"
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// The snapshot differential property: encode → decode → re-pipeline must be
+// bit-identical to the live session — for every pipeline stage, for the
+// session counters and reuse stats, and for all FUTURE edits (the restored
+// incremental caches must behave exactly like the originals, not just hold
+// the same final values). Scripts are sampled from the same seeded family as
+// TestIncrementalDifferential.
+
+// zeroDurations strips the wall-clock fields from detection stats so
+// comparisons cover only the deterministic counters.
+func zeroDurations(st core.Stats) core.Stats {
+	st.CrossTime, st.PlanarTime, st.EmbedTime = 0, 0, 0
+	st.MatchTime, st.RecheckTime, st.TotalTime = 0, 0, 0
+	return st
+}
+
+// assertSessionsIdentical requires live and restored sessions to be
+// indistinguishable: same layout bytes, same stage results (or error
+// classes), same SVG, same work counters and incremental reuse stats.
+func assertSessionsIdentical(t *testing.T, ctx context.Context, step string, live, restored *Session) {
+	t.Helper()
+	if lt, rt := layoutText(t, live.SnapshotLayout()), layoutText(t, restored.SnapshotLayout()); lt != rt {
+		t.Fatalf("%s: layouts diverged", step)
+	}
+
+	ld, lerr := live.Detect(ctx)
+	rd, rerr := restored.Detect(ctx)
+	if (lerr == nil) != (rerr == nil) {
+		t.Fatalf("%s: Detect errors diverged: %v vs %v", step, lerr, rerr)
+	}
+	if lerr == nil {
+		assertSameDetection(t, step, rd, ld)
+		// Durations are wall clock, not deterministic; the counters must
+		// match exactly.
+		if zeroDurations(ld.Detection.Stats) != zeroDurations(rd.Detection.Stats) {
+			t.Fatalf("%s: detection stats diverged:\n live %+v\n rest %+v", step, ld.Detection.Stats, rd.Detection.Stats)
+		}
+	}
+
+	la, lerr := live.Assignment(ctx)
+	ra, rerr := restored.Assignment(ctx)
+	if (lerr == nil) != (rerr == nil) {
+		t.Fatalf("%s: Assignment errors diverged: %v vs %v", step, lerr, rerr)
+	}
+	if lerr == nil {
+		if !slices.Equal(la.Phases, ra.Phases) {
+			t.Fatalf("%s: phases diverged", step)
+		}
+		if !maps.Equal(la.Waived, ra.Waived) || !maps.Equal(la.WaivedFeatures, ra.WaivedFeatures) {
+			t.Fatalf("%s: waived sets diverged", step)
+		}
+	}
+
+	lc, lerr := live.Correction(ctx)
+	rc, rerr := restored.Correction(ctx)
+	if (lerr == nil) != (rerr == nil) {
+		t.Fatalf("%s: Correction errors diverged: %v vs %v", step, lerr, rerr)
+	}
+	if lerr == nil {
+		if !reflect.DeepEqual(lc.Plan.Cuts, rc.Plan.Cuts) || !slices.Equal(lc.Plan.Unfixable, rc.Plan.Unfixable) {
+			t.Fatalf("%s: correction plans diverged", step)
+		}
+		if lc.Stats != rc.Stats {
+			t.Fatalf("%s: correction stats diverged: %+v vs %+v", step, lc.Stats, rc.Stats)
+		}
+		if layoutText(t, lc.Layout) != layoutText(t, rc.Layout) {
+			t.Fatalf("%s: corrected layouts diverged", step)
+		}
+	}
+
+	lm, lerr := live.Mask(ctx)
+	rm, rerr := restored.Mask(ctx)
+	if (lerr == nil) != (rerr == nil) {
+		t.Fatalf("%s: Mask errors diverged: %v vs %v", step, lerr, rerr)
+	}
+	if lerr != nil {
+		if errors.Is(lerr, ErrMaskInconsistent) != errors.Is(rerr, ErrMaskInconsistent) {
+			t.Fatalf("%s: mask error classes diverged: %v vs %v", step, lerr, rerr)
+		}
+	} else if layoutText(t, lm) != layoutText(t, rm) {
+		t.Fatalf("%s: mask views diverged", step)
+	}
+
+	if lv, rv := live.DRC(), restored.DRC(); !slices.Equal(lv, rv) {
+		t.Fatalf("%s: DRC diverged:\n live %v\n rest %v", step, lv, rv)
+	}
+	if lj, rj := live.Junctions(), restored.Junctions(); !slices.Equal(lj, rj) {
+		t.Fatalf("%s: junctions diverged", step)
+	}
+
+	var lsvg, rsvg bytes.Buffer
+	lserr := live.RenderSVG(ctx, &lsvg)
+	rserr := restored.RenderSVG(ctx, &rsvg)
+	if (lserr == nil) != (rserr == nil) {
+		t.Fatalf("%s: SVG errors diverged: %v vs %v", step, lserr, rserr)
+	}
+	if lserr == nil && !bytes.Equal(lsvg.Bytes(), rsvg.Bytes()) {
+		t.Fatalf("%s: SVG bytes diverged", step)
+	}
+
+	if ls, rs := live.Stats(), restored.Stats(); ls != rs {
+		t.Fatalf("%s: session stats diverged:\n live %+v\n rest %+v", step, ls, rs)
+	}
+}
+
+// runSnapshotScript drives one seeded edit script, snapshots mid-script,
+// restores on a second engine (the "restarted process"), and requires the
+// restored session to be bit-identical — at restore time and across further
+// identical edits on both sessions.
+func runSnapshotScript(t *testing.T, seed int64, workers int) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed))
+	rows := 1 + rng.Intn(2)
+	gates := 10 + rng.Intn(25)
+	p := DefaultBenchmarkParams(seed, rows, gates)
+	l := GenerateBenchmark(fmt.Sprintf("snap%d", seed), p)
+
+	opts := []EngineOption{WithParallelism(workers)}
+	if seed%4 == 0 {
+		opts = append(opts, WithGraph(FG))
+	}
+	if seed%3 == 0 {
+		opts = append(opts, WithImprovedRecheck(true))
+	}
+	eng := NewEngine(opts...)
+	restartEng := NewEngine(opts...)
+	oracle := NewEngine(opts...)
+
+	s := eng.NewSession(l)
+	if err := s.EnableEdits(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	steps := 3 + rng.Intn(3)
+	for step := 0; step < steps; step++ {
+		applyRandomEdit(t, rng, s)
+		if _, err := s.Detect(ctx); err != nil {
+			t.Fatalf("seed %d step %d: detect: %v", seed, step, err)
+		}
+	}
+	// Warm every downstream stage so the snapshot carries all memo bits
+	// (errors like ErrNotAssignable are valid memoized outcomes).
+	s.Assignment(ctx)
+	s.Correction(ctx)
+	s.Mask(ctx)
+	s.DRC()
+	s.Junctions()
+
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("seed %d: snapshot: %v", seed, err)
+	}
+	again, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("seed %d: re-snapshot: %v", seed, err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("seed %d: snapshot is not deterministic", seed)
+	}
+
+	r, err := restartEng.RestoreSessionWithParallelism(ctx, data, workers)
+	if err != nil {
+		t.Fatalf("seed %d: restore: %v", seed, err)
+	}
+	assertSessionsIdentical(t, ctx, fmt.Sprintf("seed %d restore", seed), s, r)
+
+	// Continue both sessions with identical edit streams: the restored
+	// incremental caches must reuse exactly like the originals, and both
+	// must keep matching the from-scratch oracle.
+	contRng, contRng2 := rand.New(rand.NewSource(seed*31+7)), rand.New(rand.NewSource(seed*31+7))
+	for step := 0; step < 3; step++ {
+		applyRandomEdit(t, contRng, s)
+		applyRandomEdit(t, contRng2, r)
+		label := fmt.Sprintf("seed %d cont %d", seed, step)
+		got, err := r.Detect(ctx)
+		if err != nil {
+			t.Fatalf("%s: restored detect: %v", label, err)
+		}
+		want, err := oracle.Detect(ctx, r.Layout().Clone())
+		if err != nil {
+			t.Fatalf("%s: oracle detect: %v", label, err)
+		}
+		assertSameDetection(t, label, got, want)
+		assertSamePipeline(t, label, ctx, r, oracle)
+		assertSessionsIdentical(t, ctx, label, s, r)
+	}
+
+	// Snapshot with uncommitted edits (the degraded path: the pre-edit
+	// caches describe geometry that no longer exists, so the restored
+	// session re-detects from scratch — but must land on identical results).
+	applyRandomEdit(t, contRng, s)
+	applyRandomEdit(t, contRng2, r)
+	dirty, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("seed %d: dirty snapshot: %v", seed, err)
+	}
+	r2, err := restartEng.RestoreSessionWithParallelism(ctx, dirty, workers)
+	if err != nil {
+		t.Fatalf("seed %d: dirty restore: %v", seed, err)
+	}
+	label := fmt.Sprintf("seed %d dirty", seed)
+	got, err := r2.Detect(ctx)
+	if err != nil {
+		t.Fatalf("%s: detect: %v", label, err)
+	}
+	want, err := oracle.Detect(ctx, s.Layout().Clone())
+	if err != nil {
+		t.Fatalf("%s: oracle detect: %v", label, err)
+	}
+	assertSameDetection(t, label, got, want)
+	assertSamePipeline(t, label, ctx, r2, oracle)
+}
+
+// TestSnapshotDifferential samples the seeded script family and checks the
+// full snapshot property under serial and parallel detection. Run under
+// -race in CI.
+func TestSnapshotDifferential(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 5
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			for seed := 0; seed < seeds; seed++ {
+				runSnapshotScript(t, int64(1000*workers+seed), workers)
+			}
+		})
+	}
+}
+
+// TestSnapshotUnarmedSession: a session that never enabled edits (no
+// incremental engine) still snapshots; the restored session is armed and
+// serves identical results.
+func TestSnapshotUnarmedSession(t *testing.T) {
+	ctx := context.Background()
+	l := GenerateBenchmark("unarmed", DefaultBenchmarkParams(3, 1, 14))
+	eng := NewEngine(WithParallelism(2))
+	s := eng.NewSession(l)
+	if _, err := s.Detect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Assignment(ctx); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eng.RestoreSession(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, _ := s.Detect(ctx)
+	rd, err := r.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDetection(t, "unarmed", rd, ld)
+	if ls, rs := s.Stats(), r.Stats(); ls.DetectRuns != rs.DetectRuns || ls.Edits != rs.Edits {
+		t.Fatalf("counters diverged: %+v vs %+v", ls, rs)
+	}
+}
+
+// TestRestoreRejectsMismatchedEngine: a snapshot must not restore into an
+// engine with different rules, graph kind or detection options.
+func TestRestoreRejectsMismatchedEngine(t *testing.T) {
+	ctx := context.Background()
+	l := GenerateBenchmark("mismatch", DefaultBenchmarkParams(5, 1, 12))
+	s := NewEngine().NewSession(l)
+	if err := s.EnableEdits(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := Default90nmRules()
+	rules.MinFeatureSpacing++
+	for name, eng := range map[string]*Engine{
+		"rules":   NewEngine(WithRules(rules)),
+		"graph":   NewEngine(WithGraph(FG)),
+		"method":  NewEngine(WithTJoinMethod(LawlerReduction)),
+		"recheck": NewEngine(WithImprovedRecheck(true)),
+	} {
+		if _, err := eng.RestoreSession(ctx, data); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Errorf("%s: got %v, want ErrSnapshotMismatch", name, err)
+		}
+	}
+	// The matching engine still restores.
+	if _, err := NewEngine().RestoreSession(ctx, data); err != nil {
+		t.Errorf("matching engine: %v", err)
+	}
+}
+
+// TestRestoreRejectsCorruptSnapshot: decode-level integrity failures surface
+// as persist.ErrCorrupt, never a panic or a half-restored session.
+func TestRestoreRejectsCorruptSnapshot(t *testing.T) {
+	ctx := context.Background()
+	l := GenerateBenchmark("corrupt", DefaultBenchmarkParams(6, 1, 10))
+	s := NewEngine().NewSession(l)
+	if err := s.EnableEdits(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	if _, err := eng.RestoreSession(ctx, data[:len(data)/2]); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("truncated: got %v, want ErrCorrupt", err)
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := eng.RestoreSession(ctx, flipped); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("bit flip: got %v, want ErrCorrupt", err)
+	}
+}
