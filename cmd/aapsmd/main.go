@@ -12,15 +12,26 @@
 //	       [-max-body 33554432] [-graph pcg|fg] [-method gen|opt|lawler]
 //	       [-improved-recheck] [-no-incremental] [-drain-timeout 15s]
 //	       [-store-dir DIR] [-flush-interval 30s]
+//	       [-max-inflight N] [-max-session-inflight N] [-queue-wait 1s]
+//	       [-read-timeout 2m] [-write-timeout 2m] [-idle-timeout 2m]
+//	       [-chaos SPEC]
 //
-// See the README's "Serving" and "Persistence" sections for the endpoint
-// reference and curl examples. -store-dir enables session persistence:
-// snapshots land in DIR/snapshots (written on eviction, every
+// See the README's "Serving", "Persistence" and "Failure modes" sections for
+// the endpoint reference and curl examples. -store-dir enables session
+// persistence: snapshots land in DIR/snapshots (written on eviction, every
 // -flush-interval, and at shutdown) and raw GDS upload bodies in DIR/blobs,
 // so sessions survive a crash or restart and are rehydrated on their next
 // request. SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503,
 // in-flight requests finish (bounded by -drain-timeout), every live session
 // is flushed, then the process exits 0.
+//
+// -chaos wraps the persistence stores in a deterministic fault injector for
+// torture testing (never use it in production). The spec is comma-separated
+// key=value pairs: seed=N, write-fail=P, enospc=P, torn=P, read-fail=P,
+// read-corrupt=P, latency=DUR, plus panic=P to fire injected panics inside
+// shard solvers. Probabilities are 0..1; e.g.
+//
+//	aapsmd -store-dir /tmp/aapsm -chaos 'seed=7,write-fail=0.1,torn=0.05'
 package main
 
 import (
@@ -29,15 +40,19 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
 	aapsm "repro"
+	"repro/internal/core"
 	"repro/internal/persist"
 	"repro/internal/server"
 )
@@ -58,6 +73,13 @@ func main() {
 		drainTO  = flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
 		storeDir = flag.String("store-dir", "", "persistence root: snapshots + GDS blobs survive restarts (empty = in-memory only)")
 		flushInt = flag.Duration("flush-interval", 30*time.Second, "period of the background snapshot flush (negative = eviction/shutdown only)")
+		maxInfl  = flag.Int("max-inflight", 256, "max concurrently admitted requests; past it requests queue then 429 (negative = unlimited)")
+		maxSess  = flag.Int("max-session-inflight", 16, "max concurrent requests per session (negative = unlimited)")
+		qWait    = flag.Duration("queue-wait", time.Second, "how long a request may queue for an admission slot before a 429 (negative = shed immediately)")
+		readTO   = flag.Duration("read-timeout", 2*time.Minute, "http.Server full-request read timeout")
+		writeTO  = flag.Duration("write-timeout", 2*time.Minute, "http.Server response write timeout")
+		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
+		chaos    = flag.String("chaos", "", "fault-injection spec (dev/torture only): seed=,write-fail=,enospc=,torn=,read-fail=,read-corrupt=,latency=,panic=")
 	)
 	flag.Parse()
 
@@ -86,14 +108,17 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Engine:         aapsm.NewEngine(opts...),
-		StoreCapacity:  *capacity,
-		SessionTTL:     *ttl,
-		RequestTimeout: *reqTO,
-		DetectWorkers:  *workers,
-		MaxBodyBytes:   *maxBody,
-		IncrementalOff: *noInc,
-		FlushInterval:  *flushInt,
+		Engine:             aapsm.NewEngine(opts...),
+		StoreCapacity:      *capacity,
+		SessionTTL:         *ttl,
+		RequestTimeout:     *reqTO,
+		DetectWorkers:      *workers,
+		MaxBodyBytes:       *maxBody,
+		IncrementalOff:     *noInc,
+		FlushInterval:      *flushInt,
+		MaxInflight:        *maxInfl,
+		MaxSessionInflight: *maxSess,
+		QueueWait:          *qWait,
 	}
 	if *storeDir != "" {
 		snaps, err := persist.NewDiskStore(filepath.Join(*storeDir, "snapshots"))
@@ -107,12 +132,21 @@ func main() {
 		cfg.Snapshots = snaps
 		cfg.Blobs = blobs
 	}
+	if *chaos != "" {
+		applyChaos(&cfg, *chaos)
+	}
 	srv := server.New(cfg)
 	defer srv.Close()
 
+	// Full read/write/idle timeouts (not just the header timeout) so a
+	// stalled or abandoned client cannot hold a connection and its admission
+	// slot forever.
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
 	}
 
 	// Bind before serving so `-addr 127.0.0.1:0` works: the kernel picks a
@@ -156,6 +190,48 @@ func main() {
 		log.Printf("aapsmd flushed sessions to %s", *storeDir)
 	}
 	log.Printf("aapsmd stopped")
+}
+
+// applyChaos wraps the configured stores in deterministic fault injectors
+// and arms the shard-solver panic hook, per the -chaos spec. Without
+// -store-dir it installs in-memory stores first so every injected failure
+// path is still exercised.
+func applyChaos(cfg *server.Config, spec string) {
+	fcfg, extra, err := persist.ParseFaultConfig(spec)
+	if err != nil {
+		fatalf("-chaos: %v", err)
+	}
+	panicP := 0.0
+	if v, ok := extra["panic"]; ok {
+		panicP, err = strconv.ParseFloat(v, 64)
+		if err != nil || panicP < 0 || panicP > 1 {
+			fatalf("-chaos: panic=%q: want a probability in [0,1]", v)
+		}
+		delete(extra, "panic")
+	}
+	for k := range extra {
+		fatalf("-chaos: unknown key %q", k)
+	}
+	if cfg.Snapshots == nil {
+		cfg.Snapshots = persist.NewMemStore()
+		cfg.Blobs = persist.NewMemBlobStore()
+	}
+	cfg.Snapshots = persist.NewFaultStore(cfg.Snapshots, fcfg)
+	cfg.Blobs = persist.NewFaultBlobStore(cfg.Blobs, fcfg)
+	if panicP > 0 {
+		var mu sync.Mutex
+		rng := rand.New(rand.NewSource(fcfg.Seed + 1))
+		hook := func() {
+			mu.Lock()
+			fire := rng.Float64() < panicP
+			mu.Unlock()
+			if fire {
+				panic("chaos: injected shard-solver panic")
+			}
+		}
+		core.FaultHook.Store(&hook)
+	}
+	log.Printf("aapsmd CHAOS MODE: injecting faults (%s) — never use in production", spec)
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -204,6 +206,57 @@ type shardJob struct {
 	pairs [][2]int
 }
 
+// ErrPanic marks a panic recovered inside a shard solver. A poisoned cluster
+// fails its own detection — and the session memoizes the failure, so the
+// session is quarantined — instead of crashing the process. Identify the
+// case with errors.Is(err, ErrPanic).
+var ErrPanic = errors.New("panic in shard solver")
+
+// PanicError carries the recovered value and stack of a shard-solver panic.
+// It unwraps to ErrPanic.
+type PanicError struct {
+	Cluster int
+	Value   any
+	Stack   string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: cluster %d: panic: %v", e.Cluster, e.Value)
+}
+
+func (e *PanicError) Unwrap() error { return ErrPanic }
+
+// FaultHook, when non-nil, runs at the start of every shard solve. It exists
+// for fault injection — tests and the aapsmd -chaos mode install hooks that
+// panic to simulate a poisoned cluster — and must be safe for concurrent
+// use. Production leaves it nil (one atomic load per shard).
+var FaultHook atomic.Pointer[func()]
+
+// detectShardSafe runs one shard solve with panic isolation: a panic inside
+// the solver (or the fault hook) is recovered into a *PanicError rather than
+// tearing down the worker pool's process.
+func detectShardSafe(ctx context.Context, cluster int, d *planar.Drawing, pairs [][2]int, opt Options) (res *shardResult, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Cluster: cluster, Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	if f := FaultHook.Load(); f != nil {
+		(*f)()
+	}
+	return detectShard(ctx, d, pairs, opt)
+}
+
+// shardErr tags a shard failure with its cluster index; a *PanicError
+// already carries it.
+func shardErr(cluster int, err error) error {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return err
+	}
+	return fmt.Errorf("core: cluster %d: %w", cluster, err)
+}
+
 // runShards solves the non-nil jobs on a bounded worker pool of at most
 // workers goroutines, writing results[i] for job i. Results are
 // deterministic per job, so any worker count produces the same outcome.
@@ -225,9 +278,9 @@ func runShards(ctx context.Context, jobs []shardJob, results []*shardResult, wor
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			r, err := detectShard(ctx, j.d, j.pairs, opt)
+			r, err := detectShardSafe(ctx, i, j.d, j.pairs, opt)
 			if err != nil {
-				return fmt.Errorf("core: cluster %d: %w", i, err)
+				return shardErr(i, err)
 			}
 			results[i] = r
 		}
@@ -246,9 +299,9 @@ func runShards(ctx context.Context, jobs []shardJob, results []*shardResult, wor
 					errs[i] = err
 					continue
 				}
-				r, err := detectShard(pctx, jobs[i].d, jobs[i].pairs, opt)
+				r, err := detectShardSafe(pctx, i, jobs[i].d, jobs[i].pairs, opt)
 				if err != nil {
-					errs[i] = fmt.Errorf("core: cluster %d: %w", i, err)
+					errs[i] = shardErr(i, err)
 					cancel() // stop the remaining shards promptly
 					continue
 				}

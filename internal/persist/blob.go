@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -82,11 +83,43 @@ type DiskBlobStore struct {
 }
 
 // NewDiskBlobStore opens (creating if needed) a blob store rooted at dir.
+// Orphaned `.tmp-*` files from atomic writes a crash interrupted are swept
+// on open. (A fully-renamed torn blob is self-revealing instead: its content
+// hash no longer matches its name, so GetBlob callers verifying the address
+// catch it; the store keeps it for forensics.)
 func NewDiskBlobStore(dir string) (*DiskBlobStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &DiskBlobStore{root: dir}, nil
+	d := &DiskBlobStore{root: dir}
+	d.sweepTemp()
+	return d, nil
+}
+
+// sweepTemp removes interrupted-write temp files under every shard
+// directory; best-effort.
+func (d *DiskBlobStore) sweepTemp() {
+	dirs, err := os.ReadDir(d.root)
+	if err != nil {
+		return
+	}
+	for _, de := range dirs {
+		if !de.IsDir() {
+			if strings.HasPrefix(de.Name(), ".tmp-") {
+				os.Remove(filepath.Join(d.root, de.Name()))
+			}
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(d.root, de.Name()))
+		if err != nil {
+			continue
+		}
+		for _, fe := range files {
+			if !fe.IsDir() && strings.HasPrefix(fe.Name(), ".tmp-") {
+				os.Remove(filepath.Join(d.root, de.Name(), fe.Name()))
+			}
+		}
+	}
 }
 
 func (d *DiskBlobStore) blobPath(hash string) string {

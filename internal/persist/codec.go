@@ -81,6 +81,31 @@ func Encode(st *SessionState) []byte {
 	return w.buf
 }
 
+// Validate cheaply checks a snapshot's envelope — length, magic, trailing
+// checksum, version — without decoding the payload. It reports ErrCorrupt
+// for truncated or bit-flipped data (what a crash mid-write or disk rot
+// leaves behind) and ErrVersion for an intact snapshot from another format
+// version. The DiskStore startup sweep uses it to tell crash debris (safe to
+// delete) from snapshots another build could still read (kept).
+func Validate(data []byte) error {
+	if len(data) < len(snapMagic)+2+4 {
+		return fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCorrupt, len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.ChecksumIEEE(body); got != want {
+		return fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	var magic [8]byte
+	copy(magic[:], body)
+	if magic != snapMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(body[len(snapMagic):]); v != Version {
+		return fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, v, Version)
+	}
+	return nil
+}
+
 // Decode parses a snapshot, verifying magic, version and checksum. Errors
 // wrap ErrVersion for a version mismatch and ErrCorrupt for everything else.
 func Decode(data []byte) (*SessionState, error) {

@@ -115,12 +115,67 @@ type DiskStore struct {
 
 var snapFileRe = regexp.MustCompile(`^([A-Za-z0-9_.-]+)\.([pe])\.snap$`)
 
-// NewDiskStore opens (creating if needed) a disk store rooted at dir.
+// NewDiskStore opens (creating if needed) a disk store rooted at dir. Crash
+// debris from a previous process — orphaned temp files from interrupted
+// atomic writes, and snapshot files whose contents fail envelope validation
+// (truncated or torn by a crash mid-write) — is swept on open, so torn
+// artifacts never linger or satisfy List.
 func NewDiskStore(dir string) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &DiskStore{root: dir}, nil
+	d := &DiskStore{root: dir}
+	d.sweepOrphans()
+	return d, nil
+}
+
+// sweepOrphans removes crash debris at startup: `.tmp-*` files an
+// interrupted atomic write left behind, snapshot files whose envelope fails
+// validation (ErrCorrupt — a crash truncated or tore them; rehydration would
+// reject them anyway), and hash directories emptied by the sweep. Snapshots
+// from another format version (ErrVersion) are intact data a different build
+// can read, so they are kept. Best-effort: unreadable entries are skipped.
+func (d *DiskStore) sweepOrphans() {
+	dirs, err := os.ReadDir(d.root)
+	if err != nil {
+		return
+	}
+	for _, de := range dirs {
+		if !de.IsDir() {
+			if strings.HasPrefix(de.Name(), ".tmp-") {
+				os.Remove(filepath.Join(d.root, de.Name()))
+			}
+			continue
+		}
+		sub := filepath.Join(d.root, de.Name())
+		files, err := os.ReadDir(sub)
+		if err != nil {
+			continue
+		}
+		kept := 0
+		for _, fe := range files {
+			name := fe.Name()
+			path := filepath.Join(sub, name)
+			switch {
+			case fe.IsDir():
+				kept++
+			case strings.HasPrefix(name, ".tmp-"):
+				os.Remove(path)
+			case snapFileRe.MatchString(name):
+				data, rerr := os.ReadFile(path)
+				if rerr == nil && errors.Is(Validate(data), ErrCorrupt) {
+					os.Remove(path)
+				} else {
+					kept++
+				}
+			default:
+				kept++ // foreign file: List ignores it, leave it alone
+			}
+		}
+		if kept == 0 {
+			os.Remove(sub)
+		}
+	}
 }
 
 func (d *DiskStore) path(ref Ref) (string, error) {

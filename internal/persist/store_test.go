@@ -100,7 +100,10 @@ func TestDiskStoreLayoutAndReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	ref := Ref{ID: "abc123-7", Hash: "00ff00ff00ff"}
-	if err := s.Put(ref, []byte("data")); err != nil {
+	// Valid codec bytes: the reopen sweep validates snapshot envelopes and
+	// deletes torn ones, so arbitrary bytes would not survive a restart.
+	snap := Encode(sampleState(false))
+	if err := s.Put(ref, snap); err != nil {
 		t.Fatal(err)
 	}
 	// Directory-per-content-hash layout, as documented.

@@ -50,6 +50,12 @@ func writeFlowError(w http.ResponseWriter, err error) {
 		stage, layoutName = fe.Stage.String(), fe.Layout
 	}
 	switch {
+	case errors.Is(err, core.ErrPanic):
+		// A shard solver panicked. The panic was contained to this session
+		// (the daemon and every other session keep serving); the session
+		// memoizes the error, so repeat requests answer the same 500 without
+		// re-running the poisoned cluster.
+		writeError(w, http.StatusInternalServerError, "panic", stage, layoutName, err.Error())
 	case errors.Is(err, aapsm.ErrNotAssignable):
 		writeError(w, http.StatusConflict, "not_assignable", stage, layoutName, err.Error())
 	case errors.Is(err, aapsm.ErrUnfixable):
@@ -65,6 +71,15 @@ func writeFlowError(w http.ResponseWriter, err error) {
 	default:
 		writeError(w, http.StatusInternalServerError, "internal", stage, layoutName, err.Error())
 	}
+}
+
+// flowError is the method form handlers use: it counts quarantined
+// shard-panic responses before delegating to writeFlowError.
+func (s *Server) flowError(w http.ResponseWriter, err error) {
+	if errors.Is(err, core.ErrPanic) {
+		s.metrics.panicsShard.Add(1)
+	}
+	writeFlowError(w, err)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -110,7 +125,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		// only, so the blob store is what lets an operator re-create any
 		// session from first principles.
 		if err == nil && s.cfg.Blobs != nil {
-			if h, berr := s.cfg.Blobs.PutBlob(raw); berr == nil {
+			if h, berr := s.putBlobRetry(raw); berr == nil {
 				blob = h
 			}
 		}
@@ -124,7 +139,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	hash, err := layoutHash(l)
 	if err != nil {
-		writeFlowError(w, err)
+		s.flowError(w, err)
 		return
 	}
 	// A pristine snapshot of identical content reattaches under its
@@ -157,7 +172,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return sess, nil
 	})
 	if err != nil {
-		writeFlowError(w, err)
+		s.flowError(w, err)
 		return
 	}
 	defer s.store.release(ent)
@@ -246,7 +261,11 @@ func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request, ent *sessio
 		return
 	}
 	if err := s.snapshotWrite(ent); err != nil {
-		writeError(w, http.StatusInternalServerError, "snapshot_failed", "", "", err.Error())
+		// The client's checkpoint did not land, and the error detail says
+		// why; an asynchronous retry keeps trying in the background.
+		s.scheduleRetry(ent.ID)
+		writeError(w, http.StatusInternalServerError, "snapshot_failed", "", "",
+			"snapshot write failed (async retry queued): "+err.Error())
 		return
 	}
 	writeJSON(w, map[string]any{"flushed": true, "id": ent.ID})
@@ -394,7 +413,7 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request, ent *sessio
 		return
 	}
 	if err != nil {
-		writeFlowError(w, err)
+		s.flowError(w, err)
 		return
 	}
 	writeJSON(w, editsResponse{
@@ -475,7 +494,7 @@ func buildDetectResponse(id string, sess *aapsm.Session, res *aapsm.Result) dete
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request, ent *sessionEntry) {
 	res, err := ent.Sess.Detect(r.Context())
 	if err != nil {
-		writeFlowError(w, err)
+		s.flowError(w, err)
 		return
 	}
 	s.metrics.detects.Add(1)
@@ -491,7 +510,7 @@ type assignResponse struct {
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request, ent *sessionEntry) {
 	a, err := ent.Sess.Assignment(r.Context())
 	if err != nil {
-		writeFlowError(w, err)
+		s.flowError(w, err)
 		return
 	}
 	phases := make([]int, len(a.Phases))
@@ -516,7 +535,7 @@ type correctResponse struct {
 func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request, ent *sessionEntry) {
 	cor, err := ent.Sess.Correction(r.Context())
 	if err != nil {
-		writeFlowError(w, err)
+		s.flowError(w, err)
 		return
 	}
 	resp := correctResponse{
@@ -530,7 +549,7 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request, ent *sess
 	if r.URL.Query().Get("include_layout") == "1" {
 		var buf bytes.Buffer
 		if err := aapsm.WriteLayoutText(&buf, cor.Layout); err != nil {
-			writeFlowError(w, err)
+			s.flowError(w, err)
 			return
 		}
 		resp.Layout = buf.String()
@@ -555,7 +574,7 @@ func (s *Server) handleDRC(w http.ResponseWriter, _ *http.Request, ent *sessionE
 func (s *Server) handleMask(w http.ResponseWriter, r *http.Request, ent *sessionEntry) {
 	m, err := ent.Sess.Mask(r.Context())
 	if err != nil {
-		writeFlowError(w, err)
+		s.flowError(w, err)
 		return
 	}
 	writeLayoutBody(w, r, m)
@@ -594,7 +613,7 @@ func (s *Server) handleSVG(w http.ResponseWriter, r *http.Request, ent *sessionE
 	// the first write would corrupt an already-started 200 response.
 	var buf bytes.Buffer
 	if err := ent.Sess.RenderSVG(r.Context(), &buf); err != nil {
-		writeFlowError(w, err)
+		s.flowError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
@@ -630,9 +649,48 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, resp)
 }
 
+// readyResponse is the /readyz body. Status is "ok", "draining", or
+// "degraded" (the persistence store is failing writes; sessions are pinned
+// in memory and retried).
+type readyResponse struct {
+	Status         string `json:"status"`
+	Sessions       int    `json:"sessions"`
+	Pinned         int    `json:"pinned"`
+	RetriesPending int    `json:"retries_pending"`
+	StoreError     string `json:"store_error,omitempty"`
+}
+
+// handleReadyz reports readiness, distinct from /healthz liveness: a daemon
+// whose snapshot store is failing writes is alive (keep it running — it
+// holds unpersisted sessions pinned in memory) but not ready (stop routing
+// new sessions to it until the store recovers).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	streak, lastErr := s.health.snapshot()
+	resp := readyResponse{
+		Status:         "ok",
+		Sessions:       s.store.len(),
+		Pinned:         s.store.pinnedCount(),
+		RetriesPending: s.pendingRetries(),
+	}
+	switch {
+	case s.Draining():
+		resp.Status = "draining"
+	case s.cfg.Snapshots != nil && streak > 0:
+		resp.Status = "degraded"
+		resp.StoreError = lastErr
+	}
+	if resp.Status != "ok" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var buf bytes.Buffer
-	s.metrics.write(&buf, s.store.len(), s.cfg.now())
+	s.metrics.write(&buf, s.store.len(), s.store.pinnedCount(), s.pendingRetries(), s.Ready(), s.cfg.now())
 	io.Copy(w, &buf)
 }

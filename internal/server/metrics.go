@@ -35,6 +35,22 @@ type metrics struct {
 	snapshotCorrupt  atomic.Int64
 	restoreNanos     atomic.Int64
 
+	// Robustness counters: failed snapshot writes, async retry attempts,
+	// blob-write retry attempts, requests shed by admission control (global
+	// and per-session), recovered panics (handler scope = HTTP handler
+	// panics caught by the middleware; shard scope = requests answered with
+	// a shard-panic quarantine error), and queue-wait accounting for
+	// admitted requests that had to wait for a slot.
+	snapshotWriteErrors atomic.Int64
+	snapshotRetries     atomic.Int64
+	blobRetries         atomic.Int64
+	shedGlobal          atomic.Int64
+	shedSession         atomic.Int64
+	panicsHandler       atomic.Int64
+	panicsShard         atomic.Int64
+	queueWaitNanos      atomic.Int64
+	queueWaitCount      atomic.Int64
+
 	// Incremental-pipeline reuse counters, accumulated per stage from the
 	// work deltas of each served request: "reused" is work taken from a
 	// session's cluster caches, "solved" is work actually performed. The
@@ -117,6 +133,13 @@ func (m *metrics) observeRestore(d time.Duration) {
 	m.restoreNanos.Add(d.Nanoseconds())
 }
 
+// observeQueueWait records time an admitted request spent waiting for a
+// global admission slot.
+func (m *metrics) observeQueueWait(d time.Duration) {
+	m.queueWaitNanos.Add(d.Nanoseconds())
+	m.queueWaitCount.Add(1)
+}
+
 func (m *metrics) evicted(why evictReason) {
 	switch why {
 	case evictLRU:
@@ -129,7 +152,7 @@ func (m *metrics) evicted(why evictReason) {
 }
 
 // write emits the registry in Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, sessionsLive int, now time.Time) {
+func (m *metrics) write(w io.Writer, sessionsLive, sessionsPinned, retriesPending int, ready bool, now time.Time) {
 	fmt.Fprintf(w, "# HELP aapsmd_up Whether the daemon is serving (0 while draining).\n# TYPE aapsmd_up gauge\n")
 	up := 1
 	if m.draining.Load() {
@@ -163,6 +186,31 @@ func (m *metrics) write(w io.Writer, sessionsLive int, now time.Time) {
 	fmt.Fprintf(w, "# HELP aapsmd_snapshot_restore_seconds Snapshot restore latency.\n# TYPE aapsmd_snapshot_restore_seconds summary\n")
 	fmt.Fprintf(w, "aapsmd_snapshot_restore_seconds_sum %.6f\n", float64(m.restoreNanos.Load())/1e9)
 	fmt.Fprintf(w, "aapsmd_snapshot_restore_seconds_count %d\n", m.snapshotRestores.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_ready Whether the readiness probe would pass (serving and persistence healthy).\n# TYPE aapsmd_ready gauge\n")
+	rdy := 0
+	if ready {
+		rdy = 1
+	}
+	fmt.Fprintf(w, "aapsmd_ready %d\n", rdy)
+	fmt.Fprintf(w, "# HELP aapsmd_sessions_pinned Sessions pinned in memory because their snapshot could not be persisted.\n# TYPE aapsmd_sessions_pinned gauge\n")
+	fmt.Fprintf(w, "aapsmd_sessions_pinned %d\n", sessionsPinned)
+	fmt.Fprintf(w, "# HELP aapsmd_snapshot_retries_pending Snapshot writes queued for asynchronous retry.\n# TYPE aapsmd_snapshot_retries_pending gauge\n")
+	fmt.Fprintf(w, "aapsmd_snapshot_retries_pending %d\n", retriesPending)
+	fmt.Fprintf(w, "# HELP aapsmd_snapshot_write_errors_total Snapshot writes that failed against the persistence store.\n# TYPE aapsmd_snapshot_write_errors_total counter\n")
+	fmt.Fprintf(w, "aapsmd_snapshot_write_errors_total %d\n", m.snapshotWriteErrors.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_snapshot_write_retries_total Asynchronous snapshot write retry attempts.\n# TYPE aapsmd_snapshot_write_retries_total counter\n")
+	fmt.Fprintf(w, "aapsmd_snapshot_write_retries_total %d\n", m.snapshotRetries.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_blob_write_retries_total Blob write retry attempts during session creation.\n# TYPE aapsmd_blob_write_retries_total counter\n")
+	fmt.Fprintf(w, "aapsmd_blob_write_retries_total %d\n", m.blobRetries.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_requests_shed_total Requests rejected by admission control with 429.\n# TYPE aapsmd_requests_shed_total counter\n")
+	fmt.Fprintf(w, "aapsmd_requests_shed_total{scope=\"global\"} %d\n", m.shedGlobal.Load())
+	fmt.Fprintf(w, "aapsmd_requests_shed_total{scope=\"session\"} %d\n", m.shedSession.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_panics_total Panics recovered without killing the daemon.\n# TYPE aapsmd_panics_total counter\n")
+	fmt.Fprintf(w, "aapsmd_panics_total{scope=\"handler\"} %d\n", m.panicsHandler.Load())
+	fmt.Fprintf(w, "aapsmd_panics_total{scope=\"shard\"} %d\n", m.panicsShard.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_queue_wait_seconds Time admitted requests spent queued for an admission slot.\n# TYPE aapsmd_queue_wait_seconds summary\n")
+	fmt.Fprintf(w, "aapsmd_queue_wait_seconds_sum %.6f\n", float64(m.queueWaitNanos.Load())/1e9)
+	fmt.Fprintf(w, "aapsmd_queue_wait_seconds_count %d\n", m.queueWaitCount.Load())
 	fmt.Fprintf(w, "# HELP aapsmd_incremental_reused_total Pipeline work units served from session cluster caches, by stage.\n# TYPE aapsmd_incremental_reused_total counter\n")
 	for i, name := range stageNames {
 		fmt.Fprintf(w, "aapsmd_incremental_reused_total{stage=%q} %d\n", name, m.reuse[i].reused.Load())

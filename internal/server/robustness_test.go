@@ -1,0 +1,394 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("timed out waiting for " + msg)
+}
+
+// fastRetries are retry backoff bounds short enough for tests to watch a
+// full fail-retry-recover cycle.
+func fastRetries(cfg Config) Config {
+	cfg.SnapshotRetryMin = 5 * time.Millisecond
+	cfg.SnapshotRetryMax = 20 * time.Millisecond
+	return cfg
+}
+
+// TestEvictionWriteFailurePinsSession: a session whose eviction-time
+// snapshot write fails must stay in memory (pinned, over capacity) and keep
+// serving, the store must report degraded on /readyz while /healthz stays
+// green, and a later successful write must unpin it.
+func TestEvictionWriteFailurePinsSession(t *testing.T) {
+	fs := persist.NewFaultStore(persist.NewMemStore(), persist.FaultConfig{})
+	srv, tc := newTestServer(t, Config{
+		Engine:             persistEngine(),
+		StoreCapacity:      1,
+		Snapshots:          fs,
+		FlushInterval:      -1,
+		SnapshotRetryQueue: -1, // no background recovery: observe the degraded state deterministically
+	})
+
+	var a createResponse
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions", layoutText(t, loadLayout(60)), 200), &a); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 1: the next create evicts a, whose snapshot write is forced
+	// to fail.
+	fs.FailNextPuts(1, nil)
+	tc.must("POST", "/v1/sessions", layoutText(t, loadLayout(61)), 200)
+
+	if n := srv.store.pinnedCount(); n != 1 {
+		t.Fatalf("pinned sessions = %d, want 1", n)
+	}
+	if n := srv.Sessions(); n != 2 {
+		t.Fatalf("live sessions = %d, want 2 (pinned entry runs over capacity)", n)
+	}
+	// The pinned session still serves.
+	tc.must("GET", "/v1/sessions/"+a.ID, nil, 200)
+
+	// Liveness green, readiness degraded.
+	tc.must("GET", "/healthz", nil, 200)
+	var ready readyResponse
+	if err := json.Unmarshal(tc.must("GET", "/readyz", nil, 503), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "degraded" || ready.Pinned != 1 || !strings.Contains(ready.StoreError, "injected") {
+		t.Fatalf("readyz = %+v", ready)
+	}
+	metrics := string(tc.must("GET", "/metrics", nil, 200))
+	for _, want := range []string{
+		"aapsmd_snapshot_write_errors_total 1",
+		"aapsmd_sessions_pinned 1",
+		"aapsmd_ready 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// An explicit flush succeeds (the forced-failure window is spent),
+	// unpins the session, and restores readiness.
+	tc.must("POST", "/v1/sessions/"+a.ID+"/flush", nil, 200)
+	if n := srv.store.pinnedCount(); n != 0 {
+		t.Fatalf("pinned sessions after recovery = %d, want 0", n)
+	}
+	tc.must("GET", "/readyz", nil, 200)
+}
+
+// TestEvictionWriteFailureRetriesAsync: with the retry queue enabled, a
+// failed eviction write recovers on its own — capped-backoff retries run
+// until the store accepts the snapshot, then the pin lifts.
+func TestEvictionWriteFailureRetriesAsync(t *testing.T) {
+	inner := persist.NewMemStore()
+	fs := persist.NewFaultStore(inner, persist.FaultConfig{})
+	srv, tc := newTestServer(t, fastRetries(Config{
+		Engine:        persistEngine(),
+		StoreCapacity: 1,
+		Snapshots:     fs,
+		FlushInterval: -1,
+	}))
+
+	var a createResponse
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions", layoutText(t, loadLayout(62)), 200), &a); err != nil {
+		t.Fatal(err)
+	}
+	// Eviction write fails, plus the first two retries.
+	fs.FailNextPuts(3, nil)
+	tc.must("POST", "/v1/sessions", layoutText(t, loadLayout(63)), 200)
+
+	waitFor(t, 5*time.Second, func() bool {
+		return srv.store.pinnedCount() == 0 && srv.pendingRetries() == 0
+	}, "async retry to land the snapshot and unpin")
+	if n := srv.metrics.snapshotRetries.Load(); n < 1 {
+		t.Fatalf("snapshot retries = %d, want >= 1", n)
+	}
+	refs, err := inner.List()
+	if err != nil || len(refs) == 0 {
+		t.Fatalf("no snapshot reached the store after retries: %v, %v", refs, err)
+	}
+	found := false
+	for _, r := range refs {
+		found = found || r.ID == a.ID
+	}
+	if !found {
+		t.Fatalf("snapshot of evicted session %s missing from %v", a.ID, refs)
+	}
+	if !srv.Ready() {
+		t.Fatal("server not ready after the store recovered")
+	}
+}
+
+// TestFlushAllSchedulesRetries: FlushAll against a failing store queues
+// every failed session for retry, and the queue drains once the store
+// recovers.
+func TestFlushAllSchedulesRetries(t *testing.T) {
+	inner := persist.NewMemStore()
+	fs := persist.NewFaultStore(inner, persist.FaultConfig{})
+	srv, tc := newTestServer(t, fastRetries(Config{
+		Engine:        persistEngine(),
+		Snapshots:     fs,
+		FlushInterval: -1,
+	}))
+	const n = 3
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		var c createResponse
+		if err := json.Unmarshal(tc.must("POST", "/v1/sessions", layoutText(t, loadLayout(64+i)), 200), &c); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = c.ID
+	}
+	fs.FailNextPuts(n, nil) // the whole sweep fails once
+	srv.FlushAll()
+	if got := srv.metrics.snapshotWriteErrors.Load(); got != n {
+		t.Fatalf("snapshot write errors after failed sweep = %d, want %d", got, n)
+	}
+	if srv.pendingRetries() == 0 {
+		t.Fatal("no retries queued after a failed flush sweep")
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		refs, err := inner.List()
+		return err == nil && len(refs) == n && srv.pendingRetries() == 0
+	}, "flush retries to persist every session")
+}
+
+// TestFlushEndpointReportsWriteFailure: the flush endpoint must surface a
+// failed snapshot write as a typed 500 with the store's error detail, and
+// queue a retry.
+func TestFlushEndpointReportsWriteFailure(t *testing.T) {
+	inner := persist.NewMemStore()
+	fs := persist.NewFaultStore(inner, persist.FaultConfig{})
+	srv, tc := newTestServer(t, fastRetries(Config{
+		Engine:        persistEngine(),
+		Snapshots:     fs,
+		FlushInterval: -1,
+	}))
+	var c createResponse
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions", layoutText(t, loadLayout(67)), 200), &c); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailNextPuts(1, nil)
+	var eb errorBody
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions/"+c.ID+"/flush", nil, 500), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "snapshot_failed" || !strings.Contains(eb.Error.Message, "injected") {
+		t.Fatalf("flush failure error = %+v", eb.Error)
+	}
+	// The queued retry lands the checkpoint without further client action.
+	waitFor(t, 5*time.Second, func() bool {
+		refs, err := inner.List()
+		return err == nil && len(refs) == 1 && srv.pendingRetries() == 0
+	}, "flush retry to land")
+	tc.must("POST", "/v1/sessions/"+c.ID+"/flush", nil, 200)
+}
+
+// TestGlobalAdmissionControl: past MaxInflight, requests shed with a typed
+// 429 + Retry-After; probes stay exempt; a freed slot admits again; a
+// request that had to queue reports its wait.
+func TestGlobalAdmissionControl(t *testing.T) {
+	srv, tc := newTestServer(t, Config{
+		Engine:      persistEngine(),
+		MaxInflight: 1,
+		QueueWait:   -1, // shed immediately: no timing in the saturation assertions
+	})
+	body := layoutText(t, loadLayout(70))
+
+	// Saturate the single slot from outside a request.
+	srv.sem <- struct{}{}
+	tc.must("GET", "/healthz", nil, 200) // probes exempt
+	tc.must("GET", "/readyz", nil, 200)
+	resp, err := http.Get(tc.base + "/v1/sessions/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q, want 1", resp.Header.Get("Retry-After"))
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "overloaded" {
+		t.Fatalf("shed error = %+v", eb.Error)
+	}
+	if srv.metrics.shedGlobal.Load() != 1 {
+		t.Fatalf("shed counter = %d, want 1", srv.metrics.shedGlobal.Load())
+	}
+	<-srv.sem
+	tc.must("POST", "/v1/sessions", body, 200)
+	metrics := string(tc.must("GET", "/metrics", nil, 200))
+	if !strings.Contains(metrics, `aapsmd_requests_shed_total{scope="global"} 1`) {
+		t.Error("metrics missing the global shed count")
+	}
+}
+
+// TestAdmissionQueueWait: a saturated server admits a queued request once a
+// slot frees within QueueWait, reporting the wait in a header and the
+// queue-wait summary.
+func TestAdmissionQueueWait(t *testing.T) {
+	srv, tc := newTestServer(t, Config{
+		Engine:      persistEngine(),
+		MaxInflight: 1,
+		QueueWait:   2 * time.Second,
+	})
+	srv.sem <- struct{}{}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		<-srv.sem
+	}()
+	resp, err := http.Get(tc.base + "/v1/sessions/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("queued request = %d, want 404 after admission", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Aapsmd-Queue-Wait") == "" {
+		t.Fatal("admitted-after-wait response missing X-Aapsmd-Queue-Wait")
+	}
+	if srv.metrics.queueWaitCount.Load() != 1 {
+		t.Fatalf("queue wait count = %d, want 1", srv.metrics.queueWaitCount.Load())
+	}
+}
+
+// TestPerSessionAdmissionControl: one session at its concurrent-request cap
+// sheds with 429 session_busy while other sessions keep serving.
+func TestPerSessionAdmissionControl(t *testing.T) {
+	srv, tc := newTestServer(t, Config{
+		Engine:             persistEngine(),
+		MaxSessionInflight: 1,
+	})
+	var a, b createResponse
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions", layoutText(t, loadLayout(71)), 200), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions", layoutText(t, loadLayout(72)), 200), &b); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy a's one slot the way an in-flight handler would.
+	ent, ok := srv.store.get(a.ID)
+	if !ok {
+		t.Fatal("session a not live")
+	}
+	if !srv.store.acquireRequestSlot(ent, 1) {
+		t.Fatal("could not take the idle session's slot")
+	}
+	var eb errorBody
+	if err := json.Unmarshal(tc.must("GET", "/v1/sessions/"+a.ID, nil, 429), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "session_busy" {
+		t.Fatalf("busy error = %+v", eb.Error)
+	}
+	tc.must("GET", "/v1/sessions/"+b.ID, nil, 200) // other sessions unaffected
+	srv.store.releaseRequestSlot(ent)
+	srv.store.release(ent)
+	tc.must("GET", "/v1/sessions/"+a.ID, nil, 200)
+	if srv.metrics.shedSession.Load() != 1 {
+		t.Fatalf("session shed counter = %d, want 1", srv.metrics.shedSession.Load())
+	}
+}
+
+// TestHandlerPanicRecovery: a panicking handler answers a typed 500 and
+// bumps the panic counter instead of killing the process.
+func TestHandlerPanicRecovery(t *testing.T) {
+	srv := New(Config{Engine: persistEngine()})
+	t.Cleanup(srv.Close)
+	h := srv.route("boom", false, func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	rr := httptest.NewRecorder()
+	h(rr, httptest.NewRequest("GET", "/boom", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", rr.Code)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rr.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "panic" || !strings.Contains(eb.Error.Message, "kaboom") {
+		t.Fatalf("panic error = %+v", eb.Error)
+	}
+	if srv.metrics.panicsHandler.Load() != 1 {
+		t.Fatalf("handler panic counter = %d, want 1", srv.metrics.panicsHandler.Load())
+	}
+}
+
+// TestShardPanicQuarantinesSession: an injected shard-solver panic answers a
+// typed 500 for that session only — the daemon, its probes, and every other
+// session keep working, and the poisoned session repeats the same 500
+// without re-running the solver.
+func TestShardPanicQuarantinesSession(t *testing.T) {
+	hook := func() { panic("injected shard panic") }
+	core.FaultHook.Store(&hook)
+	t.Cleanup(func() { core.FaultHook.Store(nil) })
+
+	srv, tc := newTestServer(t, Config{Engine: persistEngine()})
+	var a createResponse
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions", layoutText(t, loadLayout(73)), 200), &a); err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(tc.must("GET", "/v1/sessions/"+a.ID+"/detect", nil, 500), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "panic" || eb.Error.Stage != "detect" {
+		t.Fatalf("shard panic error = %+v", eb.Error)
+	}
+	// Quarantined, not crashed: probes green, the session answers the same
+	// memoized 500, and a fresh session (fault cleared) works.
+	tc.must("GET", "/healthz", nil, 200)
+	tc.must("GET", "/v1/sessions/"+a.ID+"/detect", nil, 500)
+	core.FaultHook.Store(nil)
+	var b createResponse
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions", layoutText(t, loadLayout(74)), 200), &b); err != nil {
+		t.Fatal(err)
+	}
+	tc.must("GET", "/v1/sessions/"+b.ID+"/detect", nil, 200)
+	if n := srv.metrics.panicsShard.Load(); n != 2 {
+		t.Fatalf("shard panic counter = %d, want 2 (one per quarantined response)", n)
+	}
+	metrics := string(tc.must("GET", "/metrics", nil, 200))
+	if !strings.Contains(metrics, `aapsmd_panics_total{scope="shard"} 2`) {
+		t.Error("metrics missing the shard panic count")
+	}
+}
+
+// TestReadyzDraining: /readyz flips with BeginDrain like /healthz does.
+func TestReadyzDraining(t *testing.T) {
+	srv, tc := newTestServer(t, Config{Engine: persistEngine()})
+	tc.must("GET", "/readyz", nil, 200)
+	srv.BeginDrain()
+	var ready readyResponse
+	if err := json.Unmarshal(tc.must("GET", "/readyz", nil, 503), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "draining" {
+		t.Fatalf("readyz while draining = %+v", ready)
+	}
+}

@@ -20,11 +20,13 @@
 //	GET    /v1/sessions/{id}/layout      current layout export (text or GDS)
 //	GET    /v1/sessions/{id}/svg         SVG render with overlays
 //	GET    /healthz                      liveness (503 while draining)
+//	GET    /readyz                       readiness (503 while draining or persistence-degraded)
 //	GET    /metrics                      Prometheus text metrics
 package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
@@ -78,6 +80,31 @@ type Config struct {
 	// disables periodic flushing (eviction and drain still snapshot).
 	FlushInterval time.Duration
 
+	// MaxInflight bounds concurrently admitted API requests (health, ready
+	// and metrics probes are exempt). Requests past the bound queue for up
+	// to QueueWait and are then shed with a typed 429. 0 means the default
+	// 256; negative disables admission control.
+	MaxInflight int
+	// QueueWait is how long an arriving request may wait for an admission
+	// slot before being shed. 0 means the default 1s; negative sheds
+	// immediately when the server is saturated.
+	QueueWait time.Duration
+	// MaxSessionInflight bounds concurrent requests touching one session;
+	// past it the request is shed with 429 session_busy. 0 means the
+	// default 16; negative disables the per-session bound.
+	MaxSessionInflight int
+
+	// SnapshotRetryMin and SnapshotRetryMax bound the capped exponential
+	// backoff of asynchronous snapshot-write retries. Zero values mean the
+	// defaults 100ms and 10s.
+	SnapshotRetryMin time.Duration
+	SnapshotRetryMax time.Duration
+	// SnapshotRetryQueue bounds how many sessions may be queued for an
+	// asynchronous snapshot retry at once (the periodic flush is the
+	// backstop past the bound). 0 means the default 256; negative disables
+	// the retry queue.
+	SnapshotRetryQueue int
+
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -113,6 +140,39 @@ func (c Config) withDefaults() Config {
 	if c.FlushInterval < 0 {
 		c.FlushInterval = 0
 	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 256
+	}
+	if c.MaxInflight < 0 {
+		c.MaxInflight = 0
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = time.Second
+	}
+	if c.QueueWait < 0 {
+		c.QueueWait = 0
+	}
+	if c.MaxSessionInflight == 0 {
+		c.MaxSessionInflight = 16
+	}
+	if c.MaxSessionInflight < 0 {
+		c.MaxSessionInflight = 0
+	}
+	if c.SnapshotRetryMin <= 0 {
+		c.SnapshotRetryMin = 100 * time.Millisecond
+	}
+	if c.SnapshotRetryMax <= 0 {
+		c.SnapshotRetryMax = 10 * time.Second
+	}
+	if c.SnapshotRetryMax < c.SnapshotRetryMin {
+		c.SnapshotRetryMax = c.SnapshotRetryMin
+	}
+	if c.SnapshotRetryQueue == 0 {
+		c.SnapshotRetryQueue = 256
+	}
+	if c.SnapshotRetryQueue < 0 {
+		c.SnapshotRetryQueue = 0
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -128,6 +188,13 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 	stop    chan struct{}
+
+	// Admission semaphore (nil when admission control is disabled), the
+	// bounded async snapshot-retry queue, and the persistence health the
+	// readiness probe reports.
+	sem    chan struct{}
+	retry  snapRetry
+	health storeHealth
 
 	// Snapshot index: which snapshot the store holds per session ID, and —
 	// for pristine snapshots — per content hash, loaded from
@@ -154,6 +221,10 @@ func New(cfg Config) *Server {
 		snapByID:    make(map[string]persist.Ref),
 		snapByHash:  make(map[string]persist.Ref),
 		rehydrating: make(map[string]*rehydrateCall),
+	}
+	s.retry.pending = make(map[string]int)
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
 	s.store = newSessionStore(cfg.StoreCapacity, cfg.SessionTTL, cfg.now, s.onEvict)
 	if cfg.Snapshots != nil {
@@ -201,13 +272,17 @@ func (s *Server) Sessions() int { return s.store.len() }
 
 // FlushAll snapshots every live session to the snapshot store (no-op
 // without one). aapsmd calls it after the connection drain so a graceful
-// shutdown persists even sessions that were never evicted.
+// shutdown persists even sessions that were never evicted. A session whose
+// write fails is queued for an asynchronous retry; the next periodic flush
+// is the backstop when the queue is full.
 func (s *Server) FlushAll() {
 	if s.cfg.Snapshots == nil {
 		return
 	}
 	for _, e := range s.store.snapshotEntries() {
-		s.snapshotWrite(e)
+		if s.snapshotWrite(e) != nil {
+			s.scheduleRetry(e.ID)
+		}
 		s.store.release(e)
 	}
 }
@@ -241,7 +316,15 @@ func (s *Server) onEvict(e *sessionEntry, why evictReason) {
 		s.snapshotDelete(e.ID)
 		return
 	}
-	s.snapshotWrite(e)
+	if s.snapshotWrite(e) != nil {
+		// Graceful degradation: the store refused the snapshot, so evicting
+		// now would lose the session. Readmit it pinned (exempt from LRU and
+		// TTL eviction) and retry the write asynchronously; the first
+		// successful write unpins it.
+		if s.store.readmit(e) {
+			s.scheduleRetry(e.ID)
+		}
+	}
 }
 
 // snapshotWrite persists one session and updates the snapshot index.
@@ -252,9 +335,16 @@ func (s *Server) snapshotWrite(e *sessionEntry) error {
 	}
 	ref := persist.Ref{ID: e.ID, Hash: e.Hash, Edited: s.store.isEdited(e)}
 	if err := s.cfg.Snapshots.Put(ref, data); err != nil {
+		s.metrics.snapshotWriteErrors.Add(1)
+		s.health.noteErr(err)
 		return err
 	}
 	s.metrics.snapshotWrites.Add(1)
+	s.health.noteOK()
+	// A successful write releases any degraded-mode state the session
+	// accumulated: the persistence pin and its retry-queue slot.
+	s.store.unpin(e)
+	s.clearRetry(e.ID)
 	s.snapMu.Lock()
 	if old, ok := s.snapByID[ref.ID]; ok && !old.Edited && ref.Edited {
 		if cur, ok := s.snapByHash[old.Hash]; ok && cur.ID == ref.ID {
@@ -384,29 +474,52 @@ func (s *Server) rehydrateLeader(ctx context.Context, id string, ref persist.Ref
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
-	s.mux.HandleFunc("POST /v1/sessions", s.route("create", s.handleCreate))
-	s.mux.HandleFunc("GET /v1/sessions/{id}", s.route("info", s.session(s.handleInfo)))
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.handleDelete))
-	s.mux.HandleFunc("POST /v1/sessions/{id}/edits", s.route("edits", s.session(s.handleEdits)))
-	s.mux.HandleFunc("POST /v1/sessions/{id}/flush", s.route("flush", s.session(s.handleFlush)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/detect", s.route("detect", s.session(s.handleDetect)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/assign", s.route("assign", s.session(s.handleAssign)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/correct", s.route("correct", s.session(s.handleCorrect)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/drc", s.route("drc", s.session(s.handleDRC)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/mask", s.route("mask", s.session(s.handleMask)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/layout", s.route("layout", s.session(s.handleLayout)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/svg", s.route("svg", s.session(s.handleSVG)))
+	// Probes and metrics are exempt from admission control: an overloaded
+	// instance must still answer its orchestrator.
+	s.mux.HandleFunc("GET /healthz", s.route("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.route("readyz", false, s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.route("metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/sessions", s.route("create", true, s.handleCreate))
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.route("info", true, s.session(s.handleInfo)))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", true, s.handleDelete))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/edits", s.route("edits", true, s.session(s.handleEdits)))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/flush", s.route("flush", true, s.session(s.handleFlush)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/detect", s.route("detect", true, s.session(s.handleDetect)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/assign", s.route("assign", true, s.session(s.handleAssign)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/correct", s.route("correct", true, s.session(s.handleCorrect)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/drc", s.route("drc", true, s.session(s.handleDRC)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/mask", s.route("mask", true, s.session(s.handleMask)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/layout", s.route("layout", true, s.session(s.handleLayout)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/svg", s.route("svg", true, s.session(s.handleSVG)))
 }
 
-// route wraps a handler with the cross-cutting serving concerns: in-flight
-// accounting, the per-request pipeline timeout, and request metrics keyed by
-// a stable route name (not the raw path, which would explode label
-// cardinality).
-func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+// route wraps a handler with the cross-cutting serving concerns: panic
+// isolation, admission control (when admit is set), in-flight accounting,
+// the per-request pipeline timeout, and request metrics keyed by a stable
+// route name (not the raw path, which would explode label cardinality).
+func (s *Server) route(name string, admit bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		// Panic isolation: one broken request must not kill the daemon and
+		// every other session with it. The recover turns the panic into a
+		// typed 500 when the response has not started yet.
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.panicsHandler.Add(1)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "panic", "", "",
+						fmt.Sprintf("handler panic: %v", v))
+				}
+			}
+			s.metrics.observe(name, sw.code, time.Since(start))
+		}()
+		if admit && s.sem != nil {
+			if !s.admitRequest(sw, r) {
+				return
+			}
+			defer func() { <-s.sem }()
+		}
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 		if s.cfg.RequestTimeout > 0 {
@@ -414,10 +527,49 @@ func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
-		s.metrics.observe(name, sw.code, time.Since(start))
 	}
+}
+
+// admitRequest takes a global admission slot, queueing for up to
+// cfg.QueueWait when the server is saturated. A request that cannot be
+// admitted is shed with a typed 429 and Retry-After; an admitted request
+// that had to queue reports its wait in the X-Aapsmd-Queue-Wait header and
+// the queue-wait metrics.
+func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if s.cfg.QueueWait <= 0 {
+		s.shed(w)
+		return false
+	}
+	waitStart := time.Now()
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		wait := time.Since(waitStart)
+		s.metrics.observeQueueWait(wait)
+		w.Header().Set("X-Aapsmd-Queue-Wait", wait.String())
+		return true
+	case <-t.C:
+		s.shed(w)
+		return false
+	case <-r.Context().Done():
+		s.shed(w)
+		return false
+	}
+}
+
+// shed rejects a request the admission layer could not seat.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.metrics.shedGlobal.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "overloaded", "", "",
+		"server is at its in-flight request limit; retry shortly")
 }
 
 // session resolves the {id} path component to a stored session —
@@ -441,6 +593,18 @@ func (s *Server) session(h func(http.ResponseWriter, *http.Request, *sessionEntr
 			return
 		}
 		defer s.store.release(ent)
+		// Per-session admission: one hot session must not monopolize the
+		// global in-flight budget.
+		if max := s.cfg.MaxSessionInflight; max > 0 {
+			if !s.store.acquireRequestSlot(ent, max) {
+				s.metrics.shedSession.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "session_busy", "", "",
+					"session "+strconv.Quote(id)+" is at its concurrent request limit; retry shortly")
+				return
+			}
+			defer s.store.releaseRequestSlot(ent)
+		}
 		before := ent.Sess.Stats().Incremental
 		h(w, r, ent)
 		s.metrics.observeReuse(before, ent.Sess.Stats().Incremental)

@@ -34,6 +34,16 @@ type sessionEntry struct {
 	gone      bool // removed from the indexes; finalize at refs == 0
 	finalized bool
 	why       evictReason
+
+	// pinned marks an entry whose state could not be persisted: it is exempt
+	// from LRU overflow and TTL expiry until a snapshot write succeeds
+	// (unpin), so store faults degrade to higher memory use, never to lost
+	// session work.
+	pinned bool
+	// inflightReqs counts requests currently inside a handler for this
+	// session (admission control; distinct from refs, which also counts
+	// flush loops and short index holds).
+	inflightReqs int
 }
 
 // evictReason labels why a session left the store (metrics).
@@ -73,6 +83,7 @@ type sessionStore struct {
 	byHash   map[string]*sessionEntry // pristine sessions only
 	lru      *list.List               // front = most recently used; values are *sessionEntry
 	seq      int64
+	pinnedN  int // entries currently pinned (persistence degraded)
 	creating map[string]*createCall
 	onEvict  func(*sessionEntry, evictReason)
 }
@@ -274,6 +285,70 @@ func (st *sessionStore) markEdited(e *sessionEntry) {
 	}
 }
 
+// readmit reinserts an evicted entry whose eviction-time snapshot write
+// failed, pinned: graceful degradation keeps the unpersistable session in
+// memory (exempt from LRU/TTL, possibly over capacity) instead of dropping
+// its work. It reports false when the ID is live again under a different
+// entry (a concurrent request rehydrated an older snapshot first); the
+// caller's entry is then abandoned.
+func (st *sessionStore) readmit(e *sessionEntry) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cur, ok := st.byID[e.ID]; ok {
+		return cur == e
+	}
+	e.gone, e.finalized = false, false
+	if !e.pinned {
+		e.pinned = true
+		st.pinnedN++
+	}
+	e.elem = st.lru.PushFront(e)
+	e.expires = st.now().Add(st.ttl)
+	st.byID[e.ID] = e
+	if !e.edited && st.byHash[e.Hash] == nil {
+		st.byHash[e.Hash] = e
+	}
+	return true
+}
+
+// unpin lifts the persistence pin after a successful snapshot write; the
+// entry resumes the normal LRU/TTL lifecycle.
+func (st *sessionStore) unpin(e *sessionEntry) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e.pinned {
+		e.pinned = false
+		st.pinnedN--
+	}
+}
+
+// pinnedCount returns how many live entries are pinned (readiness and
+// metrics: non-zero means persistence is degraded).
+func (st *sessionStore) pinnedCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.pinnedN
+}
+
+// acquireRequestSlot admits one request onto the session if fewer than max
+// are already inside handlers for it (per-session admission control).
+func (st *sessionStore) acquireRequestSlot(e *sessionEntry, max int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e.inflightReqs >= max {
+		return false
+	}
+	e.inflightReqs++
+	return true
+}
+
+// releaseRequestSlot returns a per-session admission slot.
+func (st *sessionStore) releaseRequestSlot(e *sessionEntry) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e.inflightReqs--
+}
+
 // delete removes the entry explicitly; it reports whether the id was live.
 func (st *sessionStore) delete(id string) bool {
 	st.mu.Lock()
@@ -345,7 +420,7 @@ func (st *sessionStore) isEdited(e *sessionEntry) bool {
 }
 
 func (st *sessionStore) expired(e *sessionEntry) bool {
-	return st.ttl > 0 && st.now().After(e.expires)
+	return !e.pinned && st.ttl > 0 && st.now().After(e.expires)
 }
 
 func (st *sessionStore) touchLocked(e *sessionEntry) {
@@ -354,15 +429,18 @@ func (st *sessionStore) touchLocked(e *sessionEntry) {
 }
 
 // evictOverflowLocked trims the store to capacity and returns the entries
-// whose eviction callback is due now (none were held by requests).
+// whose eviction callback is due now (none were held by requests). Pinned
+// entries are skipped — they cannot be persisted, so evicting them would
+// lose work; the store runs over capacity until they unpin.
 func (st *sessionStore) evictOverflowLocked() []*sessionEntry {
 	var fire []*sessionEntry
-	for len(st.byID) > st.capacity {
-		back := st.lru.Back()
-		if back == nil {
-			break
+	el := st.lru.Back()
+	for el != nil && len(st.byID) > st.capacity {
+		prev := el.Prev()
+		if e := el.Value.(*sessionEntry); !e.pinned {
+			fire = append(fire, st.removeLocked(e, evictLRU)...)
 		}
-		fire = append(fire, st.removeLocked(back.Value.(*sessionEntry), evictLRU)...)
+		el = prev
 	}
 	return fire
 }
@@ -377,6 +455,10 @@ func (st *sessionStore) removeLocked(e *sessionEntry, why evictReason) []*sessio
 	}
 	e.gone = true
 	e.why = why
+	if e.pinned { // explicit delete overrides the persistence pin
+		e.pinned = false
+		st.pinnedN--
+	}
 	delete(st.byID, e.ID)
 	if st.byHash[e.Hash] == e {
 		delete(st.byHash, e.Hash)

@@ -1,0 +1,78 @@
+package aapsm
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestShardPanicQuarantine: a panic inside a shard solver must surface as a
+// typed error (core.ErrPanic inside a *FlowError) instead of crashing the
+// process, the session must memoize it — repeat calls answer the same error
+// without re-running the poisoned cluster — and unrelated sessions must be
+// unaffected.
+func TestShardPanicQuarantine(t *testing.T) {
+	ctx := context.Background()
+	var fired atomic.Int64
+	hook := func() {
+		fired.Add(1)
+		panic("injected shard panic")
+	}
+	core.FaultHook.Store(&hook)
+	defer core.FaultHook.Store(nil)
+
+	s := NewEngine().NewSession(Figure1Layout())
+	_, err := s.Detect(ctx)
+	if err == nil {
+		t.Fatal("Detect succeeded with a panicking shard solver")
+	}
+	if !errors.Is(err, core.ErrPanic) {
+		t.Fatalf("err = %v, want core.ErrPanic identity", err)
+	}
+	var pe *core.PanicError
+	if !errors.As(err, &pe) || pe.Stack == "" {
+		t.Fatalf("err = %#v, want *core.PanicError with a captured stack", err)
+	}
+	var fe *FlowError
+	if !errors.As(err, &fe) || fe.Stage != StageDetect {
+		t.Fatalf("err = %#v, want a *FlowError at StageDetect", err)
+	}
+
+	// Quarantine: the session memoizes the failure, so a second Detect
+	// answers identically without re-entering the poisoned solver.
+	before := fired.Load()
+	_, err2 := s.Detect(ctx)
+	if !errors.Is(err2, core.ErrPanic) {
+		t.Fatalf("second Detect: %v", err2)
+	}
+	if fired.Load() != before {
+		t.Fatal("second Detect re-ran the poisoned shard instead of answering the memoized error")
+	}
+
+	// Isolation: with the fault gone, a fresh session on the same engine
+	// works — nothing engine- or process-wide was poisoned.
+	core.FaultHook.Store(nil)
+	if _, err := NewEngine().NewSession(Figure1Layout()).Detect(ctx); err != nil {
+		t.Fatalf("fresh session after clearing the fault: %v", err)
+	}
+}
+
+// TestShardPanicParallelWorkers: the same containment must hold on the
+// parallel shard fan-out path, where the panic fires inside a worker
+// goroutine (an unrecovered panic there would kill the whole process).
+func TestShardPanicParallelWorkers(t *testing.T) {
+	ctx := context.Background()
+	hook := func() { panic("injected shard panic (parallel)") }
+	core.FaultHook.Store(&hook)
+	defer core.FaultHook.Store(nil)
+
+	l := GenerateBenchmark("panic-par", DefaultBenchmarkParams(11, 2, 60))
+	s := NewEngine(WithParallelism(4)).NewSessionWithParallelism(l, 4)
+	_, err := s.Detect(ctx)
+	if !errors.Is(err, core.ErrPanic) {
+		t.Fatalf("parallel detect: err = %v, want core.ErrPanic", err)
+	}
+}
