@@ -13,8 +13,17 @@
 //	       [-improved-recheck] [-no-incremental] [-drain-timeout 15s]
 //	       [-store-dir DIR] [-flush-interval 30s]
 //	       [-max-inflight N] [-max-session-inflight N] [-queue-wait 1s]
+//	       [-batch-max N] [-batch-wait 2ms]
+//	       [-stream-max N] [-stream-heartbeat 15s]
 //	       [-read-timeout 2m] [-write-timeout 2m] [-idle-timeout 2m]
 //	       [-chaos SPEC]
+//
+// Concurrent POST /edits requests to one session coalesce into merged
+// batches: up to -batch-max requests collected over at most -batch-wait run
+// one incremental re-pipeline and fan the results back out per request.
+// GET /v1/sessions/{id}/stream holds a Server-Sent Events connection
+// (bounded by -stream-max, kept alive by -stream-heartbeat pings) that
+// pushes per-stage results after every committed batch.
 //
 // See the README's "Serving", "Persistence" and "Failure modes" sections for
 // the endpoint reference and curl examples. -store-dir enables session
@@ -76,6 +85,10 @@ func main() {
 		maxInfl  = flag.Int("max-inflight", 256, "max concurrently admitted requests; past it requests queue then 429 (negative = unlimited)")
 		maxSess  = flag.Int("max-session-inflight", 16, "max concurrent requests per session (negative = unlimited)")
 		qWait    = flag.Duration("queue-wait", time.Second, "how long a request may queue for an admission slot before a 429 (negative = shed immediately)")
+		batchMax = flag.Int("batch-max", 32, "max edit requests coalesced into one merged batch (negative = no coalescing)")
+		batchW   = flag.Duration("batch-wait", 2*time.Millisecond, "how long a batch lingers for more edit requests before running (negative = run as soon as the session is free)")
+		streamN  = flag.Int("stream-max", 256, "max concurrent streaming connections (negative = unbounded)")
+		streamHB = flag.Duration("stream-heartbeat", 15*time.Second, "idle-stream keep-alive ping period")
 		readTO   = flag.Duration("read-timeout", 2*time.Minute, "http.Server full-request read timeout")
 		writeTO  = flag.Duration("write-timeout", 2*time.Minute, "http.Server response write timeout")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
@@ -119,6 +132,10 @@ func main() {
 		MaxInflight:        *maxInfl,
 		MaxSessionInflight: *maxSess,
 		QueueWait:          *qWait,
+		BatchMax:           *batchMax,
+		BatchWait:          *batchW,
+		MaxStreams:         *streamN,
+		StreamHeartbeat:    *streamHB,
 	}
 	if *storeDir != "" {
 		snaps, err := persist.NewDiskStore(filepath.Join(*storeDir, "snapshots"))

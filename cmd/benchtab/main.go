@@ -42,6 +42,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/server"
 )
 
 func main() {
@@ -192,6 +193,15 @@ type detectRecord struct {
 	SnapshotBytes  int     `json:"snapshot_bytes"`
 	RestoreNS      int64   `json:"restore_ns"`
 	RestoreSpeedup float64 `json:"restore_speedup"`
+	// Contended serving trajectory (schema v5): served-edit throughput of
+	// aapsmd's per-session edit coalescer under 16 concurrent writers (each
+	// POSTing single-feature moves with ?detect=1 to one session), against
+	// the one-request-one-pipeline baseline on the same grid, plus the
+	// requests-per-pipeline coalesce ratio the batcher achieved.
+	ServedEditsPerSec         float64 `json:"served_edits_per_sec"`
+	ServedEditsBaselinePerSec float64 `json:"served_edits_baseline_per_sec"`
+	ServedEditsSpeedup        float64 `json:"served_edits_speedup"`
+	CoalesceRatio             float64 `json:"coalesce_ratio"`
 }
 
 // detectTrajectory is the top-level BENCH_detect.json document.
@@ -208,7 +218,7 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 		workers = runtime.GOMAXPROCS(0)
 	}
 	doc := &detectTrajectory{
-		Schema:      "aapsm/bench_detect/v4",
+		Schema:      "aapsm/bench_detect/v5",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Workers:     workers,
@@ -243,6 +253,10 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 		snapBytes, restoreNS, err := measureRestore(d, rules, workers)
 		if err != nil {
 			return nil, fmt.Errorf("%s: restore: %v", d.Name, err)
+		}
+		served, err := measureServedContended(d, rules)
+		if err != nil {
+			return nil, fmt.Errorf("%s: contended serving: %v", d.Name, err)
 		}
 
 		s := det.Stats
@@ -288,13 +302,19 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 			SnapshotBytes:  snapBytes,
 			RestoreNS:      restoreNS,
 			RestoreSpeedup: float64(pipe.scratchNS) / float64(restoreNS),
+
+			ServedEditsPerSec:         served.perSec,
+			ServedEditsBaselinePerSec: served.baselinePerSec,
+			ServedEditsSpeedup:        served.perSec / served.baselinePerSec,
+			CoalesceRatio:             served.coalesceRatio,
 		})
-		fmt.Printf("%-4s %7d polygons %8d edges %5d shards  total %8.2fms  edit-redetect %6.2fms (%.1fx)  edit-repipeline %6.2fms (%.1fx)  restore %6.2fms (%.1fx)\n",
+		fmt.Printf("%-4s %7d polygons %8d edges %5d shards  total %8.2fms  edit-redetect %6.2fms (%.1fx)  edit-repipeline %6.2fms (%.1fx)  restore %6.2fms (%.1fx)  served-edits %6.0f/s (%.1fx, %.1f/batch)\n",
 			d.Name, len(l.Features), s.GraphEdges, s.Shards,
 			float64(s.TotalTime.Nanoseconds())/1e6,
 			float64(editNS)/1e6, float64(buildNS+s.TotalTime.Nanoseconds())/float64(editNS),
 			float64(pipe.editNS)/1e6, float64(pipe.scratchNS)/float64(pipe.editNS),
-			float64(restoreNS)/1e6, float64(pipe.scratchNS)/float64(restoreNS))
+			float64(restoreNS)/1e6, float64(pipe.scratchNS)/float64(restoreNS),
+			served.perSec, served.perSec/served.baselinePerSec, served.coalesceRatio)
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -463,6 +483,42 @@ func measureRestore(d bench.Design, rules aapsm.Rules, workers int) (snapBytes i
 	return len(data), bestNS, nil
 }
 
+// servedResult is one design's contended-serving measurement.
+type servedResult struct {
+	perSec         float64
+	baselinePerSec float64
+	coalesceRatio  float64
+}
+
+// measureServedContended drives aapsmd's HTTP handler in-process with 16
+// concurrent writers (4 edits each, ?detect=1) against one session — once
+// through the edit coalescer (best of 3) and once with coalescing disabled,
+// one re-pipeline per request (the pre-batching serving model).
+func measureServedContended(d bench.Design, rules aapsm.Rules) (servedResult, error) {
+	var out servedResult
+	const clients, editsPerClient = 16, 4
+	eng := aapsm.NewEngine(aapsm.WithRules(rules), aapsm.WithParallelism(2))
+	l := bench.Generate(d.Name, d.Params)
+	for k := 0; k < 3; k++ {
+		res, err := server.MeasureContendedEdits(l, eng, clients, editsPerClient, 32, 2*time.Millisecond)
+		if err != nil {
+			return out, err
+		}
+		if res.ServedPerSec > out.perSec {
+			out.perSec = res.ServedPerSec
+			out.coalesceRatio = res.CoalesceRatio
+		}
+		base, err := server.MeasureContendedEdits(l, eng, clients, editsPerClient, -1, 0)
+		if err != nil {
+			return out, err
+		}
+		if base.ServedPerSec > out.baselinePerSec {
+			out.baselinePerSec = base.ServedPerSec
+		}
+	}
+	return out, nil
+}
+
 // compareBaseline checks the structural counts of doc against the committed
 // baseline file within the given ratio tolerance. Only designs present in
 // both documents are compared; timings are deliberately ignored.
@@ -510,6 +566,14 @@ func compareBaseline(doc *detectTrajectory, path string, tol float64) error {
 		// once the baseline carries the v4 field.
 		if want.SnapshotBytes != 0 {
 			checkCount("snapshot_bytes", int64(got.SnapshotBytes), int64(want.SnapshotBytes))
+		}
+		// Coalescing effectiveness is structural (requests per pipeline run),
+		// gated one-sided once the baseline carries the v5 field: a collapse
+		// back toward one-request-one-pipeline must trip the gate, while
+		// coalescing MORE than the baseline is progress, not regression.
+		if want.CoalesceRatio > 1 && got.CoalesceRatio < want.CoalesceRatio/tol {
+			problems = append(problems,
+				fmt.Sprintf("%s: coalesce_ratio = %.2f, baseline %.2f (collapsed beyond %.1fx)", got.Name, got.CoalesceRatio, want.CoalesceRatio, tol))
 		}
 	}
 	if len(problems) > 0 {

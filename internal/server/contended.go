@@ -1,0 +1,157 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	aapsm "repro"
+)
+
+// ContendedResult is the outcome of one contended-session measurement: many
+// concurrent clients POSTing edits (each with ?detect=1) against a single
+// session, served through the edit coalescer.
+type ContendedResult struct {
+	// Served is the number of edit requests answered 200.
+	Served int
+	// Batches is how many merged batches the coalescer ran for them.
+	Batches int64
+	// CoalesceRatio is served requests per pipeline run (Served/Batches);
+	// 1.0 means no coalescing happened.
+	CoalesceRatio float64
+	// ServedPerSec is the served-edit throughput over the contention window.
+	ServedPerSec float64
+	// ElapsedNS is the wall-clock of the contention window.
+	ElapsedNS int64
+}
+
+// MeasureContendedEdits drives the HTTP handler directly (no sockets) with
+// `clients` concurrent writers, each applying `editsPerClient` sequential
+// single-feature moves with ?detect=1 to one shared session, and reports the
+// served throughput and coalesce ratio. batchMax/batchWait configure the
+// coalescer; batchMax < 0 disables coalescing (one re-pipeline per request),
+// which is the baseline the benchmark and benchtab compare against. Every
+// client moves its own feature, so the merged batches are conflict-free and
+// the responses stay deterministic.
+func MeasureContendedEdits(l *aapsm.Layout, eng *aapsm.Engine, clients, editsPerClient, batchMax int, batchWait time.Duration) (ContendedResult, error) {
+	var out ContendedResult
+	if clients < 1 || editsPerClient < 1 {
+		return out, fmt.Errorf("clients %d / editsPerClient %d must be >= 1", clients, editsPerClient)
+	}
+	if len(l.Features) < clients {
+		return out, fmt.Errorf("layout has %d features, need >= %d (one per client)", len(l.Features), clients)
+	}
+	srv := New(Config{
+		Engine:        eng,
+		DetectWorkers: 1,
+		FlushInterval: -1,
+		MaxInflight:   -1,
+		// Per-session admission must exceed the client count or the
+		// admission layer itself becomes the bottleneck being measured.
+		MaxSessionInflight: -1,
+		BatchMax:           batchMax,
+		BatchWait:          batchWait,
+	})
+	defer srv.Close()
+	h := srv.Handler()
+
+	do := func(method, path string, body []byte) (int, []byte, error) {
+		req, err := http.NewRequest(method, path, bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		w := newCaptureWriter()
+		h.ServeHTTP(w, req)
+		return w.code, w.buf.Bytes(), nil
+	}
+
+	var layout bytes.Buffer
+	if err := aapsm.WriteLayoutText(&layout, l); err != nil {
+		return out, err
+	}
+	code, body, err := do("POST", "/v1/sessions", layout.Bytes())
+	if err != nil {
+		return out, err
+	}
+	if code != http.StatusOK {
+		return out, fmt.Errorf("create session: %d: %s", code, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		return out, err
+	}
+	// Warm the incremental caches so the measurement compares steady-state
+	// re-pipelines, not the one-time full build.
+	if code, body, err = do("GET", "/v1/sessions/"+created.ID+"/detect", nil); err != nil {
+		return out, err
+	} else if code != http.StatusOK {
+		return out, fmt.Errorf("warmup detect: %d: %s", code, body)
+	}
+
+	type opBody struct {
+		Ops []editOp `json:"ops"`
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		fail error
+	)
+	batchesBefore := srv.metrics.editBatches.Load()
+	itemsBefore := srv.metrics.editBatchItems.Load()
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			feat := l.Features[c].Rect
+			for k := 0; k < editsPerClient; k++ {
+				delta := int64(10)
+				if k%2 == 1 {
+					delta = -10
+				}
+				r := feat.Translate(aapsm.Point{X: delta})
+				feat = r
+				i := c
+				req, err := json.Marshal(opBody{Ops: []editOp{{
+					Op:    "move",
+					Rect:  []int64{r.X0, r.Y0, r.X1, r.Y1},
+					Index: &i,
+				}}})
+				if err == nil {
+					var code int
+					var body []byte
+					code, body, err = do("POST", "/v1/sessions/"+created.ID+"/edits?detect=1", req)
+					if err == nil && code != http.StatusOK {
+						err = fmt.Errorf("client %d edit %d: %d: %s", c, k, code, body)
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if fail == nil {
+						fail = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if fail != nil {
+		return out, fail
+	}
+	out.Served = clients * editsPerClient
+	out.Batches = srv.metrics.editBatches.Load() - batchesBefore
+	if out.Batches > 0 {
+		out.CoalesceRatio = float64(srv.metrics.editBatchItems.Load()-itemsBefore) / float64(out.Batches)
+	}
+	out.ElapsedNS = elapsed.Nanoseconds()
+	out.ServedPerSec = float64(out.Served) / elapsed.Seconds()
+	return out, nil
+}

@@ -291,22 +291,38 @@ type editsResponse struct {
 	Applied  int `json:"applied"`
 	Features int `json:"features"`
 	// Added holds, per "add" op in order, the feature's index after the
-	// whole batch: later del ops shift indices down, and an added feature
-	// deleted later in the same batch reports -1.
+	// whole merged batch: later del ops — from this request or any request
+	// coalesced into the same batch — shift indices down, and an added
+	// feature deleted later in the batch reports -1.
 	Added []int `json:"added,omitempty"`
+	// Gen is the session generation the batch committed at; read-stage
+	// responses and stream events computed at the same generation reflect
+	// exactly this state.
+	Gen int64 `json:"gen"`
 	// Incremental is the session's cumulative per-stage reuse profile after
 	// the batch: shard, coloring, verification, interval, mask-check and
 	// DRC-pair counters showing how much of the pipeline each re-run of this
 	// session has been reusing versus recomputing.
 	Incremental aapsm.IncrementalStats `json:"incremental"`
+	// Batch is this request's coalescing receipt: where it landed in its
+	// merged batch and its queue/solve timing breakdown.
+	Batch *batchInfo `json:"batch,omitempty"`
+	// Detect, with ?detect=1, is the post-batch detection — computed once
+	// per merged batch and shared by every item that asked. DetectError
+	// carries the failure instead when that shared re-pipeline failed (the
+	// edits themselves still applied).
+	Detect      *detectResponse `json:"detect,omitempty"`
+	DetectError string          `json:"detect_error,omitempty"`
 }
 
-// handleEdits applies a batch of layout mutations atomically: shapes are
-// validated up front, index ranges are simulated against the feature count
-// under the session lock before the first op is applied, and Session.Edit
-// holds the lock for the whole batch — so a rejected batch applies nothing
-// and a 200 means every op landed. Memoized stages are invalidated once;
-// the next detect re-solves only the touched conflict clusters.
+// handleEdits validates a batch of layout mutations, hands it to the
+// per-session coalescer, and waits for its slice of the merged batch result.
+// Within one request the ops stay all-or-nothing: index ranges are simulated
+// against the running feature count before anything applies, so a rejected
+// request 422s alone while other requests coalesced into the same batch
+// land. Memoized stages are invalidated once per merged batch; with
+// ?detect=1 the batch runner re-detects once and every waiter shares the
+// result.
 func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request, ent *sessionEntry) {
 	var req editsRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -319,18 +335,14 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request, ent *sessio
 		writeError(w, http.StatusBadRequest, "bad_request", "", "", "empty edit batch")
 		return
 	}
-	rect := func(op editOp) (aapsm.Rect, error) {
-		if len(op.Rect) != 4 {
-			return aapsm.Rect{}, fmt.Errorf("op %q needs rect [x0 y0 x1 y1], got %d values", op.Op, len(op.Rect))
-		}
-		return aapsm.R(op.Rect[0], op.Rect[1], op.Rect[2], op.Rect[3]), nil
-	}
-	// Validate shapes before touching the session.
+	// Validate shapes before enqueueing; range checks happen inside the
+	// batch runner where the authoritative feature count lives.
 	for _, op := range req.Ops {
 		switch op.Op {
 		case "add":
-			if _, err := rect(op); err != nil {
-				writeError(w, http.StatusBadRequest, "bad_request", "", "", err.Error())
+			if len(op.Rect) != 4 {
+				writeError(w, http.StatusBadRequest, "bad_request", "", "",
+					fmt.Sprintf("op %q needs rect [x0 y0 x1 y1], got %d values", op.Op, len(op.Rect)))
 				return
 			}
 		case "move", "del":
@@ -338,89 +350,50 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request, ent *sessio
 				writeError(w, http.StatusBadRequest, "bad_request", "", "", fmt.Sprintf("op %q needs an explicit index", op.Op))
 				return
 			}
-			if op.Op == "move" {
-				if _, err := rect(op); err != nil {
-					writeError(w, http.StatusBadRequest, "bad_request", "", "", err.Error())
-					return
-				}
+			if op.Op == "move" && len(op.Rect) != 4 {
+				writeError(w, http.StatusBadRequest, "bad_request", "", "",
+					fmt.Sprintf("op %q needs rect [x0 y0 x1 y1], got %d values", op.Op, len(op.Rect)))
+				return
 			}
 		default:
 			writeError(w, http.StatusBadRequest, "bad_request", "", "", fmt.Sprintf("unknown op %q (want add, move or del)", op.Op))
 			return
 		}
 	}
-	// Mark the session diverged before applying: a concurrent same-hash
-	// create must not reattach to a layout that is about to change. (If the
-	// batch is rejected below the mark is conservative — the session merely
-	// stops coalescing, it stays correct.)
-	s.store.markEdited(ent)
-	var added []int
-	var rangeErr error
-	applied := 0
-	err := ent.Sess.Edit(func(ed *aapsm.LayoutEditor) {
-		// Simulate index validity against the live feature count first:
-		// range errors are the only way an op can fail, so checking them up
-		// front makes the batch all-or-nothing.
-		count := ed.NumFeatures()
-		for k, op := range req.Ops {
-			switch op.Op {
-			case "add":
-				count++
-			case "move":
-				if *op.Index < 0 || *op.Index >= count {
-					rangeErr = fmt.Errorf("op %d: move index %d out of range [0,%d)", k, *op.Index, count)
-					return
-				}
-			case "del":
-				if *op.Index < 0 || *op.Index >= count {
-					rangeErr = fmt.Errorf("op %d: delete index %d out of range [0,%d)", k, *op.Index, count)
-					return
-				}
-				count--
-			}
-		}
-		for _, op := range req.Ops {
-			switch op.Op {
-			case "add":
-				r, _ := rect(op)
-				added = append(added, ed.AddOnLayer(r, op.Layer))
-			case "move":
-				r, _ := rect(op)
-				ed.Move(*op.Index, r)
-			case "del":
-				ed.Delete(*op.Index)
-				// Keep reported add indices valid after the batch: a delete
-				// below an added feature shifts it down, deleting the added
-				// feature itself voids it.
-				for j, a := range added {
-					switch {
-					case a == *op.Index:
-						added[j] = -1
-					case a > *op.Index:
-						added[j] = a - 1
-					}
-				}
-			}
-			if ed.Err() != nil {
-				return
-			}
-			applied++
-		}
-	})
-	s.metrics.edits.Add(int64(applied))
-	if rangeErr != nil && err == nil {
-		writeError(w, http.StatusUnprocessableEntity, "bad_index", "edit", "", rangeErr.Error()+" (no ops applied)")
+	it := &editItem{
+		ops:    req.Ops,
+		detect: r.URL.Query().Get("detect") == "1",
+		enq:    time.Now(),
+		done:   make(chan struct{}),
+	}
+	s.enqueueEdit(ent, it)
+	select {
+	case <-it.done:
+	case <-r.Context().Done():
+		// The ops cannot be retracted — they will still apply with their
+		// batch — but nobody is listening for the answer.
+		writeError(w, http.StatusServiceUnavailable, "cancelled", "edit", "",
+			"request cancelled while queued for its edit batch (ops still apply)")
 		return
 	}
-	if err != nil {
-		s.flowError(w, err)
+	if it.rangeErr != nil {
+		writeError(w, http.StatusUnprocessableEntity, "bad_index", "edit", "", it.rangeErr.Error()+" (no ops of this request applied)")
 		return
 	}
+	if it.flowErr != nil {
+		s.flowError(w, it.flowErr)
+		return
+	}
+	b := it.batch
 	writeJSON(w, editsResponse{
-		Applied:     applied,
-		Features:    ent.Sess.NumFeatures(),
-		Added:       added,
-		Incremental: ent.Sess.Stats().Incremental,
+		Applied:     it.applied,
+		Features:    it.features,
+		Added:       it.added,
+		Gen:         it.gen,
+		Incremental: it.inc,
+		Batch:       &b,
+		Detect:      it.detResp,
+		DetectError: it.detErr,
 	})
 }
 

@@ -46,10 +46,34 @@ type metrics struct {
 	blobRetries         atomic.Int64
 	shedGlobal          atomic.Int64
 	shedSession         atomic.Int64
+	shedClientGone      atomic.Int64
 	panicsHandler       atomic.Int64
 	panicsShard         atomic.Int64
 	queueWaitNanos      atomic.Int64
 	queueWaitCount      atomic.Int64
+	// recentWaitNanos is an EWMA of observed admission queue waits (admitted
+	// waits and timed-out full-budget waits alike); shed responses derive
+	// their Retry-After from it so clients back off proportionally to actual
+	// saturation.
+	recentWaitNanos atomic.Int64
+
+	// Edit-coalescing telemetry: batches committed, items that rode in them,
+	// items that actually shared a batch with another request, per-item
+	// queue time and per-batch solve time (summary pairs), plus read-stage
+	// requests served from the per-generation single-flight.
+	editBatches     atomic.Int64
+	editBatchItems  atomic.Int64
+	editsCoalesced  atomic.Int64
+	batchQueueNanos atomic.Int64
+	batchQueueCount atomic.Int64
+	batchSolveNanos atomic.Int64
+	readsCoalesced  atomic.Int64
+
+	// Streaming telemetry.
+	streamsActive   atomic.Int64
+	streamsTotal    atomic.Int64
+	streamsRejected atomic.Int64
+	streamEvents    atomic.Int64
 
 	// Incremental-pipeline reuse counters, accumulated per stage from the
 	// work deltas of each served request: "reused" is work taken from a
@@ -133,11 +157,63 @@ func (m *metrics) observeRestore(d time.Duration) {
 	m.restoreNanos.Add(d.Nanoseconds())
 }
 
-// observeQueueWait records time an admitted request spent waiting for a
-// global admission slot.
+// observeQueueWait records time an admitted request spent waiting for an
+// admission slot (global or per-session).
 func (m *metrics) observeQueueWait(d time.Duration) {
 	m.queueWaitNanos.Add(d.Nanoseconds())
 	m.queueWaitCount.Add(1)
+	m.noteQueueWait(d)
+}
+
+// noteQueueWait folds one observed wait into the Retry-After EWMA without
+// counting it as an admitted wait (shed paths use it directly).
+func (m *metrics) noteQueueWait(d time.Duration) {
+	n := d.Nanoseconds()
+	for {
+		old := m.recentWaitNanos.Load()
+		// EWMA with alpha 1/4: responsive to a saturation ramp, stable
+		// against one outlier.
+		next := old + (n-old)/4
+		if old == 0 {
+			next = n
+		}
+		if m.recentWaitNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSecs derives the Retry-After header for shed responses from the
+// recent queue-wait EWMA: rounded up to whole seconds, at least 1, capped at
+// 30 so one pathological wait cannot park clients for minutes.
+func (m *metrics) retryAfterSecs() int {
+	const capSecs = 30
+	nanos := m.recentWaitNanos.Load()
+	secs := int((nanos + int64(time.Second) - 1) / int64(time.Second))
+	if secs < 1 {
+		return 1
+	}
+	if secs > capSecs {
+		return capSecs
+	}
+	return secs
+}
+
+// observeBatch records one committed edit batch.
+func (m *metrics) observeBatch(size int, solve time.Duration) {
+	m.editBatches.Add(1)
+	m.editBatchItems.Add(int64(size))
+	if size > 1 {
+		m.editsCoalesced.Add(int64(size))
+	}
+	m.batchSolveNanos.Add(solve.Nanoseconds())
+}
+
+// observeBatchQueue records one item's wait between arrival and its batch
+// being collected.
+func (m *metrics) observeBatchQueue(d time.Duration) {
+	m.batchQueueNanos.Add(d.Nanoseconds())
+	m.batchQueueCount.Add(1)
 }
 
 func (m *metrics) evicted(why evictReason) {
@@ -202,9 +278,34 @@ func (m *metrics) write(w io.Writer, sessionsLive, sessionsPinned, retriesPendin
 	fmt.Fprintf(w, "aapsmd_snapshot_write_retries_total %d\n", m.snapshotRetries.Load())
 	fmt.Fprintf(w, "# HELP aapsmd_blob_write_retries_total Blob write retry attempts during session creation.\n# TYPE aapsmd_blob_write_retries_total counter\n")
 	fmt.Fprintf(w, "aapsmd_blob_write_retries_total %d\n", m.blobRetries.Load())
-	fmt.Fprintf(w, "# HELP aapsmd_requests_shed_total Requests rejected by admission control with 429.\n# TYPE aapsmd_requests_shed_total counter\n")
+	fmt.Fprintf(w, "# HELP aapsmd_requests_shed_total Requests rejected by admission control with 429 (client_gone = the client disconnected while queued; not an overload signal).\n# TYPE aapsmd_requests_shed_total counter\n")
 	fmt.Fprintf(w, "aapsmd_requests_shed_total{scope=\"global\"} %d\n", m.shedGlobal.Load())
 	fmt.Fprintf(w, "aapsmd_requests_shed_total{scope=\"session\"} %d\n", m.shedSession.Load())
+	fmt.Fprintf(w, "aapsmd_requests_shed_total{scope=\"client_gone\"} %d\n", m.shedClientGone.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_retry_after_seconds Retry-After currently advertised on shed responses (EWMA of observed queue waits, rounded up, capped).\n# TYPE aapsmd_retry_after_seconds gauge\n")
+	fmt.Fprintf(w, "aapsmd_retry_after_seconds %d\n", m.retryAfterSecs())
+	fmt.Fprintf(w, "# HELP aapsmd_edit_batches_total Merged edit batches committed by the per-session coalescer.\n# TYPE aapsmd_edit_batches_total counter\n")
+	fmt.Fprintf(w, "aapsmd_edit_batches_total %d\n", m.editBatches.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_edit_batch_items_total Edit requests that rode in merged batches.\n# TYPE aapsmd_edit_batch_items_total counter\n")
+	fmt.Fprintf(w, "aapsmd_edit_batch_items_total %d\n", m.editBatchItems.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_edits_coalesced_total Edit requests that shared their batch (and its single re-pipeline) with at least one other request.\n# TYPE aapsmd_edits_coalesced_total counter\n")
+	fmt.Fprintf(w, "aapsmd_edits_coalesced_total %d\n", m.editsCoalesced.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_edit_batch_queue_seconds Per-item wait between arrival and batch collection (includes the coalescing linger).\n# TYPE aapsmd_edit_batch_queue_seconds summary\n")
+	fmt.Fprintf(w, "aapsmd_edit_batch_queue_seconds_sum %.6f\n", float64(m.batchQueueNanos.Load())/1e9)
+	fmt.Fprintf(w, "aapsmd_edit_batch_queue_seconds_count %d\n", m.batchQueueCount.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_edit_batch_solve_seconds Merged batch apply + shared re-pipeline time, per batch.\n# TYPE aapsmd_edit_batch_solve_seconds summary\n")
+	fmt.Fprintf(w, "aapsmd_edit_batch_solve_seconds_sum %.6f\n", float64(m.batchSolveNanos.Load())/1e9)
+	fmt.Fprintf(w, "aapsmd_edit_batch_solve_seconds_count %d\n", m.editBatches.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_reads_coalesced_total Read-stage requests served by an identical in-flight or cached computation at the same session generation.\n# TYPE aapsmd_reads_coalesced_total counter\n")
+	fmt.Fprintf(w, "aapsmd_reads_coalesced_total %d\n", m.readsCoalesced.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_streams_active Streaming connections currently open.\n# TYPE aapsmd_streams_active gauge\n")
+	fmt.Fprintf(w, "aapsmd_streams_active %d\n", m.streamsActive.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_streams_total Streaming connections accepted.\n# TYPE aapsmd_streams_total counter\n")
+	fmt.Fprintf(w, "aapsmd_streams_total %d\n", m.streamsTotal.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_streams_rejected_total Streaming connections shed at the MaxStreams bound.\n# TYPE aapsmd_streams_rejected_total counter\n")
+	fmt.Fprintf(w, "aapsmd_streams_rejected_total %d\n", m.streamsRejected.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_stream_events_total Events pushed over streaming connections.\n# TYPE aapsmd_stream_events_total counter\n")
+	fmt.Fprintf(w, "aapsmd_stream_events_total %d\n", m.streamEvents.Load())
 	fmt.Fprintf(w, "# HELP aapsmd_panics_total Panics recovered without killing the daemon.\n# TYPE aapsmd_panics_total counter\n")
 	fmt.Fprintf(w, "aapsmd_panics_total{scope=\"handler\"} %d\n", m.panicsHandler.Load())
 	fmt.Fprintf(w, "aapsmd_panics_total{scope=\"shard\"} %d\n", m.panicsShard.Load())

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -225,8 +226,9 @@ func TestGlobalAdmissionControl(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated request = %d, want 429", resp.StatusCode)
 	}
+	// With no observed queue waits yet the advice floors at 1 second.
 	if resp.Header.Get("Retry-After") != "1" {
-		t.Fatalf("Retry-After = %q, want 1", resp.Header.Get("Retry-After"))
+		t.Fatalf("Retry-After = %q, want the 1s floor", resp.Header.Get("Retry-After"))
 	}
 	var eb errorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
@@ -238,11 +240,72 @@ func TestGlobalAdmissionControl(t *testing.T) {
 	if srv.metrics.shedGlobal.Load() != 1 {
 		t.Fatalf("shed counter = %d, want 1", srv.metrics.shedGlobal.Load())
 	}
+	// Retry-After tracks observed saturation: after clients have been seen
+	// queueing ~4.2s, shed responses must advise a matching backoff (rounded
+	// up), not a hardcoded constant.
+	srv.metrics.noteQueueWait(4200 * time.Millisecond)
+	srv.metrics.noteQueueWait(4200 * time.Millisecond)
+	srv.metrics.noteQueueWait(4200 * time.Millisecond)
+	resp2, err := http.Get(tc.base + "/v1/sessions/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second saturated request = %d, want 429", resp2.StatusCode)
+	}
+	if ra := resp2.Header.Get("Retry-After"); ra == "1" || ra == "" {
+		t.Fatalf("Retry-After = %q after 4.2s observed queue waits, want it derived from the waits", ra)
+	}
 	<-srv.sem
 	tc.must("POST", "/v1/sessions", body, 200)
 	metrics := string(tc.must("GET", "/metrics", nil, 200))
-	if !strings.Contains(metrics, `aapsmd_requests_shed_total{scope="global"} 1`) {
+	if !strings.Contains(metrics, `aapsmd_requests_shed_total{scope="global"} 2`) {
 		t.Error("metrics missing the global shed count")
+	}
+}
+
+// TestClientGoneWhileQueued: a request whose client disconnects while
+// queueing for an admission slot is answered without Retry-After and counted
+// under scope="client_gone" — NOT scope="global" — so disconnect waves do
+// not inflate the overload signal.
+func TestClientGoneWhileQueued(t *testing.T) {
+	srv := New(Config{
+		Engine:      persistEngine(),
+		MaxInflight: 1,
+		QueueWait:   5 * time.Second,
+	})
+	t.Cleanup(srv.Close)
+	srv.sem <- struct{}{} // saturate: the request must take the queue path
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone when the queue wait starts
+	req := httptest.NewRequest("GET", "/v1/sessions/nope", nil).WithContext(ctx)
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("cancelled queued request = %d, want 429", rr.Code)
+	}
+	if ra := rr.Header().Get("Retry-After"); ra != "" {
+		t.Fatalf("Retry-After = %q for a gone client, want no header (nobody is listening)", ra)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rr.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "client_gone" {
+		t.Fatalf("cancelled shed error = %+v, want code client_gone", eb.Error)
+	}
+	if n := srv.metrics.shedGlobal.Load(); n != 0 {
+		t.Fatalf("global shed counter = %d after a client-gone shed, want 0", n)
+	}
+	if n := srv.metrics.shedClientGone.Load(); n != 1 {
+		t.Fatalf("client_gone shed counter = %d, want 1", n)
+	}
+	<-srv.sem
+	rr2 := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr2, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rr2.Body.String(), `aapsmd_requests_shed_total{scope="client_gone"} 1`) {
+		t.Error("metrics missing the client_gone shed count")
 	}
 }
 
@@ -282,6 +345,7 @@ func TestPerSessionAdmissionControl(t *testing.T) {
 	srv, tc := newTestServer(t, Config{
 		Engine:             persistEngine(),
 		MaxSessionInflight: 1,
+		QueueWait:          -1, // shed immediately: no timing in the saturation assertions
 	})
 	var a, b createResponse
 	if err := json.Unmarshal(tc.must("POST", "/v1/sessions", layoutText(t, loadLayout(71)), 200), &a); err != nil {
@@ -295,9 +359,7 @@ func TestPerSessionAdmissionControl(t *testing.T) {
 	if !ok {
 		t.Fatal("session a not live")
 	}
-	if !srv.store.acquireRequestSlot(ent, 1) {
-		t.Fatal("could not take the idle session's slot")
-	}
+	ent.slots <- struct{}{}
 	var eb errorBody
 	if err := json.Unmarshal(tc.must("GET", "/v1/sessions/"+a.ID, nil, 429), &eb); err != nil {
 		t.Fatal(err)
@@ -306,11 +368,50 @@ func TestPerSessionAdmissionControl(t *testing.T) {
 		t.Fatalf("busy error = %+v", eb.Error)
 	}
 	tc.must("GET", "/v1/sessions/"+b.ID, nil, 200) // other sessions unaffected
-	srv.store.releaseRequestSlot(ent)
+	<-ent.slots
 	srv.store.release(ent)
 	tc.must("GET", "/v1/sessions/"+a.ID, nil, 200)
 	if srv.metrics.shedSession.Load() != 1 {
 		t.Fatalf("session shed counter = %d, want 1", srv.metrics.shedSession.Load())
+	}
+}
+
+// TestSessionAdmissionQueueWait: a session at its concurrent-request cap no
+// longer sheds immediately — the request queues with the same bounded wait
+// as the global semaphore and is admitted once the slot frees.
+func TestSessionAdmissionQueueWait(t *testing.T) {
+	srv, tc := newTestServer(t, Config{
+		Engine:             persistEngine(),
+		MaxSessionInflight: 1,
+		QueueWait:          2 * time.Second,
+	})
+	var a createResponse
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions", layoutText(t, loadLayout(75)), 200), &a); err != nil {
+		t.Fatal(err)
+	}
+	ent, ok := srv.store.get(a.ID)
+	if !ok {
+		t.Fatal("session a not live")
+	}
+	defer srv.store.release(ent)
+	ent.slots <- struct{}{}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		<-ent.slots
+	}()
+	resp, err := http.Get(tc.base + "/v1/sessions/" + a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("queued session request = %d, want 200 after the slot frees", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Aapsmd-Queue-Wait") == "" {
+		t.Fatal("session request admitted after queueing is missing X-Aapsmd-Queue-Wait")
+	}
+	if srv.metrics.shedSession.Load() != 0 {
+		t.Fatalf("session shed counter = %d, want 0 (request queued, not shed)", srv.metrics.shedSession.Load())
 	}
 }
 

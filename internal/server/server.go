@@ -19,6 +19,7 @@
 //	GET    /v1/sessions/{id}/mask        mask view (text or GDS)
 //	GET    /v1/sessions/{id}/layout      current layout export (text or GDS)
 //	GET    /v1/sessions/{id}/svg         SVG render with overlays
+//	GET    /v1/sessions/{id}/stream      SSE stream: per-stage results after every edit batch
 //	GET    /healthz                      liveness (503 while draining)
 //	GET    /readyz                       readiness (503 while draining or persistence-degraded)
 //	GET    /metrics                      Prometheus text metrics
@@ -90,9 +91,32 @@ type Config struct {
 	// immediately when the server is saturated.
 	QueueWait time.Duration
 	// MaxSessionInflight bounds concurrent requests touching one session;
-	// past it the request is shed with 429 session_busy. 0 means the
-	// default 16; negative disables the per-session bound.
+	// past it the request queues for up to QueueWait (same timer/cancel
+	// logic as the global semaphore) and is then shed with 429
+	// session_busy. 0 means the default 16; negative disables the
+	// per-session bound.
 	MaxSessionInflight int
+
+	// BatchMax caps how many concurrent edit requests coalesce into one
+	// merged Session.Edit batch (and one shared incremental re-pipeline).
+	// 0 means the default 32; negative disables coalescing (every request
+	// is its own batch).
+	BatchMax int
+	// BatchWait is how long the batch runner lingers after the first queued
+	// edit to let near-simultaneous requests coalesce (the maxWait bound of
+	// the batcher). 0 means the default 2ms; negative disables the linger —
+	// batches then form only from requests arriving while a previous batch
+	// is solving (group commit).
+	BatchWait time.Duration
+
+	// MaxStreams bounds concurrent streaming connections
+	// (GET /v1/sessions/{id}/stream); past it streams are shed with 429
+	// stream_limit. Streams are exempt from MaxInflight/MaxSessionInflight.
+	// 0 means the default 256; negative disables the bound.
+	MaxStreams int
+	// StreamHeartbeat is the idle keep-alive period of streaming
+	// connections (`: ping` comments). 0 means the default 15s.
+	StreamHeartbeat time.Duration
 
 	// SnapshotRetryMin and SnapshotRetryMax bound the capped exponential
 	// backoff of asynchronous snapshot-write retries. Zero values mean the
@@ -158,6 +182,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessionInflight < 0 {
 		c.MaxSessionInflight = 0
 	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 32
+	}
+	if c.BatchMax < 0 {
+		c.BatchMax = 1
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.BatchWait < 0 {
+		c.BatchWait = 0
+	}
+	if c.MaxStreams == 0 {
+		c.MaxStreams = 256
+	}
+	if c.MaxStreams < 0 {
+		c.MaxStreams = 0
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
 	if c.SnapshotRetryMin <= 0 {
 		c.SnapshotRetryMin = 100 * time.Millisecond
 	}
@@ -190,11 +235,12 @@ type Server struct {
 	stop    chan struct{}
 
 	// Admission semaphore (nil when admission control is disabled), the
-	// bounded async snapshot-retry queue, and the persistence health the
-	// readiness probe reports.
-	sem    chan struct{}
-	retry  snapRetry
-	health storeHealth
+	// concurrent-stream bound, the bounded async snapshot-retry queue, and
+	// the persistence health the readiness probe reports.
+	sem       chan struct{}
+	streamSem chan struct{}
+	retry     snapRetry
+	health    storeHealth
 
 	// Snapshot index: which snapshot the store holds per session ID, and —
 	// for pristine snapshots — per content hash, loaded from
@@ -226,7 +272,11 @@ func New(cfg Config) *Server {
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
+	if cfg.MaxStreams > 0 {
+		s.streamSem = make(chan struct{}, cfg.MaxStreams)
+	}
 	s.store = newSessionStore(cfg.StoreCapacity, cfg.SessionTTL, cfg.now, s.onEvict)
+	s.store.slotCap = cfg.MaxSessionInflight
 	if cfg.Snapshots != nil {
 		if refs, err := cfg.Snapshots.List(); err == nil {
 			for _, ref := range refs {
@@ -484,13 +534,18 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", true, s.handleDelete))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/edits", s.route("edits", true, s.session(s.handleEdits)))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/flush", s.route("flush", true, s.session(s.handleFlush)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/detect", s.route("detect", true, s.session(s.handleDetect)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/assign", s.route("assign", true, s.session(s.handleAssign)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/correct", s.route("correct", true, s.session(s.handleCorrect)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/drc", s.route("drc", true, s.session(s.handleDRC)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/mask", s.route("mask", true, s.session(s.handleMask)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/layout", s.route("layout", true, s.session(s.handleLayout)))
-	s.mux.HandleFunc("GET /v1/sessions/{id}/svg", s.route("svg", true, s.session(s.handleSVG)))
+	// Read stages go through the per-stage single-flight: identical requests
+	// at one session generation compute and encode the response once.
+	s.mux.HandleFunc("GET /v1/sessions/{id}/detect", s.route("detect", true, s.session(s.coalesced("detect", s.handleDetect))))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/assign", s.route("assign", true, s.session(s.coalesced("assign", s.handleAssign))))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/correct", s.route("correct", true, s.session(s.coalesced("correct", s.handleCorrect))))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/drc", s.route("drc", true, s.session(s.coalesced("drc", s.handleDRC))))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/mask", s.route("mask", true, s.session(s.coalesced("mask", s.handleMask))))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/layout", s.route("layout", true, s.session(s.coalesced("layout", s.handleLayout))))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/svg", s.route("svg", true, s.session(s.coalesced("svg", s.handleSVG))))
+	// Streams are long-lived: no global admission slot, no per-session slot,
+	// no request timeout — bounded instead by MaxStreams and the client.
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stream", s.routeStream("stream", s.sessionWith(s.handleStream, false)))
 }
 
 // route wraps a handler with the cross-cutting serving concerns: panic
@@ -531,45 +586,93 @@ func (s *Server) route(name string, admit bool, h http.HandlerFunc) http.Handler
 	}
 }
 
+// routeStream wraps the streaming endpoint: panic isolation and request
+// metrics like route, but no admission slot and no request timeout — a
+// stream is long-lived by design and is bounded by MaxStreams instead.
+func (s *Server) routeStream(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.panicsHandler.Add(1)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "panic", "", "",
+						fmt.Sprintf("handler panic: %v", v))
+				}
+			}
+			s.metrics.observe(name, sw.code, time.Since(start))
+		}()
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		h(sw, r)
+	}
+}
+
 // admitRequest takes a global admission slot, queueing for up to
 // cfg.QueueWait when the server is saturated. A request that cannot be
-// admitted is shed with a typed 429 and Retry-After; an admitted request
-// that had to queue reports its wait in the X-Aapsmd-Queue-Wait header and
-// the queue-wait metrics.
+// admitted is shed with a typed 429 and a Retry-After derived from recently
+// observed queue waits; an admitted request that had to queue reports its
+// wait in the X-Aapsmd-Queue-Wait header and the queue-wait metrics. A
+// client that disconnected while queueing is answered without Retry-After
+// and counted separately (scope="client_gone") so disconnects do not pollute
+// the overload signal.
 func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request) bool {
+	return s.admitSem(w, r, s.sem, "overloaded",
+		"server is at its in-flight request limit; retry shortly")
+}
+
+// admitSem is the admission core shared by the global semaphore and the
+// per-session slot channels: immediate grab, bounded queue wait, then shed.
+func (s *Server) admitSem(w http.ResponseWriter, r *http.Request, sem chan struct{}, code, msg string) bool {
 	select {
-	case s.sem <- struct{}{}:
+	case sem <- struct{}{}:
 		return true
 	default:
 	}
 	if s.cfg.QueueWait <= 0 {
-		s.shed(w)
+		s.shed(w, code, msg)
 		return false
 	}
 	waitStart := time.Now()
 	t := time.NewTimer(s.cfg.QueueWait)
 	defer t.Stop()
 	select {
-	case s.sem <- struct{}{}:
+	case sem <- struct{}{}:
 		wait := time.Since(waitStart)
 		s.metrics.observeQueueWait(wait)
 		w.Header().Set("X-Aapsmd-Queue-Wait", wait.String())
 		return true
 	case <-t.C:
-		s.shed(w)
+		// A timed-out wait IS an observed queue wait of the full budget;
+		// feeding it into the Retry-After signal is what makes backoff grow
+		// with saturation.
+		s.metrics.noteQueueWait(s.cfg.QueueWait)
+		s.shed(w, code, msg)
 		return false
 	case <-r.Context().Done():
-		s.shed(w)
+		// The client is gone: answer without Retry-After (nobody is
+		// listening) and keep it out of the overload counters — a wave of
+		// disconnects is not saturation.
+		s.metrics.shedClientGone.Add(1)
+		writeError(w, http.StatusTooManyRequests, "client_gone", "", "",
+			"request cancelled while queued for an admission slot")
 		return false
 	}
 }
 
-// shed rejects a request the admission layer could not seat.
-func (s *Server) shed(w http.ResponseWriter) {
-	s.metrics.shedGlobal.Add(1)
-	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusTooManyRequests, "overloaded", "", "",
-		"server is at its in-flight request limit; retry shortly")
+// shed rejects a request the admission layer could not seat. Retry-After is
+// derived from the recently observed queue waits (rounded up to whole
+// seconds, capped) so clients back off proportionally to actual saturation
+// instead of a hardcoded constant.
+func (s *Server) shed(w http.ResponseWriter, code, msg string) {
+	if code == "session_busy" {
+		s.metrics.shedSession.Add(1)
+	} else {
+		s.metrics.shedGlobal.Add(1)
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.metrics.retryAfterSecs()))
+	writeError(w, http.StatusTooManyRequests, code, "", "", msg)
 }
 
 // session resolves the {id} path component to a stored session —
@@ -581,6 +684,13 @@ func (s *Server) shed(w http.ResponseWriter) {
 // session can observe overlapping deltas — the counters are operational
 // telemetry, not an exact ledger.)
 func (s *Server) session(h func(http.ResponseWriter, *http.Request, *sessionEntry)) http.HandlerFunc {
+	return s.sessionWith(h, true)
+}
+
+// sessionWith is session with the per-session admission slot optional:
+// streaming connections resolve the session but must not pin a slot for
+// their whole lifetime (they would starve the very edits they watch).
+func (s *Server) sessionWith(h func(http.ResponseWriter, *http.Request, *sessionEntry), useSlot bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		ent, ok := s.store.get(id)
@@ -594,16 +704,14 @@ func (s *Server) session(h func(http.ResponseWriter, *http.Request, *sessionEntr
 		}
 		defer s.store.release(ent)
 		// Per-session admission: one hot session must not monopolize the
-		// global in-flight budget.
-		if max := s.cfg.MaxSessionInflight; max > 0 {
-			if !s.store.acquireRequestSlot(ent, max) {
-				s.metrics.shedSession.Add(1)
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, "session_busy", "", "",
-					"session "+strconv.Quote(id)+" is at its concurrent request limit; retry shortly")
+		// global in-flight budget. Saturated sessions queue with the same
+		// bounded wait (timer/cancel logic) as the global semaphore.
+		if useSlot && ent.slots != nil {
+			if !s.admitSem(w, r, ent.slots, "session_busy",
+				"session "+strconv.Quote(id)+" is at its concurrent request limit; retry shortly") {
 				return
 			}
-			defer s.store.releaseRequestSlot(ent)
+			defer func() { <-ent.slots }()
 		}
 		before := ent.Sess.Stats().Incremental
 		h(w, r, ent)
@@ -630,6 +738,10 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap exposes the wrapped writer so http.ResponseController can reach
+// Flush on the real connection — the streaming endpoint depends on it.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // sweepLoop expires idle sessions in the background.
 func (s *Server) sweepLoop() {

@@ -40,10 +40,16 @@ type sessionEntry struct {
 	// (unpin), so store faults degrade to higher memory use, never to lost
 	// session work.
 	pinned bool
-	// inflightReqs counts requests currently inside a handler for this
-	// session (admission control; distinct from refs, which also counts
-	// flush loops and short index holds).
-	inflightReqs int
+	// slots bounds requests concurrently inside handlers for this session
+	// (per-session admission control; distinct from refs, which also counts
+	// flush loops and short index holds). Nil when the bound is disabled.
+	// A channel, not a counter, so saturated requests can queue on it with
+	// the same timer/cancel logic as the global admission semaphore.
+	slots chan struct{}
+	// batch coalesces concurrent edit requests into merged Session.Edit
+	// batches and fans results back out (see batcher.go). It also carries
+	// the edit-notification channel streaming connections wait on.
+	batch *editBatcher
 }
 
 // evictReason labels why a session left the store (metrics).
@@ -78,6 +84,10 @@ type sessionStore struct {
 	mu       sync.Mutex
 	capacity int
 	ttl      time.Duration
+	// slotCap sizes each entry's per-session admission semaphore (0 = no
+	// bound). The server sets it right after construction, before any entry
+	// exists.
+	slotCap  int
 	now      func() time.Time
 	byID     map[string]*sessionEntry
 	byHash   map[string]*sessionEntry // pristine sessions only
@@ -176,12 +186,7 @@ func (st *sessionStore) getOrCreate(ctx context.Context, hash string, mk func() 
 		return nil, false, err
 	}
 	st.seq++
-	ent = &sessionEntry{
-		ID:      fmt.Sprintf("%s-%d", hash[:12], st.seq),
-		Hash:    hash,
-		Sess:    sess,
-		Created: st.now(),
-	}
+	ent = st.newEntryLocked(fmt.Sprintf("%s-%d", hash[:12], st.seq), hash, sess)
 	st.byID[ent.ID] = ent
 	st.byHash[hash] = ent
 	ent.elem = st.lru.PushFront(ent)
@@ -215,13 +220,8 @@ func (st *sessionStore) adopt(id, hash string, edited bool, sess *aapsm.Session)
 			st.seq = n
 		}
 	}
-	ent = &sessionEntry{
-		ID:      id,
-		Hash:    hash,
-		Sess:    sess,
-		Created: st.now(),
-		edited:  edited,
-	}
+	ent = st.newEntryLocked(id, hash, sess)
+	ent.edited = edited
 	st.byID[id] = ent
 	if !edited && st.byHash[hash] == nil {
 		st.byHash[hash] = ent
@@ -330,23 +330,28 @@ func (st *sessionStore) pinnedCount() int {
 	return st.pinnedN
 }
 
-// acquireRequestSlot admits one request onto the session if fewer than max
-// are already inside handlers for it (per-session admission control).
-func (st *sessionStore) acquireRequestSlot(e *sessionEntry, max int) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if e.inflightReqs >= max {
-		return false
+// newEntryLocked builds a fresh entry with its per-session admission
+// semaphore and edit batcher armed. The store mutex must be held.
+func (st *sessionStore) newEntryLocked(id, hash string, sess *aapsm.Session) *sessionEntry {
+	e := &sessionEntry{
+		ID:      id,
+		Hash:    hash,
+		Sess:    sess,
+		Created: st.now(),
+		batch:   newEditBatcher(),
 	}
-	e.inflightReqs++
-	return true
+	if st.slotCap > 0 {
+		e.slots = make(chan struct{}, st.slotCap)
+	}
+	return e
 }
 
-// releaseRequestSlot returns a per-session admission slot.
-func (st *sessionStore) releaseRequestSlot(e *sessionEntry) {
+// hold acquires one extra reference on an already-held entry (batch runners
+// that outlive the request that enqueued the work). Pair with release.
+func (st *sessionStore) hold(e *sessionEntry) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	e.inflightReqs--
+	e.refs++
+	st.mu.Unlock()
 }
 
 // delete removes the entry explicitly; it reports whether the id was live.

@@ -89,6 +89,11 @@ type Session struct {
 	mu         sync.Mutex
 	detectRuns int
 	edits      int
+	// gen counts invalidation epochs: it advances once per mutation batch
+	// (Edit) or standalone mutation, so two reads of equal generation are
+	// guaranteed to observe the same layout state. Servers use it to key
+	// response caches and to tag streamed stage results.
+	gen int64
 	// inc is the incremental edit-and-re-detect engine, armed by the first
 	// mutation; once set, s.layout aliases inc.Layout() and detection routes
 	// through it. Every downstream stage then reuses along the same conflict
@@ -200,6 +205,16 @@ type SessionStats struct {
 	Incremental IncrementalStats
 }
 
+// Generation returns the session's invalidation epoch: it advances once per
+// mutation batch (or standalone mutation), never otherwise. Two stage reads
+// taken at the same generation reflect the same layout state, which is what
+// lets callers coalesce identical read requests or tag streamed results.
+func (s *Session) Generation() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
 // Stats returns the session's work counters.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
@@ -230,6 +245,7 @@ func (s *Session) ensureEditableLocked() error {
 // mutation. Detection state inside the incremental engine survives — that is
 // what makes the next Detect cheap.
 func (s *Session) invalidateLocked() {
+	s.gen++
 	s.detect = stage[*Result]{}
 	s.assignment = stage[*Assignment]{}
 	s.correction = stage[*Correction]{}
