@@ -180,6 +180,7 @@ func engineFor(rules Rules, opt DetectOptions) *Engine {
 // Deprecated: use NewEngine(...).NewSession(l).Detect(ctx), which memoizes
 // the result for later stages and honors cancellation.
 func Detect(l *Layout, rules Rules, opt DetectOptions) (*Result, error) {
+	//aapsmvet:allow ctxflow deprecated one-shot wrapper has no ctx parameter; callers migrate to Session.Detect(ctx)
 	return engineFor(rules, opt).Detect(context.Background(), l)
 }
 

@@ -1,0 +1,180 @@
+// Command aapsmvet runs the repo's static-analysis suite (internal/lint)
+// over a set of packages, in the spirit of a go/analysis multichecker:
+//
+//	go run ./cmd/aapsmvet ./...
+//	go run ./cmd/aapsmvet ./internal/core ./internal/server
+//	go run ./cmd/aapsmvet -list
+//
+// It prints one finding per line (file:line:col: analyzer: message) and
+// exits 1 when any finding survives suppression. A finding is suppressed by
+// an allow directive with a non-empty reason on the same or preceding line:
+//
+//	//aapsmvet:allow <analyzer> <reason>
+//
+// The suite is stdlib-only (no golang.org/x/tools dependency): packages are
+// loaded and type-checked with go/parser + go/types and the source importer,
+// so the binary needs nothing but the Go toolchain and the source tree. The
+// same checks run in `go test ./internal/lint` (TestRepoLintClean), which is
+// the CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: aapsmvet [-list] [-only a,b] [packages]\n\npackages are ./...-style patterns or directories; default ./...\n\nanalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := lint.All()
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range lint.All() {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "aapsmvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	pkgs, err := resolvePatterns(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aapsmvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	loader := lint.NewLoader()
+	findings := 0
+	for _, p := range pkgs {
+		pkg, err := loader.Load(p[0], p[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aapsmvet: %v\n", err)
+			os.Exit(2)
+		}
+		var diags []lint.Diagnostic
+		if *only == "" {
+			diags = lint.RunAll(pkg)
+		} else {
+			for _, a := range selected {
+				diags = append(diags, lint.RunAnalyzer(a, pkg)...)
+			}
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "aapsmvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// resolvePatterns turns command-line package arguments into (dir, import
+// path) pairs. Supported forms: no args or "./..." (whole module from the
+// current directory's module root), and explicit directory paths.
+func resolvePatterns(args []string) ([][2]string, error) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var out [][2]string
+	seen := map[string]bool{}
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			pkgs, err := lint.RepoPackages(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pkgs {
+				if !seen[p[1]] {
+					seen[p[1]] = true
+					out = append(out, p)
+				}
+			}
+		case strings.HasSuffix(arg, "/..."):
+			base := strings.TrimSuffix(arg, "/...")
+			pkgs, err := lint.RepoPackages(root)
+			if err != nil {
+				return nil, err
+			}
+			sub, err := dirToImportPath(root, base)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pkgs {
+				if p[1] == sub || strings.HasPrefix(p[1], sub+"/") {
+					if !seen[p[1]] {
+						seen[p[1]] = true
+						out = append(out, p)
+					}
+				}
+			}
+		default:
+			ip, err := dirToImportPath(root, arg)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[ip] {
+				seen[ip] = true
+				dir := arg
+				if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+					return nil, fmt.Errorf("not a package directory: %s", arg)
+				}
+				out = append(out, [2]string{dir, ip})
+			}
+		}
+	}
+	return out, nil
+}
+
+// dirToImportPath maps a directory argument to its import path within the
+// module rooted at root.
+func dirToImportPath(root, dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	modPath, err := lint.ModulePath(root)
+	if err != nil {
+		return "", err
+	}
+	if abs == root {
+		return modPath, nil
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, root)
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}

@@ -233,30 +233,30 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 		tBuild := time.Now()
 		cg, err := core.BuildGraph(l, rules, core.PCG)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", d.Name, err)
+			return nil, fmt.Errorf("%s: %w", d.Name, err)
 		}
 		buildNS := time.Since(tBuild).Nanoseconds()
 		det, err := core.Detect(cg, core.Options{Workers: workers})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", d.Name, err)
+			return nil, fmt.Errorf("%s: %w", d.Name, err)
 		}
 		runtime.ReadMemStats(&after)
 
 		editNS, editReused, err := measureEditRedetect(d, rules, workers)
 		if err != nil {
-			return nil, fmt.Errorf("%s: edit redetect: %v", d.Name, err)
+			return nil, fmt.Errorf("%s: edit redetect: %w", d.Name, err)
 		}
 		pipe, err := measureEditRepipeline(d, rules, workers)
 		if err != nil {
-			return nil, fmt.Errorf("%s: edit repipeline: %v", d.Name, err)
+			return nil, fmt.Errorf("%s: edit repipeline: %w", d.Name, err)
 		}
 		snapBytes, restoreNS, err := measureRestore(d, rules, workers)
 		if err != nil {
-			return nil, fmt.Errorf("%s: restore: %v", d.Name, err)
+			return nil, fmt.Errorf("%s: restore: %w", d.Name, err)
 		}
 		served, err := measureServedContended(d, rules)
 		if err != nil {
-			return nil, fmt.Errorf("%s: contended serving: %v", d.Name, err)
+			return nil, fmt.Errorf("%s: contended serving: %w", d.Name, err)
 		}
 
 		s := det.Stats
@@ -532,7 +532,7 @@ func compareBaseline(doc *detectTrajectory, path string, tol float64) error {
 	}
 	var base detectTrajectory
 	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("%s: %v", path, err)
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	baseByName := make(map[string]detectRecord, len(base.Designs))
 	for _, r := range base.Designs {

@@ -41,6 +41,8 @@ const (
 	// StageEdit covers layout mutations on an incremental session
 	// (AddFeature, MoveFeature, DeleteFeature, Edit).
 	StageEdit
+	// StagePersist covers session snapshot and restore.
+	StagePersist
 )
 
 func (s FlowStage) String() string {
@@ -57,6 +59,8 @@ func (s FlowStage) String() string {
 		return "render"
 	case StageEdit:
 		return "edit"
+	case StagePersist:
+		return "persist"
 	}
 	return fmt.Sprintf("stage(%d)", int(s))
 }

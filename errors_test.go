@@ -20,6 +20,7 @@ func TestFlowStageString(t *testing.T) {
 		{StageMask, "mask"},
 		{StageRender, "render"},
 		{StageEdit, "edit"},
+		{StagePersist, "persist"},
 		{FlowStage(99), "stage(99)"},
 	}
 	for _, c := range cases {

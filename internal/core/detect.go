@@ -121,6 +121,7 @@ type Options struct {
 // n/k beat one monolithic solve of size n even sequentially, and clusters
 // are independent so Options.Workers of them run concurrently.
 func Detect(cg *ConflictGraph, opt Options) (*Detection, error) {
+	//aapsmvet:allow ctxflow compatibility wrapper for non-cancellable callers; DetectContext is the ctx-aware entry point
 	return DetectContext(context.Background(), cg, opt)
 }
 
@@ -129,7 +130,7 @@ func Detect(cg *ConflictGraph, opt Options) (*Detection, error) {
 // loop, so a cancelled detection returns ctx.Err() promptly instead of
 // finishing a potentially large matching instance.
 func DetectContext(ctx context.Context, cg *ConflictGraph, opt Options) (*Detection, error) {
-	start := time.Now()
+	start := time.Now() //aapsmvet:allow determinism stage-timing telemetry only; durations land in Stats, never in results
 	det := &Detection{Graph: cg}
 	det.Stats.GraphNodes = cg.Nodes()
 	det.Stats.GraphEdges = cg.Edges()
@@ -140,7 +141,7 @@ func DetectContext(ctx context.Context, cg *ConflictGraph, opt Options) (*Detect
 
 	// Step 1a: one global geometric sweep finds all crossing pairs; the
 	// greedy removal itself happens per shard on this precomputed list.
-	tCross := time.Now()
+	tCross := time.Now() //aapsmvet:allow determinism stage-timing telemetry only; durations land in Stats, never in results
 	crossPairs := cg.Drawing.Crossings()
 	det.Stats.CrossTime = time.Since(tCross)
 	det.Stats.CrossingPairs = len(crossPairs)
@@ -489,7 +490,7 @@ func detectShard(ctx context.Context, d *planar.Drawing, pairs [][2]int, opt Opt
 	r := &shardResult{}
 
 	// Step 1b: greedy crossing removal on the precomputed pair list.
-	t0 := time.Now()
+	t0 := time.Now() //aapsmvet:allow determinism stage-timing telemetry only; durations land in Stats, never in results
 	r.removed = d.PlanarizeGiven(pairs)
 	r.planarTime = time.Since(t0)
 	m := d.G.M()
@@ -507,7 +508,7 @@ func detectShard(ctx context.Context, d *planar.Drawing, pairs [][2]int, opt Opt
 	// minimum T-join on its geometric dual with T = odd faces. The drawing
 	// was planarized two lines up, so the defensive crossing re-scan of
 	// BuildEmbedding is skipped.
-	t1 := time.Now()
+	t1 := time.Now() //aapsmvet:allow determinism stage-timing telemetry only; durations land in Stats, never in results
 	em, err := planar.BuildEmbeddingUnchecked(planarDrawing)
 	if err != nil {
 		return nil, fmt.Errorf("embedding after planarization: %w", err)
@@ -534,7 +535,7 @@ func detectShard(ctx context.Context, d *planar.Drawing, pairs [][2]int, opt Opt
 		}
 	}
 
-	t2 := time.Now()
+	t2 := time.Now() //aapsmvet:allow determinism stage-timing telemetry only; durations land in Stats, never in results
 	join, err := tjoin.SolveContext(ctx, dual, T, opt.TJoin)
 	if err != nil {
 		return nil, fmt.Errorf("dual T-join: %w", err)
@@ -557,7 +558,7 @@ func detectShard(ctx context.Context, d *planar.Drawing, pairs [][2]int, opt Opt
 
 	// Step 3: the edges removed for planarity (P) may themselves close odd
 	// cycles against the bipartized remainder.
-	t3 := time.Now()
+	t3 := time.Now() //aapsmvet:allow determinism stage-timing telemetry only; durations land in Stats, never in results
 	r.final, err = recheck(d.G, r.removed, removedSet, bipartSet, opt.Recheck)
 	if err != nil {
 		return nil, err
@@ -650,7 +651,7 @@ func GreedyDetect(cg *ConflictGraph) *Detection {
 	det := &Detection{Graph: cg}
 	det.Stats.GraphNodes = cg.Nodes()
 	det.Stats.GraphEdges = cg.Edges()
-	start := time.Now()
+	start := time.Now() //aapsmvet:allow determinism stage-timing telemetry only; durations land in Stats, never in results
 	for _, ei := range graph.GreedyBipartization(cg.Drawing.G) {
 		det.FinalConflicts = append(det.FinalConflicts, conflictFor(cg, ei))
 	}

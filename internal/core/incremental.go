@@ -298,7 +298,7 @@ func (inc *Incremental) Detect(ctx context.Context) (*Detection, error) {
 	if inc.prev != nil && len(inc.dirty) == 0 && len(inc.deleted) == 0 {
 		return inc.prev.det, nil
 	}
-	start := time.Now()
+	start := time.Now() //aapsmvet:allow determinism stage-timing telemetry only; durations land in Stats, never in results
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -402,7 +402,7 @@ func (inc *Incremental) Detect(ctx context.Context) (*Detection, error) {
 		}
 	}
 
-	tCross := time.Now()
+	tCross := time.Now() //aapsmvet:allow determinism stage-timing telemetry only; durations land in Stats, never in results
 	var crossPairs [][2]int
 	if full {
 		crossPairs = cg.Drawing.Crossings()

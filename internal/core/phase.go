@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/geom"
 )
@@ -102,7 +103,15 @@ func (a *Assignment) Verify(cg *ConflictGraph) []Violation {
 // holds and re-checking it would be redundant work.
 func (a *Assignment) VerifySubset(cg *ConflictGraph, checkFeature, checkOverlap func(int) bool) []Violation {
 	var out []Violation
-	for fi, pair := range cg.Set.PairOf {
+	// PairOf is a map: iterate its keys in sorted order so the violation list
+	// comes back in ascending feature order, not randomized map order.
+	feats := make([]int, 0, len(cg.Set.PairOf))
+	for fi := range cg.Set.PairOf {
+		feats = append(feats, fi)
+	}
+	sort.Ints(feats)
+	for _, fi := range feats {
+		pair := cg.Set.PairOf[fi]
 		if checkFeature != nil && !checkFeature(fi) {
 			continue
 		}

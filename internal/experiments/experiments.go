@@ -69,6 +69,7 @@ func RunTable1Row(d bench.Design, rules layout.Rules) (Table1Row, error) {
 // designs to suppress scheduler noise.
 func Table1RowFor(l *layout.Layout, rules layout.Rules) (Table1Row, error) {
 	row := Table1Row{Design: l.Name, Polygons: len(l.Features)}
+	//aapsmvet:allow ctxflow experiment driver reproducing a paper table; runs to completion by design, no caller to cancel it
 	ctx := context.Background()
 	reps := 5
 	if len(l.Features) > 50000 {
@@ -178,6 +179,7 @@ func RunTable2Row(d bench.Design, rules layout.Rules) (Table2Row, error) {
 // Table2RowFor executes the Table 2 measurement on an arbitrary layout.
 func Table2RowFor(l *layout.Layout, rules layout.Rules) (Table2Row, error) {
 	row := Table2Row{Design: l.Name, AreaUm2: float64(l.Area()) / 1e6}
+	//aapsmvet:allow ctxflow experiment driver reproducing a paper table; runs to completion by design, no caller to cancel it
 	ctx := context.Background()
 	s := aapsm.NewEngine(aapsm.WithRules(rules)).NewSession(l)
 	res, err := s.Detect(ctx)
@@ -299,6 +301,7 @@ type CorrectionComparison struct {
 func RunCorrectionComparison(d bench.Design, rules layout.Rules) (CorrectionComparison, error) {
 	l := bench.Generate(d.Name, d.Params)
 	out := CorrectionComparison{Design: d.Name}
+	//aapsmvet:allow ctxflow experiment driver reproducing a paper table; runs to completion by design, no caller to cancel it
 	ctx := context.Background()
 	s := aapsm.NewEngine(aapsm.WithRules(rules)).NewSession(l)
 	res, err := s.Detect(ctx)

@@ -179,7 +179,7 @@ func Read(r io.Reader) (*layout.Layout, error) {
 		}
 		payload := make([]byte, length-4)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return nil, fmt.Errorf("gds: truncated record 0x%02x: %v", rt, err)
+			return nil, fmt.Errorf("gds: truncated record 0x%02x: %w", rt, err)
 		}
 		if !sawHeader && rt != recHEADER {
 			return nil, fmt.Errorf("gds: stream does not start with HEADER")

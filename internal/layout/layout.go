@@ -203,7 +203,7 @@ func ReadText(r io.Reader) (*Layout, error) {
 			var v [5]int64
 			for i := 1; i < len(fields); i++ {
 				if _, err := fmt.Sscanf(fields[i], "%d", &v[i-1]); err != nil {
-					return nil, fmt.Errorf("layout: line %d: %v", line, err)
+					return nil, fmt.Errorf("layout: line %d: %w", line, err)
 				}
 			}
 			l.AddOnLayer(geom.R(v[0], v[1], v[2], v[3]), int(v[4]))

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxflowAnalyzer enforces that cancellation stays threaded through the
+// pipeline:
+//
+//   - context.Background() / context.TODO() are banned in non-main, non-test
+//     code: library code receives its context, it never invents one;
+//   - in the pipeline packages and the root package, a function that takes a
+//     context.Context must not drop it on the floor when calling a
+//     context-less function that has a context-aware sibling: calling
+//     Solve(...) where SolveContext(ctx, ...) exists (or Foo where FooCtx
+//     exists) severs cancellation for the whole subtree;
+//   - passing a nil literal where a callee expects a context.Context is
+//     flagged everywhere.
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "ban context.Background/TODO in library code and flag dropped-context calls in pipeline packages",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		if pass.testFiles[file] {
+			continue
+		}
+		if !isMain {
+			checkNoFreshContexts(pass, file)
+		}
+		checkNilContextArgs(pass, file)
+		if isPipelinePkg(pass.PkgPath) || isRootPkg(pass.PkgPath) {
+			checkDroppedContexts(pass, file)
+		}
+	}
+}
+
+func isRootPkg(path string) bool { return path == "repro" }
+
+func checkNoFreshContexts(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := selectorCall(pass.Info, call, "context"); ok && (name == "Background" || name == "TODO") {
+			pass.Reportf(call.Pos(), "context.%s in library code: accept a context.Context from the caller instead", name)
+		}
+		return true
+	})
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkNilContextArgs flags explicit nil passed for a context.Context
+// parameter.
+func checkNilContextArgs(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := callSignature(pass.Info, call)
+		if sig == nil {
+			return true
+		}
+		for i, arg := range call.Args {
+			if i >= sig.Params().Len() {
+				break
+			}
+			if !isContextType(sig.Params().At(i).Type()) {
+				continue
+			}
+			if id, ok := arg.(*ast.Ident); ok && id.Name == "nil" {
+				if _, isNil := pass.Info.Uses[id].(*types.Nil); isNil {
+					pass.Reportf(arg.Pos(), "nil passed as context.Context: pass the caller's ctx (or context.Background in main)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// checkDroppedContexts flags calls, inside a function that has a
+// context.Context parameter, to a context-less function F when a sibling
+// FContext (or FCtx) with a leading context parameter exists in the same
+// scope — the ctx should have been threaded through.
+func checkDroppedContexts(pass *Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || !funcHasCtxParam(pass, fn) {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObject(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			sig, ok := callee.Type().(*types.Signature)
+			if !ok || signatureTakesCtx(sig) {
+				return true
+			}
+			if sibling := contextSibling(callee); sibling != "" {
+				pass.Reportf(call.Pos(), "call to %s drops ctx: use %s and pass the caller's context", callee.Name(), sibling)
+			}
+			return true
+		})
+	}
+}
+
+func funcHasCtxParam(pass *Pass, fn *ast.FuncDecl) bool {
+	obj := pass.Info.Defs[fn.Name]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && signatureTakesCtx(sig)
+}
+
+func signatureTakesCtx(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObject resolves the function or method object a call targets, or nil
+// for indirect calls, builtins, and conversions.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// contextSibling returns the name of a context-taking variant of fn visible
+// in the same package scope (or, for methods, the same receiver type), or
+// "".
+func contextSibling(fn types.Object) string {
+	f, ok := fn.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return ""
+	}
+	for _, suffix := range []string{"Context", "Ctx"} {
+		name := f.Name() + suffix
+		sig := f.Type().(*types.Signature)
+		if sig.Recv() != nil {
+			// Method: look for a sibling method on the same receiver type.
+			rt := sig.Recv().Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			named, ok := rt.(*types.Named)
+			if !ok {
+				continue
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				if m.Name() == name && signatureTakesCtx(m.Type().(*types.Signature)) {
+					return name
+				}
+			}
+			continue
+		}
+		if obj := f.Pkg().Scope().Lookup(name); obj != nil {
+			if sibSig, ok := obj.Type().(*types.Signature); ok && signatureTakesCtx(sibSig) {
+				return name
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the bit-identical-results contract of the
+// solver/pipeline packages: results must not depend on Go's randomized map
+// iteration order, the wall clock, or the global math/rand source.
+//
+// Inside the pipeline packages it flags:
+//
+//   - a `range` over a map whose body appends to a slice, unless that slice
+//     is sorted later in the same function (the collect-then-sort idiom);
+//   - a `range` over a map whose body writes a slice element at an index
+//     that does not derive from the iteration variables (an order-dependent
+//     accumulator; keyed scatters like skip[k] = true are order-independent
+//     and allowed);
+//   - a `range` over a map whose body emits output (fmt printing, io writes,
+//     channel sends) — emission order would be randomized;
+//   - calls to time.Now, and calls to math/rand's global-source functions
+//     (rand.Intn, rand.Shuffle, ...). Constructing explicit seeded sources
+//     (rand.New, rand.NewSource) and *rand.Rand method calls are allowed.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag map-iteration-order, wall-clock, and global-rand dependence in solver packages",
+	Run:  runDeterminism,
+}
+
+// randConstructors are math/rand functions that build explicit sources
+// rather than consuming the global one.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(pass *Pass) {
+	if !isPipelinePkg(pass.PkgPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.testFiles[file] {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDeterminismFunc(pass, fn)
+		}
+	}
+}
+
+func checkDeterminismFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := selectorCall(pass.Info, v, "time"); ok && name == "Now" {
+				pass.Reportf(v.Pos(), "time.Now in solver package %s: results must not depend on the wall clock", pass.Pkg.Name())
+			}
+			if name, ok := selectorCall(pass.Info, v, "math/rand"); ok && !randConstructors[name] {
+				pass.Reportf(v.Pos(), "math/rand global source (rand.%s) in solver package %s: pass a seeded *rand.Rand instead", name, pass.Pkg.Name())
+			}
+			if name, ok := selectorCall(pass.Info, v, "math/rand/v2"); ok && !randConstructors[name] {
+				pass.Reportf(v.Pos(), "math/rand/v2 global source (rand.%s) in solver package %s: pass a seeded *rand.Rand instead", name, pass.Pkg.Name())
+			}
+		case *ast.RangeStmt:
+			if isMapRange(pass.Info, v) {
+				checkMapRangeBody(pass, fn, v)
+			}
+		}
+		return true
+	})
+}
+
+func isMapRange(info *types.Info, r *ast.RangeStmt) bool {
+	tv, ok := info.Types[r.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// rangeVarObjs returns the types.Objects of the range statement's iteration
+// variables (key and value), for := and = forms alike.
+func rangeVarObjs(info *types.Info, r *ast.RangeStmt) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	for _, e := range []ast.Expr{r.Key, r.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			objs[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			objs[obj] = true
+		}
+	}
+	return objs
+}
+
+// checkMapRangeBody inspects one map-range body for order-dependent sinks.
+func checkMapRangeBody(pass *Pass, fn *ast.FuncDecl, r *ast.RangeStmt) {
+	iterVars := rangeVarObjs(pass.Info, r)
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Info, call) || i >= len(v.Lhs) {
+					continue
+				}
+				target := rootIdent(v.Lhs[i])
+				if target == nil {
+					pass.Reportf(v.Pos(), "append inside range over map: element order depends on map iteration order")
+					continue
+				}
+				if !sortedAfter(pass, fn, r, target) {
+					pass.Reportf(v.Pos(), "append to %s inside range over map without a later sort of %s: element order depends on map iteration order", target.Name, target.Name)
+				}
+			}
+			// Indexed slice writes whose index does not derive from the
+			// iteration variables accumulate in iteration order.
+			for _, lhs := range v.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				tv, ok := pass.Info.Types[ix.X]
+				if !ok {
+					continue
+				}
+				if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+					continue
+				}
+				if !usesAnyObj(pass.Info, ix.Index, iterVars) {
+					pass.Reportf(lhs.Pos(), "slice write at an index independent of the map iteration variables: write order depends on map iteration order")
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(v.Pos(), "channel send inside range over map: send order depends on map iteration order")
+		case *ast.CallExpr:
+			if name, ok := selectorCall(pass.Info, v, "fmt"); ok {
+				switch name {
+				case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+					pass.Reportf(v.Pos(), "fmt.%s inside range over map: output order depends on map iteration order", name)
+				}
+			}
+		case *ast.FuncLit:
+			return false // separate execution context; checked where it runs
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// usesAnyObj reports whether expr references any of the given objects.
+func usesAnyObj(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	if len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortFuncs maps package path -> function names that establish a
+// deterministic order over their (first) slice argument.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Ints": true, "Strings": true, "Float64s": true,
+	},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedAfter reports whether, somewhere in fn after the map-range loop, the
+// slice rooted at target is passed to a sorting function. The collected
+// slice may also be sorted inside the loop body after the append (rare but
+// legal), so "after" means any position at or beyond the append's loop.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, r *ast.RangeStmt, target *ast.Ident) bool {
+	targetObj := pass.Info.Uses[target]
+	if targetObj == nil {
+		targetObj = pass.Info.Defs[target]
+	}
+	if targetObj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < r.Pos() || sorted {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		p := pkgOf(pass.Info, id)
+		if p == nil {
+			return true
+		}
+		names, ok := sortFuncs[p.Path()]
+		if !ok || !names[sel.Sel.Name] || len(call.Args) == 0 {
+			return true
+		}
+		argRoot := rootIdent(call.Args[0])
+		if argRoot != nil && pass.Info.Uses[argRoot] == targetObj {
+			sorted = true
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// FlowErrorAnalyzer enforces the repo's error contract:
+//
+//   - sentinel errors (Err* package variables of type error) must be matched
+//     with errors.Is, never == or != — every public error crosses at least
+//     one %w/FlowError wrapping layer, so identity comparison silently stops
+//     matching. This rule runs everywhere, including test files.
+//   - in the root package (the public API boundary), an exported function
+//     must not return a bare errors.New/fmt.Errorf value: it must be wrapped
+//     in a *FlowError (via flowErr or a FlowError literal) so callers can
+//     match the stage.
+//   - fmt.Errorf calls that format an error argument must use %w, not %v or
+//     %s, or errors.Is/As stop seeing the cause.
+//   - flowErr calls and FlowError literals must use a named Stage* constant,
+//     not a numeric literal.
+var FlowErrorAnalyzer = &Analyzer{
+	Name: "flowerror",
+	Doc:  "enforce errors.Is for sentinels, FlowError wrapping at the API boundary, and %w wrapping",
+	Run:  runFlowError,
+}
+
+func runFlowError(pass *Pass) {
+	for _, file := range pass.Files {
+		checkSentinelComparisons(pass, file)
+		if pass.testFiles[file] {
+			continue
+		}
+		checkErrorfWrapping(pass, file)
+		if isRootPkg(pass.PkgPath) {
+			checkAPIBoundaryReturns(pass, file)
+			checkFlowStageArgs(pass, file)
+		}
+	}
+}
+
+// checkSentinelComparisons flags err == ErrFoo / err != ErrFoo where either
+// side is a sentinel error variable.
+func checkSentinelComparisons(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			if name, ok := sentinelErrorName(pass.Info, side); ok {
+				pass.Reportf(bin.Pos(), "comparison with sentinel %s using %s: use errors.Is — sentinels cross wrapping layers", name, bin.Op)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// sentinelErrorName reports whether e names a package-level error variable
+// following the Err* naming convention (possibly package-qualified).
+func sentinelErrorName(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch v := e.(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return "", false
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Parent() == nil || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") {
+		return "", false
+	}
+	return obj.Name(), isErrorType(obj.Type())
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// checkErrorfWrapping flags fmt.Errorf calls that pass an error-typed
+// argument but have no %w verb in their (constant) format string.
+func checkErrorfWrapping(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := selectorCall(pass.Info, call, "fmt"); !ok || name != "Errorf" {
+			return true
+		}
+		if len(call.Args) < 2 {
+			return true
+		}
+		format, ok := constantString(pass.Info, call.Args[0])
+		if !ok || strings.Contains(format, "%w") {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			tv, ok := pass.Info.Types[arg]
+			if ok && tv.Type != nil && isErrorType(tv.Type) {
+				pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w: the cause becomes invisible to errors.Is/As")
+				return true
+			}
+		}
+		return true
+	})
+}
+
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// checkAPIBoundaryReturns flags `return ... errors.New(...)` and
+// `return ... fmt.Errorf(...)` in exported root-package functions: errors
+// crossing the public boundary must be stage-tagged *FlowErrors.
+func checkAPIBoundaryReturns(pass *Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || !fn.Name.IsExported() {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				call, ok := res.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if name, ok := selectorCall(pass.Info, call, "errors"); ok && name == "New" {
+					pass.Reportf(res.Pos(), "exported %s returns a bare errors.New error: wrap it in a *FlowError (flowErr) so callers can match the stage", fn.Name.Name)
+				}
+				if name, ok := selectorCall(pass.Info, call, "fmt"); ok && name == "Errorf" {
+					pass.Reportf(res.Pos(), "exported %s returns a bare fmt.Errorf error: wrap it in a *FlowError (flowErr) so callers can match the stage", fn.Name.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFlowStageArgs flags flowErr calls and FlowError literals whose stage
+// is a numeric literal instead of a named Stage* constant.
+func checkFlowStageArgs(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "flowErr" && len(v.Args) > 0 {
+				if isNumericLiteral(v.Args[0]) {
+					pass.Reportf(v.Args[0].Pos(), "flowErr called with a numeric stage: use a named Stage* constant")
+				}
+			}
+		case *ast.CompositeLit:
+			if isFlowErrorLit(pass.Info, v) {
+				for _, el := range v.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Stage" && isNumericLiteral(kv.Value) {
+						pass.Reportf(kv.Value.Pos(), "FlowError literal with a numeric Stage: use a named Stage* constant")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isNumericLiteral(e ast.Expr) bool {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		e = p.X
+	}
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT
+}
+
+func isFlowErrorLit(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Name() == "FlowError"
+}

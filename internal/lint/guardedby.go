@@ -1,0 +1,427 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GuardedByAnalyzer enforces documented lock discipline: a struct field whose
+// comment says "guarded by <mu>" may only be read or written while <mu> is
+// held.
+//
+// Holding is tracked per function with a small flow-sensitive walk:
+// <mu>.Lock() / <mu>.RLock() acquire, <mu>.Unlock() / <mu>.RUnlock() release,
+// a deferred unlock keeps the lock held to the end of the function, and a
+// branch that unlocks and returns does not poison the fall-through path.
+// Mutexes are matched by their final path component (s.mu, st.mu and e.mu
+// all satisfy "guarded by mu") — the check is intra-procedural and
+// path-insensitive by design.
+//
+// Two conventions declare that a function runs with the lock already held:
+// a name ending in "Locked", or an explicit //aapsmvet:holds <mu> directive
+// in its doc comment. Function literals inherit the lock state of the point
+// where they are written, except goroutine bodies (go func(){...}), which
+// start with nothing held.
+var GuardedByAnalyzer = &Analyzer{
+	Name: "guardedby",
+	Doc:  "check that fields annotated 'guarded by <mu>' are only accessed with <mu> held",
+	Run:  runGuardedBy,
+}
+
+const guardedByMarker = "guarded by "
+
+func runGuardedBy(pass *Pass) {
+	fields := collectGuardedFields(pass)
+	if len(fields) == 0 {
+		return
+	}
+	c := &gbChecker{pass: pass, fields: fields}
+	for _, file := range pass.Files {
+		if pass.testFiles[file] {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			st := newLockState()
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				st.heldAll = true
+			}
+			if mu := holdsDirective(fn); mu != "" {
+				st.held[mu]++
+			}
+			c.walkStmts(fn.Body.List, st)
+		}
+	}
+}
+
+// collectGuardedFields maps each annotated struct field object to the name
+// of its guarding mutex (final path component of the annotation).
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	fields := map[types.Object]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			structType, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range structType.Fields.List {
+				mu := guardedByAnnotation(f.Doc, f.Comment)
+				if mu == "" {
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						fields[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// guardedByAnnotation extracts the mutex name from a "guarded by <mu>"
+// marker in a field's doc or line comment, reduced to its final path
+// component ("st.mu" -> "mu").
+func guardedByAnnotation(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		text := g.Text()
+		i := strings.Index(strings.ToLower(text), guardedByMarker)
+		if i < 0 {
+			continue
+		}
+		rest := text[i+len(guardedByMarker):]
+		f := strings.FieldsFunc(rest, func(r rune) bool {
+			return !(r == '.' || r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+		})
+		if len(f) == 0 {
+			continue
+		}
+		name := f[0]
+		if j := strings.LastIndex(name, "."); j >= 0 {
+			name = name[j+1:]
+		}
+		return name
+	}
+	return ""
+}
+
+// lockState is the abstract lock-hold state at one program point.
+type lockState struct {
+	held    map[string]int
+	heldAll bool // function declared as running with locks held
+	// terminated marks state after a return/branch/panic; such states do not
+	// contribute to branch merges.
+	terminated bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]int{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{held: make(map[string]int, len(s.held)), heldAll: s.heldAll}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+func (s *lockState) holds(mu string) bool {
+	return s.heldAll || s.held[mu] > 0
+}
+
+// merge folds another fall-through state into s (per-mutex minimum: only
+// locks held on every path survive).
+func (s *lockState) merge(o *lockState) {
+	if o.terminated {
+		return
+	}
+	if s.terminated {
+		s.held, s.heldAll, s.terminated = o.held, o.heldAll, false
+		return
+	}
+	for k, v := range s.held {
+		if ov := o.held[k]; ov < v {
+			s.held[k] = ov
+		}
+	}
+	for k := range o.held {
+		if _, ok := s.held[k]; !ok {
+			s.held[k] = 0
+		}
+	}
+	s.heldAll = s.heldAll && o.heldAll
+}
+
+type gbChecker struct {
+	pass   *Pass
+	fields map[types.Object]string
+}
+
+// lockCall classifies a call as a mutex acquire/release: it returns the
+// mutex's final path component and +1 (Lock/RLock) or -1 (Unlock/RUnlock).
+func (c *gbChecker) lockCall(call *ast.CallExpr) (mu string, delta int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		delta = 1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return "", 0
+	}
+	tv, ok := c.pass.Info.Types[sel.X]
+	if !ok || !isMutexType(tv.Type) {
+		return "", 0
+	}
+	path := exprString(sel.X)
+	if path == "" {
+		return "", 0
+	}
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		path = path[i+1:]
+	}
+	return path, delta
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkExpr reports unguarded accesses to annotated fields anywhere in e,
+// walking function literals with the current state (goroutine literals are
+// handled by walkStmts before it gets here).
+func (c *gbChecker) checkExpr(e ast.Expr, st *lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			c.walkStmts(v.Body.List, st.clone())
+			return false
+		case *ast.SelectorExpr:
+			selinfo := c.pass.Info.Selections[v]
+			if selinfo != nil && selinfo.Kind() == types.FieldVal {
+				if mu, ok := c.fields[selinfo.Obj()]; ok && !st.holds(mu) {
+					c.pass.Reportf(v.Sel.Pos(), "access to field %s (guarded by %s) without holding %s",
+						selinfo.Obj().Name(), mu, mu)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// applyExprEffects scans e for mutex acquire/release calls and applies them
+// to st, after checking field accesses in the same expression.
+func (c *gbChecker) applyExprEffects(e ast.Expr, st *lockState) {
+	if e == nil {
+		return
+	}
+	c.checkExpr(e, st)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if mu, delta := c.lockCall(call); delta != 0 {
+				st.held[mu] += delta
+				if st.held[mu] < 0 {
+					st.held[mu] = 0
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walkStmts interprets a statement list, mutating st to the fall-through
+// state.
+func (c *gbChecker) walkStmts(stmts []ast.Stmt, st *lockState) {
+	for _, s := range stmts {
+		if st.terminated {
+			// Unreachable tail (e.g. code after return); keep checking with a
+			// fresh pessimistic state.
+			st.terminated = false
+		}
+		c.walkStmt(s, st)
+	}
+}
+
+func (c *gbChecker) walkStmt(s ast.Stmt, st *lockState) {
+	switch v := s.(type) {
+	case *ast.ExprStmt:
+		c.applyExprEffects(v.X, st)
+		if call, ok := v.X.(*ast.CallExpr); ok && isPanicCall(call) {
+			st.terminated = true
+		}
+	case *ast.AssignStmt:
+		for _, e := range v.Rhs {
+			c.applyExprEffects(e, st)
+		}
+		for _, e := range v.Lhs {
+			c.applyExprEffects(e, st)
+		}
+	case *ast.DeclStmt:
+		gd, ok := v.Decl.(*ast.GenDecl)
+		if ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.applyExprEffects(e, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.applyExprEffects(v.X, st)
+	case *ast.SendStmt:
+		c.applyExprEffects(v.Chan, st)
+		c.applyExprEffects(v.Value, st)
+	case *ast.ReturnStmt:
+		for _, e := range v.Results {
+			c.applyExprEffects(e, st)
+		}
+		st.terminated = true
+	case *ast.BranchStmt:
+		st.terminated = true
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held for the rest of the function:
+		// no release effect. A deferred closure runs at return time with, in
+		// the common defer-cleanup pattern, the current locks still relevant;
+		// check it against the current state.
+		for _, arg := range v.Call.Args {
+			c.applyExprEffects(arg, st)
+		}
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			c.walkStmts(lit.Body.List, st.clone())
+		}
+	case *ast.GoStmt:
+		// A goroutine body runs later, holding nothing.
+		for _, arg := range v.Call.Args {
+			c.applyExprEffects(arg, st)
+		}
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			c.walkStmts(lit.Body.List, newLockState())
+		} else {
+			c.checkExpr(v.Call.Fun, st)
+		}
+	case *ast.BlockStmt:
+		c.walkStmts(v.List, st)
+	case *ast.LabeledStmt:
+		c.walkStmt(v.Stmt, st)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			c.walkStmt(v.Init, st)
+		}
+		c.applyExprEffects(v.Cond, st)
+		thenSt := st.clone()
+		c.walkStmts(v.Body.List, thenSt)
+		elseSt := st.clone()
+		if v.Else != nil {
+			c.walkStmt(v.Else, elseSt)
+		}
+		thenSt.merge(elseSt)
+		*st = *thenSt
+	case *ast.ForStmt:
+		if v.Init != nil {
+			c.walkStmt(v.Init, st)
+		}
+		c.applyExprEffects(v.Cond, st)
+		body := st.clone()
+		if v.Post != nil {
+			defer c.walkStmt(v.Post, body)
+		}
+		c.walkStmts(v.Body.List, body)
+		// Loop bodies are assumed lock-balanced; fall-through keeps the
+		// entry state.
+	case *ast.RangeStmt:
+		c.applyExprEffects(v.X, st)
+		body := st.clone()
+		c.walkStmts(v.Body.List, body)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			c.walkStmt(v.Init, st)
+		}
+		c.applyExprEffects(v.Tag, st)
+		c.walkCases(v.Body.List, st, hasDefaultClause(v.Body.List))
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			c.walkStmt(v.Init, st)
+		}
+		c.walkStmt(v.Assign, st)
+		c.walkCases(v.Body.List, st, hasDefaultClause(v.Body.List))
+	case *ast.SelectStmt:
+		c.walkCases(v.Body.List, st, true)
+	}
+}
+
+// walkCases interprets switch/select clause bodies, merging the fall-through
+// states. Without a default clause the zero-case path keeps the entry state.
+func (c *gbChecker) walkCases(clauses []ast.Stmt, st *lockState, exhaustive bool) {
+	var merged *lockState
+	if !exhaustive {
+		merged = st.clone()
+	}
+	for _, cl := range clauses {
+		body := st.clone()
+		switch v := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range v.List {
+				c.applyExprEffects(e, body)
+			}
+			c.walkStmts(v.Body, body)
+		case *ast.CommClause:
+			if v.Comm != nil {
+				c.walkStmt(v.Comm, body)
+			}
+			c.walkStmts(v.Body, body)
+		}
+		if merged == nil {
+			merged = body
+		} else {
+			merged.merge(body)
+		}
+	}
+	if merged != nil {
+		*st = *merged
+	}
+}
+
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, cl := range clauses {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

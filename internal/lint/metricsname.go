@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricsNameAnalyzer checks the hand-rolled Prometheus text registry in
+// internal/server. The exposition format is emitted through string literals
+// ("# HELP ...", "# TYPE ...", "name{label=...} %d"), so the analyzer reads
+// every string literal in the package as candidate exposition lines and
+// enforces:
+//
+//   - metric names are snake_case and aapsmd_-prefixed;
+//   - each metric has exactly one # TYPE declaration (registered once);
+//   - names ending in _total are declared as counters, and counters end in
+//     _total;
+//   - every emitted sample line refers to a declared metric (summaries may
+//     emit their _sum/_count series);
+//   - a # HELP line has a matching # TYPE line.
+var MetricsNameAnalyzer = &Analyzer{
+	Name: "metricsname",
+	Doc:  "validate Prometheus metric naming, typing, and single registration in internal/server",
+	Run:  runMetricsName,
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	promKinds    = map[string]bool{"counter": true, "gauge": true, "summary": true, "histogram": true, "untyped": true}
+)
+
+const metricPrefix = "aapsmd_"
+
+type metricDecl struct {
+	kind string
+	pos  token.Pos
+}
+
+func runMetricsName(pass *Pass) {
+	if !strings.HasSuffix(pass.PkgPath, "internal/server") {
+		return
+	}
+	type lineAt struct {
+		text string
+		pos  token.Pos
+	}
+	var lines []lineAt
+	for _, file := range pass.Files {
+		if pass.testFiles[file] {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			for _, ln := range strings.Split(s, "\n") {
+				ln = strings.TrimSpace(ln)
+				if ln == "" {
+					continue
+				}
+				if strings.HasPrefix(ln, "# ") || strings.HasPrefix(ln, metricPrefix) {
+					lines = append(lines, lineAt{ln, lit.Pos()})
+				}
+			}
+			return true
+		})
+	}
+
+	decls := map[string]metricDecl{}
+	helps := map[string]token.Pos{}
+	// First pass: TYPE declarations.
+	for _, ln := range lines {
+		rest, ok := strings.CutPrefix(ln.text, "# TYPE ")
+		if !ok {
+			continue
+		}
+		f := strings.Fields(rest)
+		if len(f) != 2 {
+			pass.Reportf(ln.pos, "malformed TYPE line %q: want \"# TYPE <name> <kind>\"", ln.text)
+			continue
+		}
+		name, kind := f[0], f[1]
+		checkMetricName(pass, ln.pos, name)
+		if !promKinds[kind] {
+			pass.Reportf(ln.pos, "metric %s declared with unknown kind %q", name, kind)
+		}
+		if _, dup := decls[name]; dup {
+			pass.Reportf(ln.pos, "metric %s registered twice: second # TYPE declaration", name)
+			continue
+		}
+		decls[name] = metricDecl{kind: kind, pos: ln.pos}
+		if strings.HasSuffix(name, "_total") && kind != "counter" {
+			pass.Reportf(ln.pos, "metric %s ends in _total but is declared a %s: _total is reserved for counters", name, kind)
+		}
+		if kind == "counter" && !strings.HasSuffix(name, "_total") {
+			pass.Reportf(ln.pos, "counter %s does not end in _total: counters use the _total suffix", name)
+		}
+	}
+	// Second pass: HELP lines and sample lines.
+	sampled := map[string]bool{}
+	for _, ln := range lines {
+		if rest, ok := strings.CutPrefix(ln.text, "# HELP "); ok {
+			f := strings.Fields(rest)
+			if len(f) == 0 {
+				continue
+			}
+			helps[f[0]] = ln.pos
+			if _, ok := decls[f[0]]; !ok {
+				pass.Reportf(ln.pos, "metric %s has a # HELP line but no # TYPE declaration", f[0])
+			}
+			continue
+		}
+		if strings.HasPrefix(ln.text, "# ") {
+			continue
+		}
+		name := sampleName(ln.text)
+		if name == "" {
+			continue
+		}
+		sampled[name] = true
+		if _, ok := decls[name]; ok {
+			continue
+		}
+		// Summary series: name_sum / name_count belong to a summary or
+		// histogram declaration of the base name.
+		if base, ok := summaryBase(name); ok {
+			if d, declared := decls[base]; declared && (d.kind == "summary" || d.kind == "histogram") {
+				continue
+			}
+		}
+		pass.Reportf(ln.pos, "sample emitted for undeclared metric %s: add a # TYPE declaration", name)
+	}
+	// Declared but never emitted — a dead registration.
+	var names []string
+	for name := range decls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if sampled[name] {
+			continue
+		}
+		if sampled[name+"_sum"] || sampled[name+"_count"] {
+			continue
+		}
+		pass.Reportf(decls[name].pos, "metric %s is declared but no sample line emits it", name)
+	}
+}
+
+func checkMetricName(pass *Pass, pos token.Pos, name string) {
+	if !strings.HasPrefix(name, metricPrefix) {
+		pass.Reportf(pos, "metric %s lacks the %s prefix", name, metricPrefix)
+		return
+	}
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(pos, "metric %s is not snake_case ([a-z0-9_], leading letter)", name)
+	}
+}
+
+// sampleName extracts the metric name from a sample line: everything before
+// the first '{', space, or tab.
+func sampleName(line string) string {
+	end := len(line)
+	for i, r := range line {
+		if r == '{' || r == ' ' || r == '\t' {
+			end = i
+			break
+		}
+	}
+	name := line[:end]
+	if !strings.HasPrefix(name, metricPrefix) {
+		return ""
+	}
+	return name
+}
+
+func summaryBase(name string) (string, bool) {
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			return base, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,36 @@
+// Package core is a golden stand-in for a pipeline package: it is loaded
+// under "repro/internal/core" so the ctxflow dropped-context rule applies.
+package core
+
+import "context"
+
+// Solve is the context-less variant.
+func Solve(n int) int { return n }
+
+// SolveContext is the context-aware variant.
+func SolveContext(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// Fresh invents a context in library code.
+func Fresh(n int) int {
+	return SolveContext(context.Background(), n) // want `context.Background in library code`
+}
+
+// Dropped has a ctx but calls the context-less sibling.
+func Dropped(ctx context.Context, n int) int {
+	return Solve(n) // want `call to Solve drops ctx: use SolveContext`
+}
+
+// Threaded passes its context through: the correct shape.
+func Threaded(ctx context.Context, n int) int {
+	return SolveContext(ctx, n)
+}
+
+// NilCtx passes a nil context.
+func NilCtx(n int) int {
+	return SolveContext(nil, n) // want `nil passed as context.Context`
+}

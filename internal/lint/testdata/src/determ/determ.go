@@ -1,0 +1,77 @@
+// Package graph is a golden stand-in for a solver package: it is loaded
+// under the import path "repro/internal/graph" so the determinism analyzer's
+// pipeline-package scoping applies.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Keys collects map keys without ordering them: order-dependent.
+func Keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map without a later sort`
+	}
+	return out
+}
+
+// SortedKeys collects then sorts: the collect-then-sort idiom is allowed.
+func SortedKeys(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Scatter writes keyed by the iteration variable: order-independent.
+func Scatter(m map[int]int, dst []int) {
+	for k, v := range m {
+		dst[k] = v
+	}
+}
+
+// Gather writes through a cursor that does not derive from the iteration
+// variables: the write order follows map order.
+func Gather(m map[int]int, dst []int) {
+	i := 0
+	for _, v := range m {
+		dst[i] = v // want `slice write at an index independent of the map iteration variables`
+		i++
+	}
+}
+
+// Emit prints in map order.
+func Emit(m map[int]bool) {
+	for k := range m {
+		fmt.Println(k) // want `fmt.Println inside range over map`
+	}
+}
+
+// Send sends in map order.
+func Send(m map[int]bool, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in solver package`
+}
+
+// Jitter consumes the global rand source.
+func Jitter() int {
+	return rand.Intn(8) // want `math/rand global source`
+}
+
+// Seeded constructs an explicit source: allowed.
+func Seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(8)
+}

@@ -1,0 +1,78 @@
+// Package aapsm is a golden stand-in for the repo root package: it is loaded
+// under the import path "repro" so the flowerror analyzer's API-boundary
+// rules apply. It re-declares the minimal FlowError surface locally.
+package aapsm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBroken is a sentinel error.
+var ErrBroken = errors.New("broken")
+
+// FlowStage mirrors the real root package's stage enum.
+type FlowStage int8
+
+// Stage constants.
+const (
+	StageDetect FlowStage = iota
+	StageAssign
+)
+
+// FlowError mirrors the real root package's stage-tagged error.
+type FlowError struct {
+	Stage  FlowStage
+	Layout string
+	Err    error
+}
+
+func (e *FlowError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause.
+func (e *FlowError) Unwrap() error { return e.Err }
+
+func flowErr(s FlowStage, layout string, err error) error {
+	return &FlowError{Stage: s, Layout: layout, Err: err}
+}
+
+// Exported returns a bare error across the API boundary.
+func Exported() error {
+	return fmt.Errorf("bad thing") // want `exported Exported returns a bare fmt.Errorf error`
+}
+
+// ExportedNew returns a bare errors.New error.
+func ExportedNew() error {
+	return errors.New("bad") // want `exported ExportedNew returns a bare errors.New error`
+}
+
+// Wrapped tags the stage: the correct shape.
+func Wrapped() error {
+	return flowErr(StageDetect, "l", ErrBroken)
+}
+
+// unexported functions may build errors freely; wrapping happens at the
+// boundary.
+func unexported() error { return errors.New("fine internally") }
+
+// IsBroken matches the sentinel correctly.
+func IsBroken(err error) bool { return errors.Is(err, ErrBroken) }
+
+// Identity compares a sentinel by identity.
+func Identity(err error) bool {
+	return err == ErrBroken // want `comparison with sentinel ErrBroken using ==`
+}
+
+// Lossy formats an error with %v.
+func Lossy(err error) error {
+	return flowErr(StageAssign, "", fmt.Errorf("ctx: %v", err)) // want `fmt.Errorf formats an error without %w`
+}
+
+// NumericStage passes a literal stage.
+func NumericStage(err error) error {
+	return flowErr(1, "", err) // want `flowErr called with a numeric stage`
+}
+
+func lit(err error) error {
+	return &FlowError{Stage: 0, Err: err} // want `FlowError literal with a numeric Stage`
+}

@@ -1,0 +1,57 @@
+// Package guard exercises the guardedby analyzer: a field annotated
+// "guarded by mu" may only be touched with mu held.
+package guard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) bad() int {
+	return c.n // want `access to field n \(guarded by mu\) without holding mu`
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) manual() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) after() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.n++ // want `access to field n \(guarded by mu\) without holding mu`
+}
+
+// bumpLocked runs with mu held (the *Locked name convention).
+func (c *counter) bumpLocked() { c.n++ }
+
+//aapsmvet:holds mu
+func (c *counter) bumpHeld() { c.n++ }
+
+func (c *counter) spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `access to field n \(guarded by mu\) without holding mu`
+	}()
+}
+
+// branchy unlocks on the early-return path; the fall-through still holds mu.
+func (c *counter) branchy(x bool) {
+	c.mu.Lock()
+	if x {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}

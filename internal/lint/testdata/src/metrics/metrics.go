@@ -1,0 +1,45 @@
+// Package server is a golden stand-in for internal/server: it is loaded
+// under "repro/internal/server" so the metricsname analyzer reads its string
+// literals as Prometheus exposition lines.
+package server
+
+// Well-formed: declared, helped, sampled.
+const (
+	good       = "# TYPE aapsmd_edits_total counter\n"
+	goodHelp   = "# HELP aapsmd_edits_total Total edits applied.\n"
+	goodSample = "aapsmd_edits_total 42\n"
+
+	gauge       = "# TYPE aapsmd_sessions_open gauge\n"
+	gaugeSample = "aapsmd_sessions_open 3\n"
+
+	summary    = "# TYPE aapsmd_latency_ns summary\n"
+	summarySum = "aapsmd_latency_ns_sum 10\n"
+	summaryCnt = "aapsmd_latency_ns_count 2\n"
+)
+
+// Violations, one per line.
+const (
+	unprefixed = "# TYPE edits_total counter\n" // want `metric edits_total lacks the aapsmd_ prefix` `metric edits_total is declared but no sample line emits it`
+
+	badCase       = "# TYPE aapsmd_EditsTotal gauge\n" // want `metric aapsmd_EditsTotal is not snake_case`
+	badCaseSample = "aapsmd_EditsTotal 1\n"
+
+	dupe = "# TYPE aapsmd_sessions_open gauge\n" // want `metric aapsmd_sessions_open registered twice`
+
+	totalGauge       = "# TYPE aapsmd_retries_total gauge\n" // want `metric aapsmd_retries_total ends in _total but is declared a gauge`
+	totalGaugeSample = "aapsmd_retries_total 1\n"
+
+	countNoTotal       = "# TYPE aapsmd_hits counter\n" // want `counter aapsmd_hits does not end in _total`
+	countNoTotalSample = "aapsmd_hits 1\n"
+
+	ghostSample = "aapsmd_ghost_seconds 1\n" // want `sample emitted for undeclared metric aapsmd_ghost_seconds`
+
+	orphanHelp = "# HELP aapsmd_orphan Orphaned help.\n" // want `metric aapsmd_orphan has a # HELP line but no # TYPE declaration`
+
+	dead = "# TYPE aapsmd_dead gauge\n" // want `metric aapsmd_dead is declared but no sample line emits it`
+
+	malformed = "# TYPE aapsmd_lonely\n" // want `malformed TYPE line`
+
+	weirdKind       = "# TYPE aapsmd_weird thing\n" // want `metric aapsmd_weird declared with unknown kind`
+	weirdKindSample = "aapsmd_weird 1\n"
+)

@@ -1,0 +1,21 @@
+// Package graph exercises the suppression machinery: a reasoned allow
+// silences a finding, a reasonless allow is itself a finding, and an allow
+// naming an unknown analyzer is a finding. Loaded under
+// "repro/internal/graph" so the determinism analyzer applies.
+package graph
+
+// Allowed carries a reasoned allow: the append finding is suppressed.
+func Allowed(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		//aapsmvet:allow determinism demo: callers treat the result as a set
+		out = append(out, k)
+	}
+	return out
+}
+
+//aapsmvet:allow determinism
+func MissingReason() {}
+
+//aapsmvet:allow nosuchanalyzer the analyzer name is misspelled
+func UnknownAnalyzer() {}

@@ -8,6 +8,7 @@ package mask
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/layout"
@@ -86,7 +87,16 @@ func Validate(l *layout.Layout, set *shifter.Set, phases []core.Phase, waived ma
 // decides consistency for the whole mask.
 func ValidateSubset(l *layout.Layout, set *shifter.Set, phases []core.Phase, waived map[int]bool, r layout.Rules, checkFeature, checkOverlap func(int) bool) []string {
 	var problems []string
-	for fi, pair := range set.PairOf {
+	// PairOf is a map: iterate its keys in sorted order so the problem list
+	// (and the first problem surfaced in ErrMaskInconsistent) is stable
+	// across runs instead of following randomized map order.
+	feats := make([]int, 0, len(set.PairOf))
+	for fi := range set.PairOf {
+		feats = append(feats, fi)
+	}
+	sort.Ints(feats)
+	for _, fi := range feats {
+		pair := set.PairOf[fi]
 		if checkFeature != nil && !checkFeature(fi) {
 			continue
 		}

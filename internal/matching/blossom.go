@@ -40,6 +40,7 @@ type WeightedEdge struct {
 // total weight. Weights may be any non-negative int64 small enough that
 // n*maxWeight does not overflow.
 func MinWeightPerfectMatching(n int, edges []WeightedEdge) (mate []int, total int64, err error) {
+	//aapsmvet:allow ctxflow compatibility wrapper for non-cancellable callers; MinWeightPerfectMatchingCtx is the ctx-aware entry point
 	return MinWeightPerfectMatchingCtx(context.Background(), n, edges)
 }
 

@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -99,15 +100,15 @@ func TestTinyCases(t *testing.T) {
 		t.Fatal("empty graph should trivially match")
 	}
 	// Odd node count.
-	if _, _, err := MinWeightPerfectMatching(3, []WeightedEdge{{0, 1, 1}}); err != ErrNoPerfectMatching {
+	if _, _, err := MinWeightPerfectMatching(3, []WeightedEdge{{0, 1, 1}}); !errors.Is(err, ErrNoPerfectMatching) {
 		t.Fatalf("odd n should fail, got %v", err)
 	}
 	// Disconnected pair.
-	if _, _, err := MinWeightPerfectMatching(4, []WeightedEdge{{0, 1, 1}}); err != ErrNoPerfectMatching {
+	if _, _, err := MinWeightPerfectMatching(4, []WeightedEdge{{0, 1, 1}}); !errors.Is(err, ErrNoPerfectMatching) {
 		t.Fatalf("unmatchable graph should fail, got %v", err)
 	}
 	// Self loop ignored.
-	if _, _, err := MinWeightPerfectMatching(2, []WeightedEdge{{0, 0, 1}}); err != ErrNoPerfectMatching {
+	if _, _, err := MinWeightPerfectMatching(2, []WeightedEdge{{0, 0, 1}}); !errors.Is(err, ErrNoPerfectMatching) {
 		t.Fatalf("self loop only should fail, got %v", err)
 	}
 	// Negative weight rejected.
@@ -181,7 +182,7 @@ func TestRandomAgainstBruteForce(t *testing.T) {
 		edges := edgesFromMap(w)
 		mate, total, err := MinWeightPerfectMatching(n, edges)
 		if want < 0 {
-			if err != ErrNoPerfectMatching {
+			if !errors.Is(err, ErrNoPerfectMatching) {
 				t.Fatalf("trial %d: expected no matching, got total=%d err=%v (n=%d w=%v)",
 					trial, total, err, n, w)
 			}

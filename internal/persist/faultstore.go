@@ -109,7 +109,7 @@ func ParseFaultConfig(spec string) (cfg FaultConfig, extra map[string]string, er
 			extra[k] = v
 		}
 		if perr != nil {
-			return cfg, nil, fmt.Errorf("persist: fault spec %s=%q: %v", k, v, perr)
+			return cfg, nil, fmt.Errorf("persist: fault spec %s=%q: %w", k, v, perr)
 		}
 	}
 	if err := cfg.check(); err != nil {

@@ -69,23 +69,24 @@ type batchInfo struct {
 // while the queue is non-empty; it is started by the first enqueue and exits
 // when the queue drains.
 type editBatcher struct {
-	mu      sync.Mutex
-	queue   []*editItem
-	running bool
-	seq     int64
+	mu sync.Mutex
+	// queue, running and seq are the batch state: all guarded by mu.
+	queue   []*editItem // guarded by mu
+	running bool        // guarded by mu
+	seq     int64       // guarded by mu
 	// kick wakes a lingering runner when a new item arrives (buffered so
 	// enqueues never block).
 	kick chan struct{}
 
 	// notify is closed and replaced after every committed batch; streaming
-	// connections fetch it, re-read the generation, and wait.
+	// connections fetch it, re-read the generation, and wait. Guarded by mu.
 	notify chan struct{}
 
 	// Read single-flight: identical read-stage requests at one session
 	// generation share a single computation + encoding. Only the newest
-	// generation is cached; readGen tracks it.
-	readGen   int64
-	readCalls map[readKey]*readCall
+	// generation is cached; readGen tracks it. Both guarded by mu.
+	readGen   int64                 // guarded by mu
+	readCalls map[readKey]*readCall // guarded by mu
 }
 
 func newEditBatcher() *editBatcher {
@@ -312,6 +313,7 @@ func (s *Server) processBatch(ent *sessionEntry, seq int64, items []*editItem) {
 		}
 	}
 	if wantDetect {
+		//aapsmvet:allow ctxflow a batch serves many coalesced requests, so it runs detached from any one request context, bounded by RequestTimeout below
 		ctx := context.Background()
 		if s.cfg.RequestTimeout > 0 {
 			var cancel context.CancelFunc

@@ -21,24 +21,27 @@ type sessionEntry struct {
 	Sess *aapsm.Session
 
 	Created time.Time
-	expires time.Time
-	edited  bool // once true, the entry no longer satisfies create-by-hash
-	elem    *list.Element
+	// expires, edited and elem are index state, guarded by st.mu (the
+	// owning store's lock).
+	expires time.Time     // guarded by st.mu
+	edited  bool          // once true, the entry no longer satisfies create-by-hash; guarded by st.mu
+	elem    *list.Element // guarded by st.mu
 
 	// refs counts in-flight requests holding the entry (acquired by
 	// get/getOrCreate/adopt, dropped by release). An entry evicted while
 	// refs > 0 stays fully usable by those requests — only the indexes
 	// forget it — and its eviction callback is deferred to the last release,
-	// so eviction can never race a request mid-stage.
-	refs      int
-	gone      bool // removed from the indexes; finalize at refs == 0
-	finalized bool
-	why       evictReason
+	// so eviction can never race a request mid-stage. refs, gone,
+	// finalized and why are all guarded by st.mu (the owning store's lock).
+	refs      int         // guarded by st.mu
+	gone      bool        // removed from the indexes; finalize at refs == 0; guarded by st.mu
+	finalized bool        // guarded by st.mu
+	why       evictReason // guarded by st.mu
 
 	// pinned marks an entry whose state could not be persisted: it is exempt
 	// from LRU overflow and TTL expiry until a snapshot write succeeds
 	// (unpin), so store faults degrade to higher memory use, never to lost
-	// session work.
+	// session work. Guarded by st.mu (the owning store's lock).
 	pinned bool
 	// slots bounds requests concurrently inside handlers for this session
 	// (per-session admission control; distinct from refs, which also counts
@@ -87,14 +90,15 @@ type sessionStore struct {
 	// slotCap sizes each entry's per-session admission semaphore (0 = no
 	// bound). The server sets it right after construction, before any entry
 	// exists.
-	slotCap  int
-	now      func() time.Time
-	byID     map[string]*sessionEntry
-	byHash   map[string]*sessionEntry // pristine sessions only
-	lru      *list.List               // front = most recently used; values are *sessionEntry
-	seq      int64
-	pinnedN  int // entries currently pinned (persistence degraded)
-	creating map[string]*createCall
+	slotCap int
+	now     func() time.Time
+	// The session indexes and counters: all guarded by mu.
+	byID     map[string]*sessionEntry // guarded by mu
+	byHash   map[string]*sessionEntry // pristine sessions only; guarded by mu
+	lru      *list.List               // front = most recently used; values are *sessionEntry; guarded by mu
+	seq      int64                    // guarded by mu
+	pinnedN  int                      // entries currently pinned (persistence degraded); guarded by mu
+	creating map[string]*createCall   // guarded by mu
 	onEvict  func(*sessionEntry, evictReason)
 }
 
@@ -143,7 +147,7 @@ func (st *sessionStore) getOrCreate(ctx context.Context, hash string, mk func() 
 			return nil, false, err
 		}
 		st.mu.Lock()
-		if e, ok := st.byHash[hash]; ok && !st.expired(e) {
+		if e, ok := st.byHash[hash]; ok && !st.expiredLocked(e) {
 			st.touchLocked(e)
 			e.refs++
 			st.mu.Unlock()
@@ -162,7 +166,7 @@ func (st *sessionStore) getOrCreate(ctx context.Context, hash string, mk func() 
 				// liveness under the lock and fall back to a fresh attempt.
 				e := inflight.ent
 				st.mu.Lock()
-				if !e.gone && !st.expired(e) {
+				if !e.gone && !st.expiredLocked(e) {
 					st.touchLocked(e)
 					e.refs++
 					st.mu.Unlock()
@@ -207,7 +211,7 @@ func (st *sessionStore) getOrCreate(ctx context.Context, hash string, mk func() 
 // must release it.
 func (st *sessionStore) adopt(id, hash string, edited bool, sess *aapsm.Session) (ent *sessionEntry, adopted bool) {
 	st.mu.Lock()
-	if e, ok := st.byID[id]; ok && !st.expired(e) {
+	if e, ok := st.byID[id]; ok && !st.expiredLocked(e) {
 		st.touchLocked(e)
 		e.refs++
 		st.mu.Unlock()
@@ -244,7 +248,7 @@ func (st *sessionStore) get(id string) (*sessionEntry, bool) {
 		st.mu.Unlock()
 		return nil, false
 	}
-	if st.expired(e) {
+	if st.expiredLocked(e) {
 		fire := st.removeLocked(e, evictTTL)
 		st.mu.Unlock()
 		st.fire(fire)
@@ -362,7 +366,7 @@ func (st *sessionStore) delete(id string) bool {
 		st.mu.Unlock()
 		return false
 	}
-	live := !st.expired(e)
+	live := !st.expiredLocked(e)
 	why := evictExplicit
 	if !live {
 		why = evictTTL
@@ -380,7 +384,7 @@ func (st *sessionStore) sweep() {
 	var fire []*sessionEntry
 	for el := st.lru.Back(); el != nil; {
 		prev := el.Prev()
-		if e := el.Value.(*sessionEntry); st.expired(e) {
+		if e := el.Value.(*sessionEntry); st.expiredLocked(e) {
 			fire = append(fire, st.removeLocked(e, evictTTL)...)
 		}
 		el = prev
@@ -424,7 +428,7 @@ func (st *sessionStore) isEdited(e *sessionEntry) bool {
 	return e.edited
 }
 
-func (st *sessionStore) expired(e *sessionEntry) bool {
+func (st *sessionStore) expiredLocked(e *sessionEntry) bool {
 	return !e.pinned && st.ttl > 0 && st.now().After(e.expires)
 }
 
@@ -479,6 +483,7 @@ func (st *sessionStore) removeLocked(e *sessionEntry, why evictReason) []*sessio
 // fire runs deferred eviction callbacks outside the store mutex.
 func (st *sessionStore) fire(entries []*sessionEntry) {
 	for _, e := range entries {
+		//aapsmvet:allow guardedby why is written before finalization and immutable after; fire only sees finalized entries
 		st.onEvict(e, e.why)
 	}
 }

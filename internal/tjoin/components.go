@@ -46,6 +46,7 @@ func (o Options) groupCap() int {
 // graphs of real layouts consist of many local components). Gadget
 // statistics are accumulated across components.
 func Solve(g *graph.Graph, T []int, opt Options) (Result, error) {
+	//aapsmvet:allow ctxflow compatibility wrapper for non-cancellable callers; SolveContext is the ctx-aware entry point
 	return SolveContext(context.Background(), g, T, opt)
 }
 

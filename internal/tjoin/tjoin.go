@@ -112,6 +112,7 @@ func CheckJoin(g *graph.Graph, T []int, edges []int) error {
 // by divide-node pairs. Matching a port-pair edge puts the corresponding
 // graph edge into the join.
 func SolveGadget(g *graph.Graph, T []int, groupCap int) (Result, error) {
+	//aapsmvet:allow ctxflow compatibility wrapper for non-cancellable callers; the ctx-aware path is solveGadget via SolveContext
 	return solveGadget(context.Background(), g, T, groupCap)
 }
 
@@ -257,6 +258,7 @@ func solveGadget(ctx context.Context, g *graph.Graph, T []int, groupCap int) (Re
 // over T, find its minimum-weight perfect matching, and take the symmetric
 // difference of the matched shortest paths.
 func SolveLawler(g *graph.Graph, T []int) (Result, error) {
+	//aapsmvet:allow ctxflow compatibility wrapper for non-cancellable callers; the ctx-aware path is solveLawler via SolveContext
 	return solveLawler(context.Background(), g, T)
 }
 
@@ -382,6 +384,7 @@ func solveLawler(ctx context.Context, g *graph.Graph, T []int) (Result, error) {
 // SolveExhaustive enumerates all edge subsets; only usable for tiny graphs
 // (m <= ~20). Exported for cross-validation in tests.
 func SolveExhaustive(g *graph.Graph, T []int) (Result, error) {
+	//aapsmvet:allow ctxflow test-only cross-validation wrapper; SolveExhaustiveContext is the ctx-aware entry point
 	return SolveExhaustiveContext(context.Background(), g, T)
 }
 

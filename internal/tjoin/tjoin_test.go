@@ -2,6 +2,7 @@ package tjoin
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -91,13 +92,13 @@ func TestNoJoinOddComponent(t *testing.T) {
 	g.AddEdge(2, 3, 1)
 	// Terminals 0,1,2: component {2,3} has odd terminal count.
 	T := []int{0, 1, 2}
-	if _, err := SolveGadget(g, T, Unbounded); err != ErrNoTJoin {
+	if _, err := SolveGadget(g, T, Unbounded); !errors.Is(err, ErrNoTJoin) {
 		t.Fatalf("gadget err = %v", err)
 	}
-	if _, err := SolveLawler(g, T); err != ErrNoTJoin {
+	if _, err := SolveLawler(g, T); !errors.Is(err, ErrNoTJoin) {
 		t.Fatalf("lawler err = %v", err)
 	}
-	if _, err := SolveExhaustive(g, T); err != ErrNoTJoin {
+	if _, err := SolveExhaustive(g, T); !errors.Is(err, ErrNoTJoin) {
 		t.Fatalf("exhaustive err = %v", err)
 	}
 }

@@ -39,7 +39,7 @@ func (s *Session) Snapshot() ([]byte, error) {
 		var err error
 		inc, err = core.NewIncremental(s.layout, s.engine.rules, s.engine.opts.Graph, s.engine.opts.coreOptions())
 		if err != nil {
-			return nil, fmt.Errorf("aapsm: snapshot: %w", err)
+			return nil, flowErr(StagePersist, s.layout.Name, fmt.Errorf("snapshot: %w", err))
 		}
 	}
 	st := &persist.SessionState{
@@ -103,19 +103,19 @@ func (e *Engine) RestoreSession(ctx context.Context, data []byte) (*Session, err
 func (e *Engine) RestoreSessionWithParallelism(ctx context.Context, data []byte, n int) (*Session, error) {
 	st, err := persist.Decode(data)
 	if err != nil {
-		return nil, err
+		return nil, flowErr(StagePersist, "", err)
 	}
 	if st.Inc == nil {
-		return nil, fmt.Errorf("%w: snapshot carries no engine state", persist.ErrCorrupt)
+		return nil, flowErr(StagePersist, "", fmt.Errorf("%w: snapshot carries no engine state", persist.ErrCorrupt))
 	}
 	if len(st.IvKeys) != len(st.IvVals) {
-		return nil, fmt.Errorf("%w: interval cache keys/values mismatch", persist.ErrCorrupt)
+		return nil, flowErr(StagePersist, "", fmt.Errorf("%w: interval cache keys/values mismatch", persist.ErrCorrupt))
 	}
 	opt := e.opts.coreOptions()
 	opt.Workers = 0
 	if st.Rules != e.rules || st.Kind != e.opts.Graph || st.Opt != opt {
-		return nil, fmt.Errorf("%w (snapshot: rules=%+v kind=%d opt=%+v; engine: rules=%+v kind=%d opt=%+v)",
-			ErrSnapshotMismatch, st.Rules, st.Kind, st.Opt, e.rules, e.opts.Graph, opt)
+		return nil, flowErr(StagePersist, "", fmt.Errorf("%w (snapshot: rules=%+v kind=%d opt=%+v; engine: rules=%+v kind=%d opt=%+v)",
+			ErrSnapshotMismatch, st.Rules, st.Kind, st.Opt, e.rules, e.opts.Graph, opt))
 	}
 	inc, err := core.RestoreIncremental(st.Inc, e.rules, e.opts.Graph, e.opts.coreOptions())
 	if err != nil {

@@ -86,38 +86,42 @@ type Session struct {
 	// this session's detection (DetectBatch divides its budget this way).
 	detectWorkers int
 
-	mu         sync.Mutex
-	detectRuns int
-	edits      int
+	mu sync.Mutex
+	// detectRuns and edits count work done, for Stats. Both guarded by mu.
+	detectRuns int // guarded by mu
+	edits      int // guarded by mu
 	// gen counts invalidation epochs: it advances once per mutation batch
 	// (Edit) or standalone mutation, so two reads of equal generation are
 	// guaranteed to observe the same layout state. Servers use it to key
-	// response caches and to tag streamed stage results.
+	// response caches and to tag streamed stage results. Guarded by mu
+	// (read via Generation).
 	gen int64
 	// inc is the incremental edit-and-re-detect engine, armed by the first
 	// mutation; once set, s.layout aliases inc.Layout() and detection routes
 	// through it. Every downstream stage then reuses along the same conflict
 	// clusters: assignment re-colors, verification re-checks, correction
 	// re-derives intervals and mask validation re-validates only for dirty
-	// clusters; DRC re-probes only edited neighborhoods.
+	// clusters; DRC re-probes only edited neighborhoods. Guarded by mu.
 	inc *core.Incremental
 	// verifyCleanGen / maskCleanGen record the last detection generation at
 	// which assignment verification / mask validation completed with zero
 	// problems — the precondition for checking only dirty clusters at the
-	// next generation. -1 until first established.
-	verifyCleanGen int
-	maskCleanGen   int
+	// next generation. -1 until first established. Both guarded by mu.
+	verifyCleanGen int // guarded by mu
+	maskCleanGen   int // guarded by mu
 	// ivCache holds correction intervals per overlap-pair uid; entries stay
 	// valid exactly as long as their uid (both features untouched), and the
 	// map is rebuilt from hits on every correction so dead uids age out.
+	// Guarded by mu.
 	ivCache map[int32]correct.Intervals
 
-	detect     stage[*Result]
-	assignment stage[*Assignment]
-	correction stage[*Correction]
-	maskView   stage[*Layout]
-	drcResult  stage[[]DRCViolation]
-	junctions  stage[[]Junction]
+	// The memoized stage outcomes. All guarded by mu.
+	detect     stage[*Result]        // guarded by mu
+	assignment stage[*Assignment]    // guarded by mu
+	correction stage[*Correction]    // guarded by mu
+	maskView   stage[*Layout]        // guarded by mu
+	drcResult  stage[[]DRCViolation] // guarded by mu
+	junctions  stage[[]Junction]     // guarded by mu
 }
 
 // stage memoizes one pipeline step: its value, or its first non-context
@@ -340,6 +344,8 @@ type LayoutEditor struct {
 func (ed *LayoutEditor) Add(r Rect) int { return ed.AddOnLayer(r, 0) }
 
 // AddOnLayer appends a feature on an explicit layer and returns its index.
+//
+//aapsmvet:holds mu Edit holds the session lock for the whole batch
 func (ed *LayoutEditor) AddOnLayer(r Rect, layer int) int {
 	if ed.err != nil {
 		return -1
@@ -350,6 +356,8 @@ func (ed *LayoutEditor) AddOnLayer(r Rect, layer int) int {
 }
 
 // Move moves (or resizes) feature i to rectangle r.
+//
+//aapsmvet:holds mu Edit holds the session lock for the whole batch
 func (ed *LayoutEditor) Move(i int, r Rect) {
 	if ed.err != nil {
 		return
@@ -362,6 +370,8 @@ func (ed *LayoutEditor) Move(i int, r Rect) {
 }
 
 // Delete removes feature i (later features shift down one index).
+//
+//aapsmvet:holds mu Edit holds the session lock for the whole batch
 func (ed *LayoutEditor) Delete(i int) {
 	if ed.err != nil {
 		return
