@@ -95,6 +95,22 @@ type (
 	// IncrementalStats is the work profile of an edited session's
 	// incremental detection engine (see SessionStats.Incremental).
 	IncrementalStats = core.IncStats
+	// Tone selects the mask polarity of a rules set (bright or dark field).
+	Tone = layout.Tone
+	// Hierarchy is the instance-provenance sidecar a hierarchical GDS read
+	// attaches to the flattened layout (Layout.Hier).
+	Hierarchy = layout.Hierarchy
+	// GDSReadOptions configures ReadGDSWith (top-cell selection, flatten
+	// semantics, depth and size limits).
+	GDSReadOptions = gds.ReadOptions
+)
+
+// Mask polarities.
+const (
+	// BrightField is the paper's setup: chrome features on a clear mask.
+	BrightField = layout.BrightField
+	// DarkField is the inverted-tone variant: clear apertures in chrome.
+	DarkField = layout.DarkField
 )
 
 // Graph representations.
@@ -241,8 +257,14 @@ func ReadLayoutText(r io.Reader) (*Layout, error) { return layout.ReadText(r) }
 // WriteLayoutText serializes a layout to the plain-text format.
 func WriteLayoutText(w io.Writer, l *Layout) error { return l.WriteText(w) }
 
-// ReadGDS parses a GDSII stream (rectangular boundaries, 1 nm units).
+// ReadGDS parses a GDSII stream (1 nm units): flat or hierarchical
+// libraries, rectangular or rectilinear-polygon boundaries. Hierarchies are
+// flattened with default limits and keep their instance-provenance sidecar
+// (Layout.Hier); use ReadGDSWith to pick a top cell or adjust limits.
 func ReadGDS(r io.Reader) (*Layout, error) { return gds.Read(r) }
+
+// ReadGDSWith parses a GDSII stream under explicit reader options.
+func ReadGDSWith(r io.Reader, opt GDSReadOptions) (*Layout, error) { return gds.ReadWith(r, opt) }
 
 // WriteGDS serializes a layout as a GDSII stream.
 func WriteGDS(w io.Writer, l *Layout) error { return gds.Write(w, l) }

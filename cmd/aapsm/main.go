@@ -65,10 +65,18 @@ func main() {
 		graph   = flag.String("graph", "pcg", "graph representation: pcg | fg")
 		method  = flag.String("method", "gen", "T-join reduction: gen | opt | lawler")
 		imp     = flag.Bool("improved-recheck", false, "use parity-based crossing recheck")
+		rules   = flag.String("rules", "bright-90nm", "rules profile (see -list-rules)")
+		list    = flag.Bool("list-rules", false, "list registered rules profiles and exit")
 		script  = flag.String("script", "", "edit script for the edit subcommand")
 		verbose = flag.Bool("v", false, "verbose conflict listing")
 	)
 	flag.Parse()
+	if *list {
+		for _, p := range aapsm.Profiles() {
+			fmt.Printf("%-14s %s\n", p.Name, p.Description)
+		}
+		return
+	}
 	cmds := strings.Split(*cmd, ",")
 	// restore rebuilds the layout from the snapshot, so -in is only
 	// mandatory when something runs before the restore.
@@ -83,8 +91,11 @@ func main() {
 		check(err)
 	}
 
+	if _, err := aapsm.ProfileByName(*rules); err != nil {
+		fatalf("%v (see -list-rules)", err)
+	}
 	opts := []aapsm.EngineOption{
-		aapsm.WithRules(aapsm.Default90nmRules()),
+		aapsm.WithProfile(*rules),
 		aapsm.WithImprovedRecheck(*imp),
 	}
 	switch *graph {

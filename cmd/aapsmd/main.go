@@ -93,11 +93,15 @@ func main() {
 		writeTO  = flag.Duration("write-timeout", 2*time.Minute, "http.Server response write timeout")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
 		chaos    = flag.String("chaos", "", "fault-injection spec (dev/torture only): seed=,write-fail=,enospc=,torn=,read-fail=,read-corrupt=,latency=,panic=")
+		rules    = flag.String("rules", "bright-90nm", "default rules profile for new sessions (per-session override: POST /v1/sessions?profile=)")
 	)
 	flag.Parse()
 
+	if _, err := aapsm.ProfileByName(*rules); err != nil {
+		fatalf("%v", err)
+	}
 	opts := []aapsm.EngineOption{
-		aapsm.WithRules(aapsm.Default90nmRules()),
+		aapsm.WithProfile(*rules),
 		aapsm.WithParallelism(*par),
 		aapsm.WithImprovedRecheck(*imp),
 	}

@@ -42,6 +42,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/gds"
+	"repro/internal/geom"
 	"repro/internal/server"
 )
 
@@ -202,6 +204,14 @@ type detectRecord struct {
 	ServedEditsBaselinePerSec float64 `json:"served_edits_baseline_per_sec"`
 	ServedEditsSpeedup        float64 `json:"served_edits_speedup"`
 	CoalesceRatio             float64 `json:"coalesce_ratio"`
+	// Hierarchical trajectory (schema v6): detection latency on the design
+	// placed as a cell in a 2x2 array (flattened with instance provenance,
+	// so the instance-aware fast path solves each cluster shape once and
+	// splices the result into every placement), and the cell-reuse ratio —
+	// clusters covered per cluster actually solved. A fully instance-pure
+	// array reaches the placement count (4); 1.0 means no reuse.
+	HierDetectNS       int64   `json:"hier_detect_ns"`
+	HierCellReuseRatio float64 `json:"hier_cell_reuse_ratio"`
 }
 
 // detectTrajectory is the top-level BENCH_detect.json document.
@@ -218,7 +228,7 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 		workers = runtime.GOMAXPROCS(0)
 	}
 	doc := &detectTrajectory{
-		Schema:      "aapsm/bench_detect/v5",
+		Schema:      "aapsm/bench_detect/v6",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Workers:     workers,
@@ -257,6 +267,10 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 		served, err := measureServedContended(d, rules)
 		if err != nil {
 			return nil, fmt.Errorf("%s: contended serving: %w", d.Name, err)
+		}
+		hierNS, hierRatio, err := measureHierDetect(d, rules, workers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: hier detect: %w", d.Name, err)
 		}
 
 		s := det.Stats
@@ -307,14 +321,18 @@ func writeDetectJSON(path string, suite []bench.Design, rules aapsm.Rules, worke
 			ServedEditsBaselinePerSec: served.baselinePerSec,
 			ServedEditsSpeedup:        served.perSec / served.baselinePerSec,
 			CoalesceRatio:             served.coalesceRatio,
+
+			HierDetectNS:       hierNS,
+			HierCellReuseRatio: hierRatio,
 		})
-		fmt.Printf("%-4s %7d polygons %8d edges %5d shards  total %8.2fms  edit-redetect %6.2fms (%.1fx)  edit-repipeline %6.2fms (%.1fx)  restore %6.2fms (%.1fx)  served-edits %6.0f/s (%.1fx, %.1f/batch)\n",
+		fmt.Printf("%-4s %7d polygons %8d edges %5d shards  total %8.2fms  edit-redetect %6.2fms (%.1fx)  edit-repipeline %6.2fms (%.1fx)  restore %6.2fms (%.1fx)  served-edits %6.0f/s (%.1fx, %.1f/batch)  hier-detect %6.2fms (reuse %.1fx)\n",
 			d.Name, len(l.Features), s.GraphEdges, s.Shards,
 			float64(s.TotalTime.Nanoseconds())/1e6,
 			float64(editNS)/1e6, float64(buildNS+s.TotalTime.Nanoseconds())/float64(editNS),
 			float64(pipe.editNS)/1e6, float64(pipe.scratchNS)/float64(pipe.editNS),
 			float64(restoreNS)/1e6, float64(pipe.scratchNS)/float64(restoreNS),
-			served.perSec, served.perSec/served.baselinePerSec, served.coalesceRatio)
+			served.perSec, served.perSec/served.baselinePerSec, served.coalesceRatio,
+			float64(hierNS)/1e6, hierRatio)
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -519,6 +537,64 @@ func measureServedContended(d bench.Design, rules aapsm.Rules) (servedResult, er
 	return out, nil
 }
 
+// measureHierDetect places the design's layout as a library cell in a 2x2
+// AREF array, flattens it with instance provenance, and times detection on
+// the result (best of 3). With all four placements identical and the array
+// pitch past shifter-interaction range, every conflict cluster is
+// instance-pure: the fast path solves each cluster shape once and splices
+// the result into the other placements. The reported ratio is clusters
+// covered per cluster solved — 4.0 when reuse is perfect, 1.0 when the fast
+// path did nothing.
+func measureHierDetect(d bench.Design, rules aapsm.Rules, workers int) (bestNS int64, ratio float64, err error) {
+	flat := bench.Generate(d.Name, d.Params)
+	cell := &gds.Cell{Name: "CELL"}
+	minX, minY := int64(1<<62), int64(1<<62)
+	maxX, maxY := int64(-1<<62), int64(-1<<62)
+	for _, f := range flat.Features {
+		r := f.Rect
+		cell.Polys = append(cell.Polys, gds.Poly{Layer: f.Layer, Pts: []geom.Point{
+			{X: r.X0, Y: r.Y0}, {X: r.X1, Y: r.Y0}, {X: r.X1, Y: r.Y1}, {X: r.X0, Y: r.Y1},
+		}})
+		minX, maxX = min(minX, r.X0), max(maxX, r.X1)
+		minY, maxY = min(minY, r.Y0), max(maxY, r.Y1)
+	}
+	// Clearance past shifter reach (gap+width = 240 per side) plus
+	// interaction range (300) keeps neighboring placements independent.
+	const margin = 1000
+	lib := &gds.Library{Name: d.Name + "-2x2", Cells: []*gds.Cell{
+		{Name: "TOP", Refs: []gds.Ref{{
+			Cell: "CELL", Cols: 2, Rows: 2,
+			ColStep: geom.Pt(maxX-minX+margin, 0),
+			RowStep: geom.Pt(0, maxY-minY+margin),
+		}}},
+		cell,
+	}}
+	l, err := lib.Flatten(gds.ReadOptions{TopCell: "TOP"})
+	if err != nil {
+		return 0, 0, err
+	}
+	var reused, solved int
+	for k := 0; k < 3; k++ {
+		cg, err := core.BuildGraph(l, rules, core.PCG)
+		if err != nil {
+			return 0, 0, err
+		}
+		t0 := time.Now()
+		det, err := core.Detect(cg, core.Options{Workers: workers})
+		if err != nil {
+			return 0, 0, err
+		}
+		if ns := time.Since(t0).Nanoseconds(); bestNS == 0 || ns < bestNS {
+			bestNS = ns
+		}
+		reused, solved = det.Stats.HierReusedShards, det.Stats.HierSolvedShards
+	}
+	if solved == 0 {
+		return 0, 0, fmt.Errorf("hier fast path solved no clusters (reused %d)", reused)
+	}
+	return bestNS, float64(reused+solved) / float64(solved), nil
+}
+
 // compareBaseline checks the structural counts of doc against the committed
 // baseline file within the given ratio tolerance. Only designs present in
 // both documents are compared; timings are deliberately ignored.
@@ -574,6 +650,14 @@ func compareBaseline(doc *detectTrajectory, path string, tol float64) error {
 		if want.CoalesceRatio > 1 && got.CoalesceRatio < want.CoalesceRatio/tol {
 			problems = append(problems,
 				fmt.Sprintf("%s: coalesce_ratio = %.2f, baseline %.2f (collapsed beyond %.1fx)", got.Name, got.CoalesceRatio, want.CoalesceRatio, tol))
+		}
+		// Instance reuse is structural too (clusters covered per cluster
+		// solved on a deterministic 2x2 array), gated one-sided once the
+		// baseline carries the v6 field: losing the fast path must trip the
+		// gate, reusing more never does.
+		if want.HierCellReuseRatio > 1 && got.HierCellReuseRatio < want.HierCellReuseRatio/tol {
+			problems = append(problems,
+				fmt.Sprintf("%s: hier_cell_reuse_ratio = %.2f, baseline %.2f (fast path lost beyond %.1fx)", got.Name, got.HierCellReuseRatio, want.HierCellReuseRatio, tol))
 		}
 	}
 	if len(problems) > 0 {

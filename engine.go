@@ -24,14 +24,22 @@ type Engine struct {
 	rules   Rules
 	opts    DetectOptions
 	workers int
+	// profile is the registry name the rules came from ("" for custom rules
+	// set via WithRules).
+	profile string
+	// err is the sticky construction error (e.g. WithProfile with an unknown
+	// name); every stage of every session derived from the engine reports it.
+	err error
 }
 
 // EngineOption configures NewEngine.
 type EngineOption func(*Engine)
 
-// WithRules sets the process rules (default: Default90nmRules).
+// WithRules sets the process rules (default: Default90nmRules). It resets
+// the engine's profile name to "" (custom rules); use WithProfile to pick a
+// registered preset by name.
 func WithRules(r Rules) EngineOption {
-	return func(e *Engine) { e.rules = r }
+	return func(e *Engine) { e.rules, e.profile = r, "" }
 }
 
 // WithGraph selects the graph representation: PCG (default) or the FG
@@ -77,6 +85,15 @@ func NewEngine(opts ...EngineOption) *Engine {
 
 // Rules returns the engine's process rules.
 func (e *Engine) Rules() Rules { return e.rules }
+
+// Profile returns the registry name of the engine's rules profile, or ""
+// when the rules were set directly with WithRules (or defaulted).
+func (e *Engine) Profile() string { return e.profile }
+
+// Err returns the engine's sticky construction error, nil for a usable
+// engine. A non-nil Err (e.g. WithProfile with an unregistered name) is also
+// returned by every stage of every session the engine creates.
+func (e *Engine) Err() error { return e.err }
 
 // DetectOptions returns the engine's detection configuration in the legacy
 // one-shot form.

@@ -43,6 +43,9 @@ const (
 	StageEdit
 	// StagePersist covers session snapshot and restore.
 	StagePersist
+	// StageConfig covers engine and profile configuration (rules-profile
+	// resolution, engine option validation).
+	StageConfig
 )
 
 func (s FlowStage) String() string {
@@ -61,6 +64,8 @@ func (s FlowStage) String() string {
 		return "edit"
 	case StagePersist:
 		return "persist"
+	case StageConfig:
+		return "config"
 	}
 	return fmt.Sprintf("stage(%d)", int(s))
 }

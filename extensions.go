@@ -52,15 +52,17 @@ func ApplyWidening(l *Layout, p *WidenPlan) *Layout { return correct.ApplyWideni
 // Mask layer numbers of the emitted manufacturing view.
 const (
 	MaskLayerChrome     = mask.LayerChrome
+	MaskLayerOpening    = mask.LayerOpening
 	MaskLayerShifter0   = mask.LayerShifter0
 	MaskLayerShifter180 = mask.LayerShifter180
 )
 
 // BuildMask combines the layout, its shifters and a phase assignment into a
-// multi-layer mask view (chrome + 0°/180° aperture layers) suitable for
-// WriteGDS.
+// multi-layer mask view suitable for WriteGDS. The feature layer follows the
+// tone of the rules the detection ran under: chrome features (bright field)
+// or chrome openings (dark field), plus the 0°/180° aperture layers.
 func BuildMask(l *Layout, r *Result, a *Assignment) (*Layout, error) {
-	return mask.Build(l, r.Graph.Set, a.Phases)
+	return mask.Build(l, r.Graph.Set, a.Phases, r.Graph.Rules.Tone)
 }
 
 // ValidateMask re-checks a mask view's phase consistency; it returns

@@ -46,10 +46,11 @@ func goldenSessions(t *testing.T, ctx context.Context) map[string]*Session {
 		t.Fatal(err)
 	}
 	return map[string]*Session{
-		"figure1":     NewEngine().NewSession(Figure1Layout()),
-		"figure2_pcg": NewEngine(WithGraph(PCG)).NewSession(fig2),
-		"figure2_fg":  NewEngine(WithGraph(FG)).NewSession(fig2),
-		"figure5":     s5,
+		"figure1":      NewEngine().NewSession(Figure1Layout()),
+		"figure2_pcg":  NewEngine(WithGraph(PCG)).NewSession(fig2),
+		"figure2_fg":   NewEngine(WithGraph(FG)).NewSession(fig2),
+		"figure5":      s5,
+		"figure5_dark": NewEngine(WithProfile("dark-90nm")).NewSession(Figure5Layout()),
 	}
 }
 

@@ -1,0 +1,387 @@
+package aapsm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"maps"
+	"reflect"
+	"slices"
+	"testing"
+
+	"repro/internal/gds"
+	"repro/internal/geom"
+)
+
+// crossPoly is a plus-shaped 12-vertex rectilinear polygon centered on
+// (cx,cy) with critical-width arms, the conflict-rich polygonal primitive of
+// the hierarchy tests.
+func crossPoly(cx, cy int64) gds.Poly {
+	const arm, reach = 100, 500
+	return gds.Poly{Layer: 0, Pts: []geom.Point{
+		{X: cx - arm/2, Y: cy - reach}, {X: cx + arm/2, Y: cy - reach},
+		{X: cx + arm/2, Y: cy - arm/2}, {X: cx + reach, Y: cy - arm/2},
+		{X: cx + reach, Y: cy + arm/2}, {X: cx + arm/2, Y: cy + arm/2},
+		{X: cx + arm/2, Y: cy + reach}, {X: cx - arm/2, Y: cy + reach},
+		{X: cx - arm/2, Y: cy + arm/2}, {X: cx - reach, Y: cy + arm/2},
+		{X: cx - reach, Y: cy - arm/2}, {X: cx - arm/2, Y: cy - arm/2},
+	}}
+}
+
+// hierTestLibrary builds a library whose CELL holds a 2x3 grid of crosses
+// plus two plain gate rectangles, placed from TOP as a 2x2 AREF, one rotated
+// SREF and one reflected SREF — six placements, three distinct transforms.
+// Placement pitch keeps every placement outside shifter-interaction range of
+// its neighbors, so all conflict clusters are instance-pure.
+func hierTestLibrary() *gds.Library {
+	cell := &gds.Cell{Name: "CELL"}
+	for j := int64(0); j < 2; j++ {
+		for i := int64(0); i < 3; i++ {
+			cell.Polys = append(cell.Polys, crossPoly(i*1800, j*1800))
+		}
+	}
+	cell.Polys = append(cell.Polys,
+		gds.Poly{Layer: 0, Pts: []geom.Point{{X: -400, Y: 2400}, {X: -300, Y: 2400}, {X: -300, Y: 3400}, {X: -400, Y: 3400}}},
+		gds.Poly{Layer: 0, Pts: []geom.Point{{X: -180, Y: 2400}, {X: -80, Y: 2400}, {X: -80, Y: 3400}, {X: -180, Y: 3400}}},
+	)
+	return &gds.Library{Name: "hiertest", Cells: []*gds.Cell{
+		{Name: "TOP", Refs: []gds.Ref{
+			{Cell: "CELL", Origin: geom.Pt(0, 0), Cols: 2, Rows: 2,
+				ColStep: geom.Pt(6000, 0), RowStep: geom.Pt(0, 6000)},
+			{Cell: "CELL", Origin: geom.Pt(16000, 0), Rot: 90},
+			{Cell: "CELL", Origin: geom.Pt(16000, 16000), Reflect: true},
+		}},
+		cell,
+	}}
+}
+
+// flattenPair expands a library twice: once with the instance-provenance
+// sidecar (the hierarchy-aware path) and once fully flat (the oracle).
+// Feature streams are required to be identical up front; everything
+// downstream of them is what the differential compares.
+func flattenPair(t *testing.T, lib *gds.Library) (hier, flat *Layout) {
+	t.Helper()
+	hier, err := lib.Flatten(gds.ReadOptions{TopCell: "TOP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err = lib.Flatten(gds.ReadOptions{TopCell: "TOP", Flatten: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.Hier == nil {
+		t.Fatal("hierarchical flatten attached no sidecar")
+	}
+	if flat.Hier != nil {
+		t.Fatal("flat flatten attached a sidecar")
+	}
+	if !slices.Equal(hier.Features, flat.Features) {
+		t.Fatal("flatten modes produced different feature streams")
+	}
+	return hier, flat
+}
+
+// assertStagesIdentical drives both sessions through every pipeline stage and
+// requires bit-identical results: conflicts, bipartization, assignment,
+// correction, mask, DRC and the rendered SVG.
+func assertStagesIdentical(t *testing.T, ctx context.Context, label string, s, o *Session) {
+	t.Helper()
+	gr, gerr := s.Detect(ctx)
+	wr, werr := o.Detect(ctx)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("%s: Detect errors diverged: %v vs %v", label, gerr, werr)
+	}
+	if gerr == nil {
+		if !reflect.DeepEqual(gr.Detection.FinalConflicts, wr.Detection.FinalConflicts) {
+			t.Fatalf("%s: conflicts diverged:\n hier %v\n flat %v", label, gr.Detection.FinalConflicts, wr.Detection.FinalConflicts)
+		}
+		if !reflect.DeepEqual(gr.Detection.BipartizationEdges, wr.Detection.BipartizationEdges) {
+			t.Fatalf("%s: bipartization diverged:\n hier %v\n flat %v", label, gr.Detection.BipartizationEdges, wr.Detection.BipartizationEdges)
+		}
+	}
+
+	ga, gerr := s.Assignment(ctx)
+	wa, werr := o.Assignment(ctx)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("%s: Assignment errors diverged: %v vs %v", label, gerr, werr)
+	}
+	if gerr == nil {
+		if !slices.Equal(ga.Phases, wa.Phases) {
+			t.Fatalf("%s: phases diverged", label)
+		}
+		if !maps.Equal(ga.Waived, wa.Waived) || !maps.Equal(ga.WaivedFeatures, wa.WaivedFeatures) {
+			t.Fatalf("%s: waived sets diverged", label)
+		}
+	}
+
+	gc, gerr := s.Correction(ctx)
+	wc, werr := o.Correction(ctx)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("%s: Correction errors diverged: %v vs %v", label, gerr, werr)
+	}
+	if gerr == nil {
+		if !reflect.DeepEqual(gc.Plan.Cuts, wc.Plan.Cuts) || !slices.Equal(gc.Plan.Unfixable, wc.Plan.Unfixable) {
+			t.Fatalf("%s: correction plans diverged", label)
+		}
+		if layoutText(t, gc.Layout) != layoutText(t, wc.Layout) {
+			t.Fatalf("%s: corrected layouts diverged", label)
+		}
+	}
+
+	gm, gerr := s.Mask(ctx)
+	wm, werr := o.Mask(ctx)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("%s: Mask errors diverged: %v vs %v", label, gerr, werr)
+	}
+	if gerr != nil {
+		if errors.Is(gerr, ErrMaskInconsistent) != errors.Is(werr, ErrMaskInconsistent) {
+			t.Fatalf("%s: mask error classes diverged: %v vs %v", label, gerr, werr)
+		}
+	} else if layoutText(t, gm) != layoutText(t, wm) {
+		t.Fatalf("%s: mask views diverged", label)
+	}
+
+	if gv, wv := s.DRC(), o.DRC(); !slices.Equal(gv, wv) {
+		t.Fatalf("%s: DRC diverged", label)
+	}
+
+	var gs, ws bytes.Buffer
+	if err := s.RenderSVG(ctx, &gs); err != nil {
+		t.Fatalf("%s: hier SVG: %v", label, err)
+	}
+	if err := o.RenderSVG(ctx, &ws); err != nil {
+		t.Fatalf("%s: flat SVG: %v", label, err)
+	}
+	if !bytes.Equal(gs.Bytes(), ws.Bytes()) {
+		t.Fatalf("%s: SVG renders diverged (%d vs %d bytes)", label, gs.Len(), ws.Len())
+	}
+}
+
+// TestHierDifferential is the tentpole acceptance test: the instance-aware
+// fast path must be bit-identical to flat solving at every pipeline stage,
+// for both rules profiles and across worker counts, while actually reusing
+// cluster results between placements.
+func TestHierDifferential(t *testing.T) {
+	ctx := context.Background()
+	lib := hierTestLibrary()
+	for _, profile := range []string{"bright-90nm", "dark-90nm"} {
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/w%d", profile, workers), func(t *testing.T) {
+				hl, fl := flattenPair(t, lib)
+				eng := NewEngine(WithProfile(profile), WithParallelism(workers))
+				s, o := eng.NewSession(hl), eng.NewSession(fl)
+				assertStagesIdentical(t, ctx, t.Name(), s, o)
+
+				gr, err := s.Detect(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := gr.Detection.Stats
+				if st.HierReusedShards == 0 || st.HierSolvedShards == 0 {
+					t.Fatalf("fast path did not engage: %+v", st)
+				}
+				// The 2x2 AREF alone guarantees >1 identical placements.
+				if st.HierReusedShards < st.HierSolvedShards {
+					t.Fatalf("expected reuse to dominate on a repeated-cell layout: reused %d solved %d",
+						st.HierReusedShards, st.HierSolvedShards)
+				}
+				wr, err := o.Detect(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wst := wr.Detection.Stats; wst.HierReusedShards != 0 || wst.HierSolvedShards != 0 {
+					t.Fatalf("flat oracle engaged the fast path: %+v", wst)
+				}
+			})
+		}
+	}
+}
+
+// TestHierFallbackDifferential places two cells inside shifter-interaction
+// range, so their clusters merge across instance boundaries. Those clusters
+// must fall back to flat solving — and the results must still be identical.
+func TestHierFallbackDifferential(t *testing.T) {
+	ctx := context.Background()
+	cell := &gds.Cell{Name: "CELL", Polys: []gds.Poly{crossPoly(0, 0)}}
+	lib := &gds.Library{Name: "fallback", Cells: []*gds.Cell{
+		{Name: "TOP", Refs: []gds.Ref{
+			{Cell: "CELL", Origin: geom.Pt(0, 0)},
+			// 1150 nm apart: arm tips are 150 apart, well inside
+			// shifter-interaction range, fusing the two placements' clusters.
+			{Cell: "CELL", Origin: geom.Pt(1150, 0)},
+			// A third placement far away stays pure and keeps the fast path
+			// exercised in the same run.
+			{Cell: "CELL", Origin: geom.Pt(20000, 0)},
+			{Cell: "CELL", Origin: geom.Pt(20000, 20000)},
+		}},
+		cell,
+	}}
+	hl, fl := flattenPair(t, lib)
+	eng := NewEngine(WithParallelism(2))
+	s, o := eng.NewSession(hl), eng.NewSession(fl)
+	assertStagesIdentical(t, ctx, "fallback", s, o)
+	r, err := s.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Detection.Stats
+	if st.HierFallbackShards == 0 {
+		t.Fatalf("expected instance-crossing clusters to fall back: %+v", st)
+	}
+	if st.HierReusedShards == 0 {
+		t.Fatalf("expected the far placements to still reuse: %+v", st)
+	}
+}
+
+// TestHierEditDifferential arms an edit session on a hierarchical layout and
+// checks that after each mutation the incremental pipeline matches a
+// from-scratch session on the same features with no hierarchy at all:
+// editing must never let stale per-cell results leak into the result.
+func TestHierEditDifferential(t *testing.T) {
+	ctx := context.Background()
+	hl, _ := flattenPair(t, hierTestLibrary())
+	eng := NewEngine(WithParallelism(2))
+	oracle := NewEngine(WithParallelism(2))
+	s := eng.NewSession(hl)
+	if err := s.EnableEdits(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	check := func(step string) {
+		t.Helper()
+		flat := s.Layout().Clone()
+		flat.Hier = nil
+		assertStagesIdentical(t, ctx, step, s, oracle.NewSession(flat))
+	}
+	check("pre-edit")
+
+	// Move a placed feature (drops its provenance), add a fresh gate, delete
+	// a feature of another placement.
+	mid := len(s.Layout().Features) / 2
+	if err := s.MoveFeature(mid, s.Layout().Features[mid].Rect.Translate(Point{X: 40})); err != nil {
+		t.Fatal(err)
+	}
+	check("after move")
+	if _, err := s.AddFeature(R(-3000, -3000, -2900, -2000)); err != nil {
+		t.Fatal(err)
+	}
+	check("after add")
+	if err := s.DeleteFeature(2); err != nil {
+		t.Fatal(err)
+	}
+	check("after delete")
+
+	if fb := s.Stats().Incremental.FallbackDirty; fb != 0 {
+		t.Fatalf("%d reuse-invariant fallbacks", fb)
+	}
+}
+
+// TestHierSnapshotRoundTrip pins that a hierarchical edit session survives
+// snapshot/restore with its sidecar and keeps producing identical results.
+func TestHierSnapshotRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	hl, _ := flattenPair(t, hierTestLibrary())
+	eng := NewEngine(WithParallelism(2))
+	s := eng.NewSession(hl)
+	if err := s.EnableEdits(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eng.RestoreSession(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Layout()
+	if got.Hier == nil {
+		t.Fatal("restore dropped the hierarchy sidecar")
+	}
+	if !slices.Equal(got.Hier.Cells, hl.Hier.Cells) ||
+		!slices.Equal(got.Hier.PlacementCell, hl.Hier.PlacementCell) ||
+		!slices.Equal(got.Hier.FeatureInstance, hl.Hier.FeatureInstance) {
+		t.Fatal("sidecar changed across snapshot/restore")
+	}
+	assertStagesIdentical(t, ctx, "restored", r, s)
+}
+
+// TestPolygonGroupStability pins the sub-rect→feature uid contract: the
+// Group id linking one polygon's decomposed rectangles stays with each
+// feature across session edits, so DRC attribution and later edits still
+// address the original polygon after unrelated features move or vanish.
+func TestPolygonGroupStability(t *testing.T) {
+	lib := &gds.Library{Name: "POLY", Cells: []*gds.Cell{{
+		Name: "TOP",
+		Polys: []gds.Poly{
+			crossPoly(1000, 1000),
+			{Layer: 0, Pts: []geom.Point{{X: 4000, Y: 0}, {X: 4100, Y: 0}, {X: 4100, Y: 1000}, {X: 4000, Y: 1000}}},
+			crossPoly(8000, 1000),
+		},
+	}}}
+	l, err := lib.Flatten(gds.ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupsOf := func(l *Layout) map[Rect]int {
+		m := make(map[Rect]int, len(l.Features))
+		for _, f := range l.Features {
+			m[f.Rect] = f.Group
+		}
+		return m
+	}
+	before := groupsOf(l)
+	groups := make(map[int]int)
+	var loneRect Rect
+	for _, f := range l.Features {
+		groups[f.Group]++
+		if f.Group == 0 {
+			loneRect = f.Rect
+		}
+	}
+	if len(groups) != 3 || groups[0] != 1 {
+		t.Fatalf("expected 2 polygon groups + 1 plain rect, got %v", groups)
+	}
+
+	s := NewEngine().NewSession(l)
+	if err := s.EnableEdits(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the plain rect between the two polygons: indices shift, groups
+	// must not.
+	loneIdx := -1
+	for i, f := range s.Layout().Features {
+		if f.Rect == loneRect {
+			loneIdx = i
+		}
+	}
+	if err := s.DeleteFeature(loneIdx); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range s.Layout().Features {
+		if f.Group != before[f.Rect] {
+			t.Fatalf("delete changed group of %v: %d -> %d", f.Rect, before[f.Rect], f.Group)
+		}
+	}
+	// Move one sub-rect of the first polygon: it keeps its group id, every
+	// other feature keeps its own.
+	moved := s.Layout().Features[0]
+	dst := moved.Rect.Translate(Point{X: 10, Y: 0})
+	if err := s.MoveFeature(0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Layout().Features[0].Group; got != moved.Group {
+		t.Fatalf("move changed the moved feature's group: %d -> %d", moved.Group, got)
+	}
+	for _, f := range s.Layout().Features[1:] {
+		if f.Group != before[f.Rect] {
+			t.Fatalf("move changed group of %v: %d -> %d", f.Rect, before[f.Rect], f.Group)
+		}
+	}
+}

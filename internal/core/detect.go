@@ -65,6 +65,14 @@ type Stats struct {
 	// ReusedShards counts clusters whose cached result was reused instead of
 	// re-solved (always 0 for a from-scratch Detect; see Incremental).
 	ReusedShards int
+	// HierReusedShards / HierSolvedShards tally the instance-aware fast
+	// path: instance-pure clusters whose result was spliced from an
+	// identical representative vs. representatives actually solved.
+	// HierFallbackShards counts clusters that cross instance boundaries and
+	// therefore solve flat. All zero for layouts without hierarchy.
+	HierReusedShards   int
+	HierSolvedShards   int
+	HierFallbackShards int
 	// LargestShardEdges is the edge count of the largest cluster — the
 	// wall-clock bound of the parallel flow.
 	LargestShardEdges int
@@ -183,9 +191,27 @@ func DetectContext(ctx context.Context, cg *ConflictGraph, opt Options) (*Detect
 			jobs[i] = shardJob{d: sh.D, pairs: pairsByShard[i]}
 		}
 	}
+
+	// Instance-aware fast path: solve each distinct instance-pure cluster
+	// shape once and splice the result into every other placement.
+	var fresh []bool
+	plan := hierDedupPlan(cg, labels, nShards, jobs)
+	if plan != nil {
+		plan.blankDuplicates(jobs)
+		fresh = make([]bool, nShards)
+		for i := range fresh {
+			fresh[i] = true
+		}
+	}
 	results := make([]*shardResult, nShards)
 	if err := runShards(ctx, jobs, results, opt.Workers, opt); err != nil {
 		return nil, err
+	}
+	if plan != nil {
+		plan.spliceResults(results, fresh)
+		det.Stats.HierReusedShards = plan.reused
+		det.Stats.HierSolvedShards = plan.solved
+		det.Stats.HierFallbackShards = plan.fallback
 	}
 
 	// Merge shard results back through the edge index maps.
@@ -193,7 +219,7 @@ func DetectContext(ctx context.Context, cg *ConflictGraph, opt Options) (*Detect
 	for i := range shards {
 		edgeOf[i] = shards[i].EdgeOf
 	}
-	if err := mergeShards(det, cg, edgeOf, results, nil); err != nil {
+	if err := mergeShards(det, cg, edgeOf, results, fresh); err != nil {
 		return nil, err
 	}
 	det.Stats.TotalTime = time.Since(start)

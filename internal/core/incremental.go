@@ -134,6 +134,16 @@ type IncStats struct {
 	// invariant check failed; it should stay 0.
 	FallbackDirty int `json:"fallback_dirty"`
 
+	// Instance-aware fast-path tallies (full detects on hierarchical
+	// layouts): HierClustersReused counts instance-pure clusters whose
+	// result was spliced from an identical representative,
+	// HierClustersSolved the representatives actually solved, and
+	// HierFallbackClusters those crossing instance boundaries that solved
+	// flat.
+	HierClustersReused   int `json:"hier_clusters_reused"`
+	HierClustersSolved   int `json:"hier_clusters_solved"`
+	HierFallbackClusters int `json:"hier_fallback_clusters"`
+
 	// Downstream-stage reuse counters (…Reused = work taken from cache,
 	// …Solved = work actually performed), cumulative like the shard tallies.
 	// AssignClusters count conflict clusters per phase-assignment coloring;
@@ -236,6 +246,9 @@ func (inc *Incremental) SetWorkers(n int) { inc.opt.Workers = n }
 func (inc *Incremental) AddFeature(r geom.Rect, layer int) int {
 	fi := len(inc.lay.Features)
 	inc.lay.Features = append(inc.lay.Features, layout.Feature{Rect: r, Layer: layer})
+	if h := inc.lay.Hier; h != nil {
+		h.FeatureInstance = append(h.FeatureInstance, -1)
+	}
 	uid := inc.nextUID
 	inc.nextUID++
 	inc.featUID = append(inc.featUID, uid)
@@ -260,6 +273,11 @@ func (inc *Incremental) MoveFeature(i int, r geom.Rect) error {
 	f.Rect = r
 	inc.grid.Insert(uid, r)
 	inc.cutSpanInsert(*f)
+	if h := inc.lay.Hier; h != nil {
+		// Provenance is lost once a placed feature moves: the cluster it
+		// lands in no longer matches its cell's canonical shape.
+		h.FeatureInstance[i] = -1
+	}
 	inc.dirty[uid] = true
 	inc.drcDirty[uid] = true
 	inc.stats.Edits++
@@ -276,6 +294,9 @@ func (inc *Incremental) DeleteFeature(i int) error {
 	inc.grid.Remove(uid, inc.lay.Features[i].Rect)
 	inc.cutSpanRemove(inc.lay.Features[i])
 	inc.lay.Features = append(inc.lay.Features[:i], inc.lay.Features[i+1:]...)
+	if h := inc.lay.Hier; h != nil {
+		h.FeatureInstance = append(h.FeatureInstance[:i], h.FeatureInstance[i+1:]...)
+	}
 	inc.featUID = append(inc.featUID[:i], inc.featUID[i+1:]...)
 	for j := i; j < len(inc.featUID); j++ {
 		inc.featOf[inc.featUID[j]] = int32(j)
@@ -513,13 +534,37 @@ func (inc *Incremental) Detect(ctx context.Context) (*Detection, error) {
 			jobs[c] = shardJob{d: shards[c].D, pairs: pairsByShard[c]}
 		}
 	}
+	// Instance-aware fast path — full detects only: with every cluster
+	// dirty, the job list is complete and each distinct instance-pure
+	// cluster shape solves once. Incremental detects already reuse clean
+	// clusters wholesale, which subsumes per-instance dedup.
+	var plan *hierPlan
+	if full {
+		if plan = hierDedupPlan(cg, labels, nShards, jobs); plan != nil {
+			plan.blankDuplicates(jobs)
+		}
+	}
 	results := make([]*shardResult, nShards)
 	if err := runShards(ctx, jobs, results, inc.opt.Workers, inc.opt); err != nil {
 		return nil, err
 	}
+	if plan != nil {
+		plan.spliceResults(results, nil)
+		inc.stats.HierClustersReused += plan.reused
+		inc.stats.HierClustersSolved += plan.solved
+		inc.stats.HierFallbackClusters += plan.fallback
+		det.Stats.HierReusedShards = plan.reused
+		det.Stats.HierSolvedShards = plan.solved
+		det.Stats.HierFallbackShards = plan.fallback
+	}
 	fresh := make([]bool, nShards)
 	for c := range results {
 		if dirtyCluster[c] {
+			if plan != nil && plan.rep[c] >= 0 {
+				// Spliced from a representative: counted above, and not
+				// fresh, so merge-time durations count the solve once.
+				continue
+			}
 			fresh[c] = true
 			if results[c] != nil {
 				inc.stats.ShardsSolved++

@@ -50,6 +50,12 @@ type IncrementalState struct {
 	LayoutName string
 	Features   []layout.Feature
 
+	// Hierarchy sidecar of the working layout (all empty when flat). The
+	// instance tags feed only the instance-aware fast path, never results.
+	HierCells           []string
+	HierPlacementCell   []int32
+	HierFeatureInstance []int32
+
 	FeatUID   []int32
 	NextUID   int32
 	NextOvUID int32
@@ -106,6 +112,11 @@ func (inc *Incremental) ExportState() *IncrementalState {
 		PrevColors: append([]int8(nil), inc.prevColors...),
 		DRCReady:   inc.drcReady,
 		Stats:      inc.stats,
+	}
+	if h := inc.lay.Hier; h != nil {
+		st.HierCells = append([]string(nil), h.Cells...)
+		st.HierPlacementCell = append([]int32(nil), h.PlacementCell...)
+		st.HierFeatureInstance = append([]int32(nil), h.FeatureInstance...)
 	}
 	quiescent := len(inc.dirty) == 0 && len(inc.deleted) == 0
 	if quiescent {
@@ -194,6 +205,16 @@ func RestoreIncremental(st *IncrementalState, r layout.Rules, kind GraphKind, op
 		gen:       st.Gen,
 		grid:      geom.NewGrid(featureGridCell(r)),
 		drcPairs:  make(map[uint64]bool, len(st.DRCPairs)),
+	}
+	if len(st.HierCells) > 0 || len(st.HierPlacementCell) > 0 || len(st.HierFeatureInstance) > 0 {
+		inc.lay.Hier = &layout.Hierarchy{
+			Cells:           append([]string(nil), st.HierCells...),
+			PlacementCell:   append([]int32(nil), st.HierPlacementCell...),
+			FeatureInstance: append([]int32(nil), st.HierFeatureInstance...),
+		}
+		if err := inc.lay.Hier.Validate(len(inc.lay.Features)); err != nil {
+			return nil, fmt.Errorf("core: restore: %w", err)
+		}
 	}
 	// Feature identity: uids must be unique and in range; featOf inverts the
 	// mapping. The grid and the correction cut-span indexes are purely

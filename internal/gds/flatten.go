@@ -1,0 +1,281 @@
+package gds
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Typed flattening errors, matchable with errors.Is.
+var (
+	// ErrUnknownTopCell is returned when ReadOptions.TopCell names no cell.
+	ErrUnknownTopCell = errors.New("gds: unknown top cell")
+	// ErrUnknownCell is returned when a reference targets a cell the
+	// library does not define.
+	ErrUnknownCell = errors.New("gds: reference to unknown cell")
+	// ErrReferenceCycle is returned when the cell reference graph is not a
+	// DAG.
+	ErrReferenceCycle = errors.New("gds: cell reference cycle")
+	// ErrMaxDepth is returned when the hierarchy nests deeper than
+	// ReadOptions.MaxDepth.
+	ErrMaxDepth = errors.New("gds: hierarchy exceeds depth limit")
+	// ErrTooLarge is returned when flattening would exceed
+	// ReadOptions.MaxFlattenedFeatures.
+	ErrTooLarge = errors.New("gds: flattened layout exceeds feature limit")
+	// ErrEmptyLibrary is returned for a library with no cells.
+	ErrEmptyLibrary = errors.New("gds: empty library")
+)
+
+// Default limits applied when the corresponding ReadOptions field is zero.
+const (
+	DefaultMaxDepth             = 64
+	DefaultMaxFlattenedFeatures = 1 << 22
+)
+
+// ReadOptions configures hierarchy expansion.
+type ReadOptions struct {
+	// TopCell names the cell to flatten. Empty selects every root cell —
+	// cells referenced by no other cell — in library order, preserving the
+	// historic behavior of merging all structures of a reference-free
+	// stream.
+	TopCell string
+	// Flatten discards instance provenance: the result carries no
+	// layout.Hierarchy sidecar, exactly as if the layout had been drawn
+	// flat. When false (the default) the sidecar is attached whenever the
+	// stream contains placements, enabling the instance-aware detection
+	// fast path.
+	Flatten bool
+	// MaxDepth bounds reference nesting (0: DefaultMaxDepth).
+	MaxDepth int
+	// MaxFlattenedFeatures bounds the expanded feature count, including
+	// polygon decomposition sub-rectangles (0: DefaultMaxFlattenedFeatures).
+	MaxFlattenedFeatures int
+}
+
+// ReadWith parses a GDSII stream and flattens it under opt.
+func ReadWith(r io.Reader, opt ReadOptions) (*layout.Layout, error) {
+	lib, err := ReadLibrary(r)
+	if err != nil {
+		return nil, err
+	}
+	return lib.Flatten(opt)
+}
+
+// cumulative magnification bound: transformed coordinates must stay far
+// from int64 overflow even after translation.
+const flattenMagLimit = 1 << 20
+
+// xform is a rectilinear affine map p ↦ M·(m·p) + t with M an orthogonal
+// signed-permutation matrix {a,b;c,d}.
+type xform struct {
+	a, b, c, d int64
+	m          int64
+	tx, ty     int64
+}
+
+func identityXform() xform { return xform{a: 1, d: 1, m: 1} }
+
+func (x xform) apply(p geom.Point) geom.Point {
+	px, py := p.X*x.m, p.Y*x.m
+	return geom.Pt(x.a*px+x.b*py+x.tx, x.c*px+x.d*py+x.ty)
+}
+
+// compose returns x∘y: the transform applying y first, then x.
+func (x xform) compose(y xform) xform {
+	return xform{
+		a: x.a*y.a + x.b*y.c, b: x.a*y.b + x.b*y.d,
+		c: x.c*y.a + x.d*y.c, d: x.c*y.b + x.d*y.d,
+		m:  x.m * y.m,
+		tx: x.m*(x.a*y.tx+x.b*y.ty) + x.tx,
+		ty: x.m*(x.c*y.tx+x.d*y.ty) + x.ty,
+	}
+}
+
+// refXform builds the placement transform of rf at origin (reflect about X,
+// then rotate, then magnify and translate).
+func refXform(rf Ref, origin geom.Point) xform {
+	var a, b, c, d int64
+	switch rf.Rot {
+	case 90:
+		a, b, c, d = 0, -1, 1, 0
+	case 180:
+		a, b, c, d = -1, 0, 0, -1
+	case 270:
+		a, b, c, d = 0, 1, -1, 0
+	default:
+		a, b, c, d = 1, 0, 0, 1
+	}
+	if rf.Reflect { // M·diag(1,-1): negate the second column
+		b, d = -b, -d
+	}
+	m := rf.Mag
+	if m == 0 {
+		m = 1
+	}
+	return xform{a: a, b: b, c: c, d: d, m: m, tx: origin.X, ty: origin.Y}
+}
+
+// flattener carries the expansion state over the recursive walk.
+type flattener struct {
+	lib      *Library
+	maxDepth int
+	maxFeat  int
+
+	l         *layout.Layout
+	nextGroup int
+
+	placeCell []int32 // cell index per top-level placement
+	featInst  []int32 // placement index per emitted feature
+	onPath    []bool  // cells on the current DFS path (cycle check)
+}
+
+// Flatten expands the library into the flat layout model. Cells referenced
+// from a root are placed; every top-level placement (each AREF element
+// counts individually) becomes one instance in the attached
+// layout.Hierarchy, and nested placements inherit the top-level instance
+// they were expanded under. See ReadOptions for limits and sidecar control.
+func (lib *Library) Flatten(opt ReadOptions) (*layout.Layout, error) {
+	if len(lib.Cells) == 0 {
+		return nil, ErrEmptyLibrary
+	}
+	var roots []int
+	if opt.TopCell != "" {
+		ci := lib.CellIndex(opt.TopCell)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownTopCell, opt.TopCell)
+		}
+		roots = []int{ci}
+	} else {
+		referenced := make(map[string]bool)
+		for _, c := range lib.Cells {
+			for _, rf := range c.Refs {
+				referenced[rf.Cell] = true
+			}
+		}
+		for ci, c := range lib.Cells {
+			if !referenced[c.Name] {
+				roots = append(roots, ci)
+			}
+		}
+		if len(roots) == 0 {
+			return nil, fmt.Errorf("%w: every cell is referenced", ErrReferenceCycle)
+		}
+	}
+	st := &flattener{
+		lib:      lib,
+		maxDepth: opt.MaxDepth,
+		maxFeat:  opt.MaxFlattenedFeatures,
+		onPath:   make([]bool, len(lib.Cells)),
+	}
+	if st.maxDepth == 0 {
+		st.maxDepth = DefaultMaxDepth
+	}
+	if st.maxFeat == 0 {
+		st.maxFeat = DefaultMaxFlattenedFeatures
+	}
+	name := lib.Name
+	if name == "" {
+		name = lib.Cells[roots[0]].Name
+	}
+	st.l = layout.New(name)
+	for _, root := range roots {
+		if err := st.cell(root, identityXform(), 0, -1, true); err != nil {
+			return nil, err
+		}
+	}
+	if len(st.placeCell) > 0 && !opt.Flatten {
+		cells := make([]string, len(lib.Cells))
+		for i, c := range lib.Cells {
+			cells[i] = c.Name
+		}
+		st.l.Hier = &layout.Hierarchy{
+			Cells:           cells,
+			PlacementCell:   st.placeCell,
+			FeatureInstance: st.featInst,
+		}
+	}
+	return st.l, nil
+}
+
+// cell expands one placement of cell ci under transform xf. inst is the
+// top-level placement every emitted feature is tagged with (-1 inside a
+// root cell); top marks root-cell scope, where each reference opens a new
+// placement.
+func (st *flattener) cell(ci int, xf xform, depth int, inst int32, top bool) error {
+	if depth > st.maxDepth {
+		return fmt.Errorf("%w (%d)", ErrMaxDepth, st.maxDepth)
+	}
+	if st.onPath[ci] {
+		return fmt.Errorf("%w through %q", ErrReferenceCycle, st.lib.Cells[ci].Name)
+	}
+	st.onPath[ci] = true
+	defer func() { st.onPath[ci] = false }()
+	c := st.lib.Cells[ci]
+	for _, p := range c.Polys {
+		if err := st.poly(c.Name, p, xf, inst); err != nil {
+			return err
+		}
+	}
+	for _, rf := range c.Refs {
+		ti := st.lib.CellIndex(rf.Cell)
+		if ti < 0 {
+			return fmt.Errorf("%w: %q from %q", ErrUnknownCell, rf.Cell, c.Name)
+		}
+		cols, rows := rf.Cols, rf.Rows
+		if !rf.isArray() {
+			cols, rows = 1, 1
+		}
+		for j := 0; j < rows; j++ {
+			for i := 0; i < cols; i++ {
+				origin := geom.Pt(
+					rf.Origin.X+int64(i)*rf.ColStep.X+int64(j)*rf.RowStep.X,
+					rf.Origin.Y+int64(i)*rf.ColStep.Y+int64(j)*rf.RowStep.Y,
+				)
+				child := xf.compose(refXform(rf, origin))
+				if child.m > flattenMagLimit {
+					return fmt.Errorf("%w: cumulative magnification %d", ErrUnsupportedTransform, child.m)
+				}
+				childInst := inst
+				if top {
+					childInst = int32(len(st.placeCell))
+					st.placeCell = append(st.placeCell, int32(ti))
+				}
+				if err := st.cell(ti, child, depth+1, childInst, false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// poly transforms one boundary polygon and decomposes it into feature
+// rectangles. Polygons that decompose into a single rectangle stay group 0
+// (a plain rectangle); multi-rectangle decompositions share a fresh group
+// id so downstream attribution can address the drawn polygon.
+func (st *flattener) poly(cellName string, p Poly, xf xform, inst int32) error {
+	pts := make([]geom.Point, len(p.Pts))
+	for i, pt := range p.Pts {
+		pts[i] = xf.apply(pt)
+	}
+	rects, err := geom.DecomposeRectilinear(pts)
+	if err != nil {
+		return fmt.Errorf("%w: cell %q: %v", ErrNotRectangle, cellName, err)
+	}
+	group := 0
+	if len(rects) > 1 {
+		st.nextGroup++
+		group = st.nextGroup
+	}
+	for _, r := range rects {
+		if len(st.l.Features) >= st.maxFeat {
+			return fmt.Errorf("%w (%d)", ErrTooLarge, st.maxFeat)
+		}
+		st.l.Features = append(st.l.Features, layout.Feature{Rect: r, Layer: p.Layer, Group: group})
+		st.featInst = append(st.featInst, inst)
+	}
+	return nil
+}

@@ -1,8 +1,15 @@
 // Package gds reads and writes the subset of the GDSII stream format the
-// AAPSM tools need: a single library with a single structure containing
-// axis-aligned rectangular BOUNDARY elements. Database units are 1 nm
-// (unit record: 0.001 user units, 1e-9 meters), matching the layout model's
-// integer nanometer coordinates.
+// AAPSM tools need: multi-structure libraries whose cells hold rectilinear
+// BOUNDARY elements and SREF/AREF placements restricted to the rectilinear
+// transform subgroup (90° rotation multiples, X reflection, integral
+// magnification). Database units are 1 nm (unit record: 0.001 user units,
+// 1e-9 meters), matching the layout model's integer nanometer coordinates.
+//
+// ReadLibrary parses the structure view; Library.Flatten (or the ReadWith
+// convenience wrapper) expands a cell DAG — with cycle, depth and size
+// validation — into the flat layout model, optionally keeping a
+// layout.Hierarchy sidecar that tags each feature with the top-level
+// placement it came from.
 //
 // The record framing, data types and the excess-64 floating point encoding
 // follow the Calma GDSII Stream Format Manual, release 6.0.
@@ -16,7 +23,6 @@ import (
 	"io"
 	"math"
 
-	"repro/internal/geom"
 	"repro/internal/layout"
 )
 
@@ -31,15 +37,23 @@ const (
 	recSTRNAME  = 0x06
 	recENDSTR   = 0x07
 	recBOUNDARY = 0x08
+	recSREF     = 0x0A
+	recAREF     = 0x0B
 	recLAYER    = 0x0D
 	recDATATYPE = 0x0E
 	recXY       = 0x10
 	recENDEL    = 0x11
+	recSNAME    = 0x12
+	recCOLROW   = 0x13
+	recSTRANS   = 0x1A
+	recMAG      = 0x1B
+	recANGLE    = 0x1C
 )
 
 // Data type codes.
 const (
 	dtNone   = 0x00
+	dtBits   = 0x01
 	dtInt16  = 0x02
 	dtInt32  = 0x03
 	dtReal8  = 0x05
@@ -153,119 +167,11 @@ func Write(w io.Writer, l *layout.Layout) error {
 	return bw.Flush()
 }
 
-// Read parses a GDSII stream written by Write (or any stream limited to the
-// supported subset). All BOUNDARY elements across all structures are
-// collected into one layout.
+// Read parses a GDSII stream with default options: every root cell is
+// flattened, and a hierarchy sidecar is attached when the stream contains
+// placements. See ReadWith for control over top cell, depth and size limits.
 func Read(r io.Reader) (*layout.Layout, error) {
-	br := bufio.NewReader(r)
-	l := layout.New("")
-	sawHeader := false
-	var curLayer int16
-	var inBoundary bool
-	var haveXY bool
-	var xy []int32
-	for {
-		var hdr [4]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			if err == io.EOF {
-				return nil, fmt.Errorf("gds: missing ENDLIB")
-			}
-			return nil, err
-		}
-		length := int(hdr[0])<<8 | int(hdr[1])
-		rt, dt := hdr[2], hdr[3]
-		if length < 4 {
-			return nil, fmt.Errorf("gds: record length %d < 4", length)
-		}
-		payload := make([]byte, length-4)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return nil, fmt.Errorf("gds: truncated record 0x%02x: %w", rt, err)
-		}
-		if !sawHeader && rt != recHEADER {
-			return nil, fmt.Errorf("gds: stream does not start with HEADER")
-		}
-		switch rt {
-		case recHEADER:
-			sawHeader = true
-		case recLIBNAME, recSTRNAME:
-			name := string(trimPad(payload))
-			if l.Name == "" {
-				l.Name = name
-			}
-		case recUNITS:
-			if dt != dtReal8 || len(payload) != 16 {
-				return nil, fmt.Errorf("gds: malformed UNITS")
-			}
-			meters := decodeReal8(payload[8:16])
-			// Expect a 1 nm database unit (tolerate rounding).
-			if meters < 0.5e-9 || meters > 2e-9 {
-				return nil, fmt.Errorf("gds: unsupported database unit %g m (want 1e-9)", meters)
-			}
-		case recBOUNDARY:
-			inBoundary = true
-			haveXY = false
-			curLayer = 0
-		case recLAYER:
-			if len(payload) >= 2 {
-				curLayer = int16(binary.BigEndian.Uint16(payload))
-			}
-		case recXY:
-			if !inBoundary {
-				break // XY of unsupported elements is ignored
-			}
-			if dt != dtInt32 || len(payload)%8 != 0 {
-				return nil, fmt.Errorf("gds: malformed XY")
-			}
-			xy = xy[:0]
-			for i := 0; i+4 <= len(payload); i += 4 {
-				xy = append(xy, int32(binary.BigEndian.Uint32(payload[i:])))
-			}
-			haveXY = true
-		case recENDEL:
-			if inBoundary {
-				if !haveXY {
-					return nil, fmt.Errorf("gds: boundary without XY")
-				}
-				rects, err := rectsFromXY(xy)
-				if err != nil {
-					return nil, err
-				}
-				for _, rect := range rects {
-					l.AddOnLayer(rect, int(curLayer))
-				}
-			}
-			inBoundary = false
-		case recENDLIB:
-			return l, nil
-		case recBGNLIB, recBGNSTR, recENDSTR, recDATATYPE:
-			// Accepted and ignored.
-		default:
-			if inBoundary {
-				return nil, fmt.Errorf("gds: unsupported record 0x%02x inside boundary", rt)
-			}
-			// Unknown top-level records are skipped for tolerance.
-		}
-	}
-}
-
-// rectsFromXY converts a BOUNDARY vertex list to layout rectangles:
-// axis-aligned rectangles pass through directly; any other simple
-// rectilinear polygon is decomposed into covering rectangles. Non-
-// rectilinear boundaries yield ErrNotRectangle.
-func rectsFromXY(xy []int32) ([]geom.Rect, error) {
-	n := len(xy) / 2
-	if n < 4 {
-		return nil, ErrNotRectangle
-	}
-	pts := make([]geom.Point, n)
-	for i := 0; i < n; i++ {
-		pts[i] = geom.Pt(int64(xy[2*i]), int64(xy[2*i+1]))
-	}
-	rects, err := geom.DecomposeRectilinear(pts)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNotRectangle, err)
-	}
-	return rects, nil
+	return ReadWith(r, ReadOptions{})
 }
 
 // encodeReal8 converts a float64 to the GDSII excess-64 base-16 real.

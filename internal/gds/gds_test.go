@@ -306,6 +306,8 @@ func writeRawBoundary(pts []int32) *bytes.Buffer {
 	rec(recHEADER, dtInt16, []byte{2, 88})
 	units := append(encodeReal8(1e-3), encodeReal8(1e-9)...)
 	rec(recUNITS, dtReal8, units)
+	rec(recBGNSTR, dtInt16, make([]byte, 24))
+	rec(recSTRNAME, dtString, []byte("RAW\x00"))
 	rec(recBOUNDARY, dtNone, nil)
 	xy := make([]byte, 0, 4*len(pts))
 	for _, v := range pts {
@@ -313,6 +315,7 @@ func writeRawBoundary(pts []int32) *bytes.Buffer {
 	}
 	rec(recXY, dtInt32, xy)
 	rec(recENDEL, dtNone, nil)
+	rec(recENDSTR, dtNone, nil)
 	rec(recENDLIB, dtNone, nil)
 	return &buf
 }

@@ -1,0 +1,350 @@
+package gds
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// rect is a 4-point boundary polygon for test cells.
+func rect(layer int, x0, y0, x1, y1 int64) Poly {
+	return Poly{Layer: layer, Pts: []geom.Point{
+		{X: x0, Y: y0}, {X: x1, Y: y0}, {X: x1, Y: y1}, {X: x0, Y: y1},
+	}}
+}
+
+// roundTrip serializes and re-parses a library, failing the test on any
+// error. It exercises the writer/reader pair on every hierarchy test.
+func roundTrip(t *testing.T, lib *Library) *Library {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, lib); err != nil {
+		t.Fatalf("WriteLibrary: %v", err)
+	}
+	got, err := ReadLibrary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadLibrary: %v", err)
+	}
+	return got
+}
+
+func TestSRefFlattenWithSidecar(t *testing.T) {
+	lib := &Library{Name: "L", Cells: []*Cell{
+		{Name: "TOP", Refs: []Ref{
+			{Cell: "A", Origin: geom.Pt(0, 0)},
+			{Cell: "A", Origin: geom.Pt(5000, 0)},
+		}},
+		{Name: "A", Polys: []Poly{rect(0, 0, 0, 100, 600)}},
+	}}
+	l, err := roundTrip(t, lib).Flatten(ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Features) != 2 {
+		t.Fatalf("got %d features, want 2", len(l.Features))
+	}
+	if got, want := l.Features[1].Rect, geom.R(5000, 0, 5100, 600); got != want {
+		t.Fatalf("translated placement: got %+v want %+v", got, want)
+	}
+	h := l.Hier
+	if h == nil {
+		t.Fatal("no hierarchy sidecar on a stream with placements")
+	}
+	if err := h.Validate(len(l.Features)); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.PlacementCell) != 2 {
+		t.Fatalf("got %d placements, want 2", len(h.PlacementCell))
+	}
+	if h.Cells[h.PlacementCell[0]] != "A" || h.PlacementCell[0] != h.PlacementCell[1] {
+		t.Fatalf("placements should both resolve to cell A: %v / %v", h.Cells, h.PlacementCell)
+	}
+	if h.FeatureInstance[0] == h.FeatureInstance[1] {
+		t.Fatal("features of distinct placements share an instance tag")
+	}
+}
+
+func TestFlattenOptionDiscardsSidecar(t *testing.T) {
+	lib := &Library{Cells: []*Cell{
+		{Name: "TOP", Refs: []Ref{{Cell: "A"}}},
+		{Name: "A", Polys: []Poly{rect(0, 0, 0, 100, 600)}},
+	}}
+	withHier, err := lib.Flatten(ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := lib.Flatten(ReadOptions{Flatten: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Hier != nil {
+		t.Fatal("Flatten: true still attached a sidecar")
+	}
+	if len(flat.Features) != len(withHier.Features) {
+		t.Fatalf("feature counts diverge: %d vs %d", len(flat.Features), len(withHier.Features))
+	}
+	for i := range flat.Features {
+		if flat.Features[i] != withHier.Features[i] {
+			t.Fatalf("feature %d diverges: %+v vs %+v", i, flat.Features[i], withHier.Features[i])
+		}
+	}
+}
+
+func TestPlacementTransforms(t *testing.T) {
+	// Asymmetric unit rect so every transform is distinguishable.
+	base := rect(0, 10, 20, 110, 620)
+	cases := []struct {
+		name string
+		ref  Ref
+		want geom.Rect
+	}{
+		{"translate", Ref{Cell: "A", Origin: geom.Pt(1000, 2000)}, geom.R(1010, 2020, 1110, 2620)},
+		{"rot90", Ref{Cell: "A", Rot: 90}, geom.R(-620, 10, -20, 110)},
+		{"rot180", Ref{Cell: "A", Rot: 180}, geom.R(-110, -620, -10, -20)},
+		{"rot270", Ref{Cell: "A", Rot: 270}, geom.R(20, -110, 620, -10)},
+		{"reflect", Ref{Cell: "A", Reflect: true}, geom.R(10, -620, 110, -20)},
+		{"mag3", Ref{Cell: "A", Mag: 3}, geom.R(30, 60, 330, 1860)},
+		{"reflect-rot90", Ref{Cell: "A", Rot: 90, Reflect: true}, geom.R(20, 10, 620, 110)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lib := &Library{Cells: []*Cell{
+				{Name: "TOP", Refs: []Ref{tc.ref}},
+				{Name: "A", Polys: []Poly{base}},
+			}}
+			l, err := roundTrip(t, lib).Flatten(ReadOptions{TopCell: "TOP"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(l.Features) != 1 {
+				t.Fatalf("got %d features, want 1", len(l.Features))
+			}
+			if l.Features[0].Rect != tc.want {
+				t.Fatalf("got %+v want %+v", l.Features[0].Rect, tc.want)
+			}
+		})
+	}
+}
+
+func TestARefLattice(t *testing.T) {
+	lib := &Library{Cells: []*Cell{
+		{Name: "TOP", Refs: []Ref{{
+			Cell: "A", Origin: geom.Pt(100, 200),
+			Cols: 3, Rows: 2,
+			ColStep: geom.Pt(1000, 0), RowStep: geom.Pt(0, 2000),
+		}}},
+		{Name: "A", Polys: []Poly{rect(0, 0, 0, 100, 600)}},
+	}}
+	l, err := roundTrip(t, lib).Flatten(ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Features) != 6 {
+		t.Fatalf("got %d features, want 6", len(l.Features))
+	}
+	if got := len(l.Hier.PlacementCell); got != 6 {
+		t.Fatalf("got %d placements, want 6 (each AREF site is one instance)", got)
+	}
+	// Row-major expansion: last feature sits at column 2, row 1.
+	want := geom.R(100+2*1000, 200+1*2000, 200+2*1000, 800+1*2000)
+	if l.Features[5].Rect != want {
+		t.Fatalf("last lattice site: got %+v want %+v", l.Features[5].Rect, want)
+	}
+}
+
+func TestNestedReferencesInheritInstance(t *testing.T) {
+	// TOP places MID twice; MID places A. Features expanded under one
+	// top-level placement share its instance tag.
+	lib := &Library{Cells: []*Cell{
+		{Name: "TOP", Refs: []Ref{
+			{Cell: "MID"}, {Cell: "MID", Origin: geom.Pt(10000, 0)},
+		}},
+		{Name: "MID", Polys: []Poly{rect(0, 0, 0, 100, 600)}, Refs: []Ref{{Cell: "A", Origin: geom.Pt(500, 0)}}},
+		{Name: "A", Polys: []Poly{rect(0, 0, 0, 100, 600)}},
+	}}
+	l, err := lib.Flatten(ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Features) != 4 {
+		t.Fatalf("got %d features, want 4", len(l.Features))
+	}
+	fi := l.Hier.FeatureInstance
+	if fi[0] != fi[1] || fi[2] != fi[3] || fi[0] == fi[2] {
+		t.Fatalf("instance tags %v: want first pair together, second pair together, pairs distinct", fi)
+	}
+}
+
+func TestFlattenTypedErrors(t *testing.T) {
+	leaf := &Cell{Name: "A", Polys: []Poly{rect(0, 0, 0, 100, 600)}}
+	cases := []struct {
+		name string
+		lib  *Library
+		opt  ReadOptions
+		want error
+	}{
+		{"empty", &Library{}, ReadOptions{}, ErrEmptyLibrary},
+		{"unknown top", &Library{Cells: []*Cell{leaf}}, ReadOptions{TopCell: "NOPE"}, ErrUnknownTopCell},
+		{"unknown ref", &Library{Cells: []*Cell{
+			{Name: "TOP", Refs: []Ref{{Cell: "GHOST"}}},
+		}}, ReadOptions{}, ErrUnknownCell},
+		{"self cycle", &Library{Cells: []*Cell{
+			{Name: "TOP", Refs: []Ref{{Cell: "TOP"}}},
+		}}, ReadOptions{TopCell: "TOP"}, ErrReferenceCycle},
+		{"mutual cycle", &Library{Cells: []*Cell{
+			{Name: "X", Refs: []Ref{{Cell: "Y"}}},
+			{Name: "Y", Refs: []Ref{{Cell: "X"}}},
+		}}, ReadOptions{}, ErrReferenceCycle},
+		{"depth", &Library{Cells: []*Cell{
+			{Name: "TOP", Refs: []Ref{{Cell: "D1"}}},
+			{Name: "D1", Refs: []Ref{{Cell: "D2"}}},
+			{Name: "D2", Refs: []Ref{{Cell: "D3"}}},
+			{Name: "D3", Polys: []Poly{rect(0, 0, 0, 100, 600)}},
+		}}, ReadOptions{MaxDepth: 2}, ErrMaxDepth},
+		{"too large", &Library{Cells: []*Cell{
+			{Name: "TOP", Refs: []Ref{{Cell: "A", Cols: 4, Rows: 4, ColStep: geom.Pt(1000, 0), RowStep: geom.Pt(0, 1000)}}},
+			leaf,
+		}}, ReadOptions{MaxFlattenedFeatures: 3}, ErrTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.lib.Flatten(tc.opt)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNonRectilinearAngleRejected(t *testing.T) {
+	// The writer emits whatever Rot it is given; a 45° placement must be
+	// rejected by the reader as outside the rectilinear subgroup.
+	lib := &Library{Cells: []*Cell{
+		{Name: "TOP", Refs: []Ref{{Cell: "A", Rot: 45}}},
+		{Name: "A", Polys: []Poly{rect(0, 0, 0, 100, 600)}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLibrary(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrUnsupportedTransform) {
+		t.Fatalf("got %v, want ErrUnsupportedTransform", err)
+	}
+}
+
+func TestDuplicateStructureRejected(t *testing.T) {
+	lib := &Library{Cells: []*Cell{
+		{Name: "A", Polys: []Poly{rect(0, 0, 0, 100, 600)}},
+		{Name: "A", Polys: []Poly{rect(0, 0, 0, 100, 600)}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLibrary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("duplicate structure name accepted")
+	}
+}
+
+func TestWriterDeterministic(t *testing.T) {
+	lib := &Library{Name: "L", Cells: []*Cell{
+		{Name: "TOP", Refs: []Ref{
+			{Cell: "A", Rot: 90, Reflect: true, Mag: 2},
+			{Cell: "A", Cols: 2, Rows: 2, ColStep: geom.Pt(3000, 0), RowStep: geom.Pt(0, 3000)},
+		}},
+		{Name: "A", Polys: []Poly{rect(0, 0, 0, 100, 600), rect(3, 200, 0, 300, 600)}},
+	}}
+	var w1, w2 bytes.Buffer
+	if err := WriteLibrary(&w1, lib); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLibrary(&w2, roundTrip(t, lib)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("write/read/write is not byte-stable")
+	}
+}
+
+// FuzzFlatten feeds arbitrary streams through the library reader and the
+// hierarchy expander. The contract: no panic; any successfully flattened
+// layout carries a sidecar consistent with its features (or none at all),
+// and expansion respects tight depth/size limits.
+func FuzzFlatten(f *testing.F) {
+	seeds := []*Library{
+		{Cells: []*Cell{
+			{Name: "TOP", Refs: []Ref{{Cell: "A", Origin: geom.Pt(5000, 0)}}},
+			{Name: "A", Polys: []Poly{rect(0, 0, 0, 100, 600)}},
+		}},
+		{Cells: []*Cell{
+			{Name: "TOP", Refs: []Ref{{Cell: "A", Cols: 2, Rows: 3, ColStep: geom.Pt(2000, 0), RowStep: geom.Pt(0, 2000), Rot: 180, Reflect: true}}},
+			{Name: "A", Polys: []Poly{rect(0, 0, 0, 100, 600)}},
+		}},
+		{Cells: []*Cell{ // reference cycle
+			{Name: "X", Refs: []Ref{{Cell: "Y"}}},
+			{Name: "Y", Refs: []Ref{{Cell: "X"}}},
+		}},
+		{Cells: []*Cell{ // cross-shaped polygon
+			{Name: "P", Polys: []Poly{{Layer: 0, Pts: []geom.Point{
+				{X: -50, Y: -500}, {X: 50, Y: -500}, {X: 50, Y: -50}, {X: 500, Y: -50},
+				{X: 500, Y: 50}, {X: 50, Y: 50}, {X: 50, Y: 500}, {X: -50, Y: 500},
+				{X: -50, Y: 50}, {X: -500, Y: 50}, {X: -500, Y: -50}, {X: -50, Y: -50},
+			}}}},
+		}},
+	}
+	for _, lib := range seeds {
+		var buf bytes.Buffer
+		if err := WriteLibrary(&buf, lib); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lib, err := ReadLibrary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Tight limits keep pathological inputs (huge AREF grids, deep
+		// chains) cheap while still exercising the limit paths.
+		l, err := lib.Flatten(ReadOptions{MaxDepth: 8, MaxFlattenedFeatures: 1 << 12})
+		if err != nil {
+			return
+		}
+		if l.Hier != nil {
+			if err := l.Hier.Validate(len(l.Features)); err != nil {
+				t.Fatalf("invalid sidecar from flatten: %v", err)
+			}
+		}
+		if len(l.Features) > 1<<12 {
+			t.Fatalf("flatten exceeded its feature limit: %d", len(l.Features))
+		}
+		// The structure view itself must round-trip deterministically.
+		var w1 bytes.Buffer
+		if err := WriteLibrary(&w1, lib); err != nil {
+			if errContainsTooLong(err) {
+				return
+			}
+			t.Fatalf("write of parsed library failed: %v", err)
+		}
+		lib2, err := ReadLibrary(bytes.NewReader(w1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written library failed: %v", err)
+		}
+		var w2 bytes.Buffer
+		if err := WriteLibrary(&w2, lib2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatal("library writer is not idempotent")
+		}
+	})
+}
+
+// errContainsTooLong reports the writer's record-size failure, the only
+// legitimate write error for a parsed library (pathologically long names).
+func errContainsTooLong(err error) bool {
+	return err != nil && bytes.Contains([]byte(fmt.Sprint(err)), []byte("record too long"))
+}

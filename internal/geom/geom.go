@@ -107,7 +107,11 @@ func (r Rect) Area() int64 { return r.Width() * r.Height() }
 func (r Rect) Empty() bool { return r.X0 >= r.X1 || r.Y0 >= r.Y1 }
 
 // Center returns the center point, rounded toward negative infinity.
-func (r Rect) Center() Point { return Point{(r.X0 + r.X1) / 2, (r.Y0 + r.Y1) / 2} }
+// Center rounds halves toward negative infinity (arithmetic shift), not
+// toward zero: floor((v+2t)>>1) == (v>>1)+t, so centers translate with the
+// rectangle even across the origin. The hierarchy fast path's cluster
+// signatures rely on this covariance.
+func (r Rect) Center() Point { return Point{(r.X0 + r.X1) >> 1, (r.Y0 + r.Y1) >> 1} }
 
 // Contains reports whether p lies in the closed rectangle.
 func (r Rect) Contains(p Point) bool {
@@ -251,7 +255,9 @@ func Seg(a, b Point) Segment { return Segment{a, b} }
 func (s Segment) Bounds() Rect { return R(s.A.X, s.A.Y, s.B.X, s.B.Y) }
 
 // Midpoint returns the segment midpoint (floor division).
-func (s Segment) Midpoint() Point { return Point{(s.A.X + s.B.X) / 2, (s.A.Y + s.B.Y) / 2} }
+// Midpoint floors like Rect.Center, keeping midpoints translation-covariant
+// for negative coordinates.
+func (s Segment) Midpoint() Point { return Point{(s.A.X + s.B.X) >> 1, (s.A.Y + s.B.Y) >> 1} }
 
 // onSegment reports whether collinear point p lies on segment s.
 func onSegment(s Segment, p Point) bool {

@@ -19,6 +19,11 @@ import (
 type Feature struct {
 	Rect  geom.Rect
 	Layer int // GDSII layer number; 0 is the default poly layer
+	// Group links sub-rectangles decomposed from one rectilinear polygon:
+	// 0 marks a standalone rectangle, any other value is shared by every
+	// sub-rectangle of the same source polygon, so edits and DRC reports can
+	// be attributed back to the drawn shape.
+	Group int
 }
 
 // Orientation of a feature, derived from its aspect ratio.
@@ -45,6 +50,58 @@ func (f Feature) Orient() Orientation {
 type Layout struct {
 	Name     string
 	Features []Feature
+	// Hier, when non-nil, records the cell hierarchy this flat layout was
+	// expanded from. It never changes detection results — it only enables the
+	// instance-aware fast path to reuse per-cluster work across repeated
+	// placements. The plain-text interchange format does not carry it.
+	Hier *Hierarchy
+}
+
+// Hierarchy is the sidecar record of the cell structure a flattened layout
+// came from: which cells exist, which cell each placement instantiates, and
+// which placement each flattened feature belongs to.
+type Hierarchy struct {
+	// Cells are the library cell names, indexed by PlacementCell values.
+	Cells []string
+	// PlacementCell[p] is the cell index instantiated by placement p.
+	PlacementCell []int32
+	// FeatureInstance parallels Layout.Features: the placement index each
+	// feature was expanded from, or -1 for features drawn at top level (or
+	// features edited after flattening, whose provenance is lost).
+	FeatureInstance []int32
+}
+
+// Clone returns a deep copy.
+func (h *Hierarchy) Clone() *Hierarchy {
+	if h == nil {
+		return nil
+	}
+	return &Hierarchy{
+		Cells:           append([]string(nil), h.Cells...),
+		PlacementCell:   append([]int32(nil), h.PlacementCell...),
+		FeatureInstance: append([]int32(nil), h.FeatureInstance...),
+	}
+}
+
+// Validate checks internal consistency against a feature count.
+func (h *Hierarchy) Validate(nFeatures int) error {
+	if h == nil {
+		return nil
+	}
+	if len(h.FeatureInstance) != nFeatures {
+		return fmt.Errorf("layout: hierarchy covers %d features, layout has %d", len(h.FeatureInstance), nFeatures)
+	}
+	for p, c := range h.PlacementCell {
+		if c < 0 || int(c) >= len(h.Cells) {
+			return fmt.Errorf("layout: placement %d references cell %d of %d", p, c, len(h.Cells))
+		}
+	}
+	for fi, p := range h.FeatureInstance {
+		if p < -1 || int(p) >= len(h.PlacementCell) {
+			return fmt.Errorf("layout: feature %d references placement %d of %d", fi, p, len(h.PlacementCell))
+		}
+	}
+	return nil
 }
 
 // New creates an empty layout.
@@ -77,8 +134,39 @@ func (l *Layout) Area() int64 { return l.BBox().Area() }
 
 // Clone returns a deep copy.
 func (l *Layout) Clone() *Layout {
-	out := &Layout{Name: l.Name, Features: append([]Feature(nil), l.Features...)}
+	out := &Layout{
+		Name:     l.Name,
+		Features: append([]Feature(nil), l.Features...),
+		Hier:     l.Hier.Clone(),
+	}
 	return out
+}
+
+// Tone selects the AAPSM process polarity a rule set targets.
+type Tone int64
+
+const (
+	// BrightField is the paper's process: features are drawn chrome on a
+	// clear field, flanked by phase apertures. The zero value, so legacy
+	// rule structs keep their meaning.
+	BrightField Tone = iota
+	// DarkField inverts the polarity: features are clear openings in a
+	// chrome field. Apertures must keep a positive chrome gap to the
+	// openings they flank (ShifterGap > 0), and the mask view emits the
+	// features on the opening layer instead of the chrome layer.
+	DarkField
+)
+
+// String implements fmt.Stringer.
+func (t Tone) String() string {
+	switch t {
+	case BrightField:
+		return "bright"
+	case DarkField:
+		return "dark"
+	default:
+		return fmt.Sprintf("tone(%d)", int64(t))
+	}
 }
 
 // Rules holds the process parameters of the flow. All lengths in nm.
@@ -103,6 +191,8 @@ type Rules struct {
 	// Condition-1 edge (giving up phase shifting of a feature, which the
 	// flow must avoid); it dominates any spacing cost.
 	FeatureConflictWeight int64
+	// Tone selects bright-field (zero value) or dark-field polarity.
+	Tone Tone
 }
 
 // Default90nm returns representative 90 nm-node rules (the paper's
@@ -120,6 +210,23 @@ func Default90nm() Rules {
 	}
 }
 
+// Dark90nm returns the dark-field counterpart of Default90nm: clear
+// openings in a chrome field. The aperture geometry differs where the
+// inverted polarity demands it — apertures are wider to compensate for the
+// chrome rim, and a positive gap keeps chrome between aperture and opening.
+func Dark90nm() Rules {
+	return Rules{
+		CriticalWidth:         150,
+		ShifterWidth:          220,
+		ShifterGap:            20,
+		MinShifterSpacing:     300,
+		MinFeatureWidth:       100,
+		MinFeatureSpacing:     140,
+		FeatureConflictWeight: 1 << 20,
+		Tone:                  DarkField,
+	}
+}
+
 // Validate sanity-checks the rule values.
 func (r Rules) Validate() error {
 	if r.CriticalWidth <= 0 || r.ShifterWidth <= 0 || r.MinShifterSpacing <= 0 {
@@ -127,6 +234,12 @@ func (r Rules) Validate() error {
 	}
 	if r.ShifterGap < 0 {
 		return fmt.Errorf("layout: negative shifter gap")
+	}
+	if r.Tone != BrightField && r.Tone != DarkField {
+		return fmt.Errorf("layout: unknown tone %d", r.Tone)
+	}
+	if r.Tone == DarkField && r.ShifterGap <= 0 {
+		return fmt.Errorf("layout: dark-field rules need ShifterGap > 0 (chrome between aperture and opening)")
 	}
 	if r.MinFeatureWidth <= 0 || r.MinFeatureSpacing <= 0 {
 		return fmt.Errorf("layout: non-positive DRC minima")
@@ -154,16 +267,25 @@ func (l *Layout) CriticalIndices(r Rules) []int {
 }
 
 // WriteText serializes the layout to the plain-text interchange format:
-// one header line "layout <name>", then one "rect x0 y0 x1 y1 [layer]" line
-// per feature.
+// one header line "layout <name>", then one "rect x0 y0 x1 y1 [layer [group]]"
+// line per feature. The polygon group field is emitted only when non-zero,
+// so rectangle-only layouts keep their historic byte format. Hierarchy is
+// never serialized — the text format is flat by design.
 func (l *Layout) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "layout %s\n", sanitizeName(l.Name)); err != nil {
 		return err
 	}
 	for _, f := range l.Features {
-		if _, err := fmt.Fprintf(bw, "rect %d %d %d %d %d\n",
-			f.Rect.X0, f.Rect.Y0, f.Rect.X1, f.Rect.Y1, f.Layer); err != nil {
+		var err error
+		if f.Group != 0 {
+			_, err = fmt.Fprintf(bw, "rect %d %d %d %d %d %d\n",
+				f.Rect.X0, f.Rect.Y0, f.Rect.X1, f.Rect.Y1, f.Layer, f.Group)
+		} else {
+			_, err = fmt.Fprintf(bw, "rect %d %d %d %d %d\n",
+				f.Rect.X0, f.Rect.Y0, f.Rect.X1, f.Rect.Y1, f.Layer)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -197,16 +319,20 @@ func ReadText(r io.Reader) (*Layout, error) {
 			if l == nil {
 				return nil, fmt.Errorf("layout: line %d: rect before header", line)
 			}
-			if len(fields) != 5 && len(fields) != 6 {
-				return nil, fmt.Errorf("layout: line %d: want 4 or 5 rect args", line)
+			if len(fields) < 5 || len(fields) > 7 {
+				return nil, fmt.Errorf("layout: line %d: want 4 to 6 rect args", line)
 			}
-			var v [5]int64
+			var v [6]int64
 			for i := 1; i < len(fields); i++ {
 				if _, err := fmt.Sscanf(fields[i], "%d", &v[i-1]); err != nil {
 					return nil, fmt.Errorf("layout: line %d: %w", line, err)
 				}
 			}
-			l.AddOnLayer(geom.R(v[0], v[1], v[2], v[3]), int(v[4]))
+			l.Features = append(l.Features, Feature{
+				Rect:  geom.R(v[0], v[1], v[2], v[3]),
+				Layer: int(v[4]),
+				Group: int(v[5]),
+			})
 		default:
 			return nil, fmt.Errorf("layout: line %d: unknown directive %q", line, fields[0])
 		}

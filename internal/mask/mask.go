@@ -1,8 +1,12 @@
 // Package mask synthesizes the manufacturing view of a phase-assigned
-// layout: the chrome (feature) layer plus the 0° and 180° shifter aperture
-// layers, emitted as one GDSII-compatible layout. This is the artifact a
-// bright-field AAPSM flow hands to mask data preparation once conflicts are
-// detected and corrected.
+// layout: the feature layer plus the 0° and 180° shifter aperture layers,
+// emitted as one GDSII-compatible layout. This is the artifact an AAPSM flow
+// hands to mask data preparation once conflicts are detected and corrected.
+//
+// The view is tone-aware. On a bright-field mask the drawn features are
+// chrome on a clear background (LayerChrome); on a dark-field mask they are
+// clear openings etched into chrome (LayerOpening). The phase-consistency
+// conditions are tone-independent, so Validate applies unchanged.
 package mask
 
 import (
@@ -17,8 +21,11 @@ import (
 
 // Conventional layer numbers for the emitted mask view.
 const (
-	// LayerChrome carries the drawn features.
+	// LayerChrome carries the drawn features of a bright-field mask.
 	LayerChrome = 0
+	// LayerOpening carries the drawn features of a dark-field mask: clear
+	// openings in the chrome background.
+	LayerOpening = 1
 	// LayerShifter0 carries 0° shifter apertures.
 	LayerShifter0 = 10
 	// LayerShifter180 carries 180° shifter apertures.
@@ -31,14 +38,23 @@ var ErrPhaseCount = errors.New("mask: phase assignment does not match shifter se
 
 // Build combines a layout, its shifter set and a phase assignment into a
 // single multi-layer layout. Features keep their original layers when
-// non-zero; layer-0 features move to LayerChrome (which is also 0).
-func Build(l *layout.Layout, set *shifter.Set, phases []core.Phase) (*layout.Layout, error) {
+// non-zero; layer-0 features land on the tone's feature layer — LayerChrome
+// (also 0) on a bright-field mask, LayerOpening on a dark-field mask.
+func Build(l *layout.Layout, set *shifter.Set, phases []core.Phase, tone layout.Tone) (*layout.Layout, error) {
 	if len(phases) != len(set.Shifters) {
 		return nil, fmt.Errorf("%w: %d phases for %d shifters", ErrPhaseCount, len(phases), len(set.Shifters))
 	}
+	featureLayer := LayerChrome
+	if tone == layout.DarkField {
+		featureLayer = LayerOpening
+	}
 	out := layout.New(l.Name + ".mask")
 	for _, f := range l.Features {
-		out.AddOnLayer(f.Rect, f.Layer)
+		ly := f.Layer
+		if ly == 0 {
+			ly = featureLayer
+		}
+		out.AddOnLayer(f.Rect, ly)
 	}
 	for i, s := range set.Shifters {
 		layerNum := LayerShifter0

@@ -31,7 +31,7 @@ func buildAssigned(t *testing.T, l *layout.Layout) (*core.ConflictGraph, *core.A
 func TestBuildMaskView(t *testing.T) {
 	l := bench.Figure1Layout()
 	cg, a := buildAssigned(t, l)
-	m, err := Build(l, cg.Set, a.Phases)
+	m, err := Build(l, cg.Set, a.Phases, layout.BrightField)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestBuildMaskView(t *testing.T) {
 func TestBuildPhaseCountMismatch(t *testing.T) {
 	l := bench.Figure1Layout()
 	cg, a := buildAssigned(t, l)
-	if _, err := Build(l, cg.Set, a.Phases[:1]); err == nil {
+	if _, err := Build(l, cg.Set, a.Phases[:1], layout.BrightField); err == nil {
 		t.Fatal("short phase slice must be rejected")
 	}
 	_ = cg

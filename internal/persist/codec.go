@@ -16,7 +16,7 @@ import (
 // Snapshot wire format (all integers little-endian, fixed width):
 //
 //	magic   [8]byte  "AAPSMSNP"
-//	version uint16   (currently 1)
+//	version uint16   (currently 2)
 //	payload          sections in SessionState field order
 //	crc32   uint32   IEEE checksum of everything before it
 //
@@ -29,7 +29,11 @@ var snapMagic = [8]byte{'A', 'A', 'P', 'S', 'M', 'S', 'N', 'P'}
 
 // Version is the current snapshot format version. Bump on any wire change;
 // decoders reject other versions with ErrVersion.
-const Version uint16 = 1
+//
+// Version 2 added the rules tone, the engine's profile name, feature polygon
+// groups, the layout hierarchy sidecar, and the hierarchy-reuse counters in
+// both stats blocks.
+const Version uint16 = 2
 
 var (
 	// ErrCorrupt marks a snapshot that failed structural or checksum
@@ -48,14 +52,16 @@ func Encode(st *SessionState) []byte {
 	w.u16(Version)
 
 	r := st.Rules
-	for _, v := range [7]int64{r.CriticalWidth, r.ShifterWidth, r.ShifterGap,
-		r.MinShifterSpacing, r.MinFeatureWidth, r.MinFeatureSpacing, r.FeatureConflictWeight} {
+	for _, v := range [8]int64{r.CriticalWidth, r.ShifterWidth, r.ShifterGap,
+		r.MinShifterSpacing, r.MinFeatureWidth, r.MinFeatureSpacing, r.FeatureConflictWeight,
+		int64(r.Tone)} {
 		w.i64(v)
 	}
 	w.u8(uint8(st.Kind))
 	w.u8(uint8(st.Opt.TJoin.Method))
 	w.i64(int64(st.Opt.TJoin.GroupCap))
 	w.u8(uint8(st.Opt.Recheck))
+	w.str(st.Profile)
 
 	w.i64(int64(st.DetectRuns))
 	w.i64(int64(st.Edits))
@@ -135,11 +141,13 @@ func Decode(data []byte) (*SessionState, error) {
 		MinFeatureWidth:       rd.i64(),
 		MinFeatureSpacing:     rd.i64(),
 		FeatureConflictWeight: rd.i64(),
+		Tone:                  layout.Tone(rd.i64()),
 	}
 	st.Kind = core.GraphKind(rd.u8())
 	st.Opt.TJoin.Method = tjoin.Method(rd.u8())
 	st.Opt.TJoin.GroupCap = int(rd.i64())
 	st.Opt.Recheck = core.RecheckMode(rd.u8())
+	st.Profile = rd.str()
 
 	st.DetectRuns = int(rd.i64())
 	st.Edits = int(rd.i64())
@@ -213,7 +221,14 @@ func (w *writer) incState(inc *core.IncrementalState) {
 		w.i64(f.Rect.X1)
 		w.i64(f.Rect.Y1)
 		w.i64(int64(f.Layer))
+		w.i64(int64(f.Group))
 	}
+	w.u32(uint32(len(inc.HierCells)))
+	for _, c := range inc.HierCells {
+		w.str(c)
+	}
+	w.i32s(inc.HierPlacementCell)
+	w.i32s(inc.HierFeatureInstance)
 	w.i32s(inc.FeatUID)
 	w.i32(inc.NextUID)
 	w.i32(inc.NextOvUID)
@@ -277,9 +292,10 @@ func (w *writer) incState(inc *core.IncrementalState) {
 }
 
 func (w *writer) detStats(s core.Stats) {
-	for _, v := range [11]int{s.GraphNodes, s.GraphEdges, s.CrossingPairs,
+	for _, v := range [14]int{s.GraphNodes, s.GraphEdges, s.CrossingPairs,
 		s.DualNodes, s.DualEdges, s.OddFaces, s.GadgetNodes, s.GadgetEdges,
-		s.Shards, s.ReusedShards, s.LargestShardEdges} {
+		s.Shards, s.ReusedShards, s.LargestShardEdges,
+		s.HierReusedShards, s.HierSolvedShards, s.HierFallbackShards} {
 		w.i64(int64(v))
 	}
 	for _, d := range [6]time.Duration{s.CrossTime, s.PlanarTime, s.EmbedTime,
@@ -289,8 +305,9 @@ func (w *writer) detStats(s core.Stats) {
 }
 
 func (w *writer) incStats(s core.IncStats) {
-	for _, v := range [16]int{s.Edits, s.Detects, s.FullDetects,
+	for _, v := range [19]int{s.Edits, s.Detects, s.FullDetects,
 		s.ShardsReused, s.ShardsSolved, s.FallbackDirty,
+		s.HierClustersReused, s.HierClustersSolved, s.HierFallbackClusters,
 		s.AssignClustersReused, s.AssignClustersSolved,
 		s.VerifyChecksReused, s.VerifyChecksSolved,
 		s.CorrIntervalsReused, s.CorrIntervalsSolved,
@@ -419,7 +436,7 @@ func (r *reader) intervals() correct.Intervals {
 func (r *reader) incState() *core.IncrementalState {
 	inc := &core.IncrementalState{}
 	inc.LayoutName = r.str()
-	nf := r.sliceLen(5 * 8)
+	nf := r.sliceLen(6 * 8)
 	inc.Features = sliceCap[layout.Feature](nf)
 	for i := 0; i < nf; i++ {
 		var f layout.Feature
@@ -428,8 +445,16 @@ func (r *reader) incState() *core.IncrementalState {
 		f.Rect.X1 = r.i64()
 		f.Rect.Y1 = r.i64()
 		f.Layer = int(r.i64())
+		f.Group = int(r.i64())
 		inc.Features = append(inc.Features, f)
 	}
+	nhc := r.sliceLen(4)
+	inc.HierCells = sliceCap[string](nhc)
+	for i := 0; i < nhc; i++ {
+		inc.HierCells = append(inc.HierCells, r.str())
+	}
+	inc.HierPlacementCell = r.i32s()
+	inc.HierFeatureInstance = r.i32s()
 	inc.FeatUID = r.i32s()
 	inc.NextUID = r.i32()
 	inc.NextOvUID = r.i32()
@@ -505,9 +530,10 @@ func (r *reader) incState() *core.IncrementalState {
 
 func (r *reader) detStats() core.Stats {
 	var s core.Stats
-	for _, p := range [11]*int{&s.GraphNodes, &s.GraphEdges, &s.CrossingPairs,
+	for _, p := range [14]*int{&s.GraphNodes, &s.GraphEdges, &s.CrossingPairs,
 		&s.DualNodes, &s.DualEdges, &s.OddFaces, &s.GadgetNodes, &s.GadgetEdges,
-		&s.Shards, &s.ReusedShards, &s.LargestShardEdges} {
+		&s.Shards, &s.ReusedShards, &s.LargestShardEdges,
+		&s.HierReusedShards, &s.HierSolvedShards, &s.HierFallbackShards} {
 		*p = int(r.i64())
 	}
 	for _, p := range [6]*time.Duration{&s.CrossTime, &s.PlanarTime, &s.EmbedTime,
@@ -519,8 +545,9 @@ func (r *reader) detStats() core.Stats {
 
 func (r *reader) incStats() core.IncStats {
 	var s core.IncStats
-	for _, p := range [16]*int{&s.Edits, &s.Detects, &s.FullDetects,
+	for _, p := range [19]*int{&s.Edits, &s.Detects, &s.FullDetects,
 		&s.ShardsReused, &s.ShardsSolved, &s.FallbackDirty,
+		&s.HierClustersReused, &s.HierClustersSolved, &s.HierFallbackClusters,
 		&s.AssignClustersReused, &s.AssignClustersSolved,
 		&s.VerifyChecksReused, &s.VerifyChecksSolved,
 		&s.CorrIntervalsReused, &s.CorrIntervalsSolved,

@@ -42,6 +42,10 @@ type SessionState struct {
 	// zero — parallelism affects wall clock only, never results, so it is
 	// not part of the fingerprint.
 	Opt core.Options
+	// Profile is the rules-profile registry name the engine was configured
+	// from ("" for custom rules). Part of the fingerprint: services key
+	// per-profile engines by it when rehydrating.
+	Profile string
 
 	DetectRuns int
 	Edits      int

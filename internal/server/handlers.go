@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	aapsm "repro"
@@ -95,6 +96,9 @@ type createResponse struct {
 	Name     string `json:"name"`
 	Features int    `json:"features"`
 	Reused   bool   `json:"reused"` // an existing pristine session (or snapshot) was reattached
+	// Profile is the rules-profile registry name the session runs under
+	// (omitted when the server's base engine uses custom rules).
+	Profile string `json:"profile,omitempty"`
 	// Blob is the content address of the archived raw upload body (GDS
 	// uploads with a blob store configured).
 	Blob string `json:"blob,omitempty"`
@@ -102,11 +106,25 @@ type createResponse struct {
 
 // handleCreate builds (or reattaches to) a session from an uploaded layout.
 // The body is the plain-text interchange format by default, or a GDSII
-// stream with ?format=gds. Identical content — text or GDS — canonicalizes
-// to the same hash, so repeated uploads coalesce onto one session until it
-// is edited; with persistence configured, a pristine snapshot of the same
-// content rehydrates instead of re-detecting.
+// stream with ?format=gds; ?profile= selects a registered rules profile
+// (default: the server engine's). Identical content under the same profile —
+// text or GDS — canonicalizes to the same hash, so repeated uploads coalesce
+// onto one session until it is edited; with persistence configured, a
+// pristine snapshot of the same content rehydrates instead of re-detecting.
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	eng, err := s.engineFor(r.URL.Query().Get("profile"))
+	if err != nil {
+		msg := err.Error()
+		if errors.Is(err, aapsm.ErrUnknownProfile) {
+			names := make([]string, 0, 2)
+			for _, p := range aapsm.Profiles() {
+				names = append(names, p.Name)
+			}
+			msg = fmt.Sprintf("%v (registered: %s)", err, strings.Join(names, ", "))
+		}
+		writeError(w, http.StatusBadRequest, "unknown_profile", "", "", msg)
+		return
+	}
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_layout", "", "", err.Error())
@@ -137,7 +155,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_layout", "", "", err.Error())
 		return
 	}
-	hash, err := layoutHash(l)
+	hash, err := layoutHash(l, eng.Profile())
 	if err != nil {
 		s.flowError(w, err)
 		return
@@ -154,13 +172,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 				Name:     ent.Sess.LayoutName(),
 				Features: ent.Sess.NumFeatures(),
 				Reused:   true,
+				Profile:  ent.Sess.Engine().Profile(),
 				Blob:     blob,
 			})
 			return
 		}
 	}
 	ent, reused, err := s.store.getOrCreate(r.Context(), hash, func() (*aapsm.Session, error) {
-		sess := s.cfg.Engine.NewSessionWithParallelism(l, s.cfg.DetectWorkers)
+		sess := eng.NewSessionWithParallelism(l, s.cfg.DetectWorkers)
 		if !s.cfg.IncrementalOff {
 			// Arm incremental edits up front so this session's first
 			// detection seeds the per-cluster cache and post-edit re-detects
@@ -186,14 +205,18 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Name:     ent.Sess.LayoutName(),
 		Features: ent.Sess.NumFeatures(),
 		Reused:   reused,
+		Profile:  ent.Sess.Engine().Profile(),
 		Blob:     blob,
 	})
 }
 
 // layoutHash canonicalizes a layout (name, feature order, coordinates,
-// layers) through the text serialization and hashes it.
-func layoutHash(l *aapsm.Layout) (string, error) {
+// layers) through the text serialization, mixes in the rules profile the
+// session will run under (identical content under different profiles must
+// not coalesce), and hashes it.
+func layoutHash(l *aapsm.Layout, profile string) (string, error) {
 	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "profile %s\n", profile)
 	if err := aapsm.WriteLayoutText(&buf, l); err != nil {
 		return "", err
 	}
@@ -206,6 +229,7 @@ type infoResponse struct {
 	Hash        string                 `json:"hash"`
 	Name        string                 `json:"name"`
 	Features    int                    `json:"features"`
+	Profile     string                 `json:"profile,omitempty"`
 	Edits       int                    `json:"edits"`
 	DetectRuns  int                    `json:"detect_runs"`
 	Incremental aapsm.IncrementalStats `json:"incremental"`
@@ -219,6 +243,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request, ent *session
 		ID: ent.ID, Hash: ent.Hash,
 		Name:     ent.Sess.LayoutName(),
 		Features: ent.Sess.NumFeatures(),
+		Profile:  ent.Sess.Engine().Profile(),
 		Edits:    st.Edits, DetectRuns: st.DetectRuns, Incremental: st.Incremental,
 		CreatedAt: ent.Created,
 	}

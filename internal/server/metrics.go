@@ -83,6 +83,15 @@ type metrics struct {
 	// the ratio within one stage is the interesting signal.
 	reuse [stageCount]struct{ reused, solved atomic.Int64 }
 
+	// Hierarchy fast-path counters, accumulated from the same per-request
+	// IncStats deltas: clusters that received a spliced result from an
+	// identical sibling placement, distinct representative clusters solved
+	// for them, and instance-touching clusters that fell back to flat
+	// solving because they crossed an instance boundary.
+	hierReused   atomic.Int64
+	hierSolved   atomic.Int64
+	hierFallback atomic.Int64
+
 	mu       sync.Mutex
 	requests map[requestKey]int64
 	seconds  map[string]*latency
@@ -118,6 +127,15 @@ func (m *metrics) observeReuse(before, after aapsm.IncrementalStats) {
 	add(stageCorrect, after.CorrIntervalsReused-before.CorrIntervalsReused, after.CorrIntervalsSolved-before.CorrIntervalsSolved)
 	add(stageMask, after.MaskChecksReused-before.MaskChecksReused, after.MaskChecksSolved-before.MaskChecksSolved)
 	add(stageDRC, after.DRCPairsReused-before.DRCPairsReused, after.DRCPairsSolved-before.DRCPairsSolved)
+	if d := after.HierClustersReused - before.HierClustersReused; d > 0 {
+		m.hierReused.Add(int64(d))
+	}
+	if d := after.HierClustersSolved - before.HierClustersSolved; d > 0 {
+		m.hierSolved.Add(int64(d))
+	}
+	if d := after.HierFallbackClusters - before.HierFallbackClusters; d > 0 {
+		m.hierFallback.Add(int64(d))
+	}
 }
 
 type requestKey struct {
@@ -320,6 +338,12 @@ func (m *metrics) write(w io.Writer, sessionsLive, sessionsPinned, retriesPendin
 	for i, name := range stageNames {
 		fmt.Fprintf(w, "aapsmd_incremental_solved_total{stage=%q} %d\n", name, m.reuse[i].solved.Load())
 	}
+	fmt.Fprintf(w, "# HELP aapsmd_hier_clusters_reused_total Conflict clusters whose detection result was spliced from an identical sibling placement by the instance-aware fast path.\n# TYPE aapsmd_hier_clusters_reused_total counter\n")
+	fmt.Fprintf(w, "aapsmd_hier_clusters_reused_total %d\n", m.hierReused.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_hier_clusters_solved_total Distinct representative clusters solved for instance-pure cluster groups.\n# TYPE aapsmd_hier_clusters_solved_total counter\n")
+	fmt.Fprintf(w, "aapsmd_hier_clusters_solved_total %d\n", m.hierSolved.Load())
+	fmt.Fprintf(w, "# HELP aapsmd_hier_clusters_fallback_total Instance-touching clusters solved flat because they cross instance boundaries.\n# TYPE aapsmd_hier_clusters_fallback_total counter\n")
+	fmt.Fprintf(w, "aapsmd_hier_clusters_fallback_total %d\n", m.hierFallback.Load())
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -250,6 +250,12 @@ type Server struct {
 	snapByID    map[string]persist.Ref
 	snapByHash  map[string]persist.Ref
 	rehydrating map[string]*rehydrateCall
+
+	// Per-profile engine cache: sessions created with ?profile= run under an
+	// engine configured from the named registry profile but sharing every
+	// other knob of the base engine. Keyed by profile name.
+	engMu   sync.Mutex
+	engines map[string]*aapsm.Engine
 }
 
 // rehydrateCall is one in-flight snapshot restore other requests for the
@@ -267,6 +273,7 @@ func New(cfg Config) *Server {
 		snapByID:    make(map[string]persist.Ref),
 		snapByHash:  make(map[string]persist.Ref),
 		rehydrating: make(map[string]*rehydrateCall),
+		engines:     make(map[string]*aapsm.Engine),
 	}
 	s.retry.pending = make(map[string]int)
 	if cfg.MaxInflight > 0 {
@@ -494,8 +501,40 @@ func (s *Server) rehydrate(ctx context.Context, id string) (*sessionEntry, bool)
 	}
 }
 
+// engineFor resolves the engine serving a rules profile: the shared base
+// engine for "" or its own profile, a cached per-profile engine otherwise. A
+// derived engine inherits every non-rules knob (graph kind, T-join method,
+// recheck mode, parallelism) from the base; an unknown profile name returns
+// the registry's typed error.
+func (s *Server) engineFor(profile string) (*aapsm.Engine, error) {
+	base := s.cfg.Engine
+	if profile == "" || profile == base.Profile() {
+		return base, nil
+	}
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	if e, ok := s.engines[profile]; ok {
+		return e, nil
+	}
+	opt := base.DetectOptions()
+	e := aapsm.NewEngine(
+		aapsm.WithProfile(profile),
+		aapsm.WithGraph(opt.Graph),
+		aapsm.WithTJoinMethod(opt.Method),
+		aapsm.WithImprovedRecheck(opt.ImprovedRecheck),
+		aapsm.WithParallelism(base.Parallelism()),
+	)
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	s.engines[profile] = e
+	return e, nil
+}
+
 // rehydrateLeader is the winning flight's restore: read the snapshot bytes,
-// rebuild the session, adopt it under its original ID.
+// rebuild the session, adopt it under its original ID. The snapshot names
+// the rules profile it was taken under, so the restore routes to the
+// matching per-profile engine.
 func (s *Server) rehydrateLeader(ctx context.Context, id string, ref persist.Ref) (*sessionEntry, bool) {
 	// A concurrent request may have adopted the session between this
 	// request's store miss and winning the flight.
@@ -507,8 +546,20 @@ func (s *Server) rehydrateLeader(ctx context.Context, id string, ref persist.Ref
 		s.dropSnapshot(ref)
 		return nil, false
 	}
+	profile, err := aapsm.SnapshotProfile(data)
+	if err != nil {
+		s.dropSnapshot(ref)
+		return nil, false
+	}
+	eng, err := s.engineFor(profile)
+	if err != nil {
+		// The snapshot names a profile this build's registry does not have;
+		// it can never restore here.
+		s.dropSnapshot(ref)
+		return nil, false
+	}
 	start := time.Now()
-	sess, err := s.cfg.Engine.RestoreSessionWithParallelism(ctx, data, s.cfg.DetectWorkers)
+	sess, err := eng.RestoreSessionWithParallelism(ctx, data, s.cfg.DetectWorkers)
 	if err != nil {
 		// A cancelled restore says nothing about the snapshot; anything
 		// else (corrupt, version skew, configuration mismatch) does.

@@ -15,6 +15,8 @@ import (
 
 	aapsm "repro"
 	"repro/internal/bench"
+	"repro/internal/gds"
+	"repro/internal/geom"
 )
 
 // idx builds the explicit index pointer move/del edit ops require.
@@ -557,7 +559,7 @@ func TestRequestTimeout(t *testing.T) {
 	// Seed a session past the HTTP layer, then hit the stage endpoints: the
 	// pipeline work times out with a typed 504.
 	l := loadLayout(5)
-	hash, err := layoutHash(l)
+	hash, err := layoutHash(l, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -688,5 +690,105 @@ func TestGDSUpload(t *testing.T) {
 	}
 	if a.ID != b.ID || !b.Reused {
 		t.Errorf("GDS and text uploads of one layout got sessions %q and %q (reused=%v)", a.ID, b.ID, b.Reused)
+	}
+}
+
+// TestProfileEndpoint pins the ?profile= session-creation contract: the
+// response and info endpoints report the registry name, the same content
+// under different profiles hashes to distinct sessions, and unknown names
+// are a typed 400.
+func TestProfileEndpoint(t *testing.T) {
+	_, tc := newTestServer(t, Config{Engine: aapsm.NewEngine()})
+	body := layoutText(t, loadLayout(3))
+
+	var dark createResponse
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions?profile=dark-90nm", body, 200), &dark); err != nil {
+		t.Fatal(err)
+	}
+	if dark.Profile != "dark-90nm" {
+		t.Fatalf("create profile = %q, want dark-90nm", dark.Profile)
+	}
+	var info infoResponse
+	if err := json.Unmarshal(tc.must("GET", "/v1/sessions/"+dark.ID, nil, 200), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Profile != "dark-90nm" {
+		t.Fatalf("info profile = %q, want dark-90nm", info.Profile)
+	}
+
+	// The hash mixes in the profile: the same bytes under the default
+	// engine are a different session, not a reuse of the dark one.
+	var base createResponse
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions", body, 200), &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.ID == dark.ID || base.Reused {
+		t.Fatalf("default-profile upload reattached to the dark session (id %q reused=%v)", base.ID, base.Reused)
+	}
+
+	// Unknown profiles are a typed 400 naming the registry.
+	code, raw := tc.do("POST", "/v1/sessions?profile=tri-tone-65nm", body)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown profile: status %d, want 400: %s", code, raw)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "unknown_profile" {
+		t.Fatalf("error code %q, want unknown_profile", eb.Error.Code)
+	}
+	if !strings.Contains(eb.Error.Message, "bright-90nm") {
+		t.Fatalf("error message does not list registered profiles: %s", eb.Error.Message)
+	}
+}
+
+// TestHierUploadMetrics pins that a hierarchical GDS upload takes the
+// instance-aware fast path end to end: the flattened layout keeps its
+// provenance sidecar through the upload, detection reuses cluster solves
+// across placements, and /metrics exposes the reuse counters.
+func TestHierUploadMetrics(t *testing.T) {
+	_, tc := newTestServer(t, Config{Engine: aapsm.NewEngine()})
+
+	cell := loadLayout(4)
+	lib := &gds.Library{Name: "LOAD", Cells: []*gds.Cell{{Name: "CELL"}}}
+	for _, f := range cell.Features {
+		lib.Cells[0].Polys = append(lib.Cells[0].Polys, gds.Poly{Layer: f.Layer, Pts: []geom.Point{
+			{X: f.Rect.X0, Y: f.Rect.Y0}, {X: f.Rect.X1, Y: f.Rect.Y0},
+			{X: f.Rect.X1, Y: f.Rect.Y1}, {X: f.Rect.X0, Y: f.Rect.Y1},
+		}})
+	}
+	bb := cell.BBox()
+	step := geom.Point{X: bb.X1 - bb.X0 + 2000, Y: bb.Y1 - bb.Y0 + 2000}
+	lib.Cells = append([]*gds.Cell{{Name: "TOP", Refs: []gds.Ref{{
+		Cell: "CELL", Cols: 2, Rows: 2,
+		ColStep: geom.Point{X: step.X}, RowStep: geom.Point{Y: step.Y},
+	}}}}, lib.Cells...)
+	var buf bytes.Buffer
+	if err := gds.WriteLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+
+	var created createResponse
+	if err := json.Unmarshal(tc.must("POST", "/v1/sessions?format=gds", buf.Bytes(), 200), &created); err != nil {
+		t.Fatal(err)
+	}
+	tc.must("GET", "/v1/sessions/"+created.ID+"/detect", nil, 200)
+
+	metrics := string(tc.must("GET", "/metrics", nil, 200))
+	reused, solved := -1, -1
+	for _, line := range strings.Split(metrics, "\n") {
+		if n, ok := strings.CutPrefix(line, "aapsmd_hier_clusters_reused_total "); ok {
+			fmt.Sscanf(n, "%d", &reused)
+		}
+		if n, ok := strings.CutPrefix(line, "aapsmd_hier_clusters_solved_total "); ok {
+			fmt.Sscanf(n, "%d", &solved)
+		}
+	}
+	if solved <= 0 || reused <= 0 {
+		t.Fatalf("hier metrics after hierarchical detect: reused=%d solved=%d (want both > 0)", reused, solved)
+	}
+	if reused < solved {
+		t.Fatalf("4 identical placements should reuse more than they solve: reused=%d solved=%d", reused, solved)
 	}
 }

@@ -31,6 +31,9 @@ var ErrSnapshotMismatch = errors.New("aapsm: snapshot was taken under a differen
 func (s *Session) Snapshot() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.engine.err; err != nil {
+		return nil, flowErr(StagePersist, s.layout.Name, err)
+	}
 	inc := s.inc
 	if inc == nil {
 		// Session never armed for edits: build a throwaway incremental
@@ -46,6 +49,7 @@ func (s *Session) Snapshot() ([]byte, error) {
 		Rules:          s.engine.rules,
 		Kind:           s.engine.opts.Graph,
 		Opt:            s.engine.opts.coreOptions(),
+		Profile:        s.engine.profile,
 		DetectRuns:     s.detectRuns,
 		Edits:          s.edits,
 		VerifyCleanGen: s.verifyCleanGen,
@@ -101,6 +105,9 @@ func (e *Engine) RestoreSession(ctx context.Context, data []byte) (*Session, err
 // detection worker bound of NewSessionWithParallelism (n <= 0 keeps the
 // engine default).
 func (e *Engine) RestoreSessionWithParallelism(ctx context.Context, data []byte, n int) (*Session, error) {
+	if e.err != nil {
+		return nil, flowErr(StagePersist, "", e.err)
+	}
 	st, err := persist.Decode(data)
 	if err != nil {
 		return nil, flowErr(StagePersist, "", err)
@@ -113,9 +120,9 @@ func (e *Engine) RestoreSessionWithParallelism(ctx context.Context, data []byte,
 	}
 	opt := e.opts.coreOptions()
 	opt.Workers = 0
-	if st.Rules != e.rules || st.Kind != e.opts.Graph || st.Opt != opt {
-		return nil, flowErr(StagePersist, "", fmt.Errorf("%w (snapshot: rules=%+v kind=%d opt=%+v; engine: rules=%+v kind=%d opt=%+v)",
-			ErrSnapshotMismatch, st.Rules, st.Kind, st.Opt, e.rules, e.opts.Graph, opt))
+	if st.Rules != e.rules || st.Kind != e.opts.Graph || st.Opt != opt || st.Profile != e.profile {
+		return nil, flowErr(StagePersist, "", fmt.Errorf("%w (snapshot: rules=%+v kind=%d opt=%+v profile=%q; engine: rules=%+v kind=%d opt=%+v profile=%q)",
+			ErrSnapshotMismatch, st.Rules, st.Kind, st.Opt, st.Profile, e.rules, e.opts.Graph, opt, e.profile))
 	}
 	inc, err := core.RestoreIncremental(st.Inc, e.rules, e.opts.Graph, e.opts.coreOptions())
 	if err != nil {
@@ -153,6 +160,18 @@ func (e *Engine) RestoreSessionWithParallelism(ctx context.Context, data []byte,
 	inc.RestoreStats(st.Inc.Stats)
 	s.mu.Unlock()
 	return s, nil
+}
+
+// SnapshotProfile reports the rules-profile name a snapshot was taken under
+// ("" for custom rules), without restoring it. Services holding per-profile
+// engines use it to route a rehydration to the right engine before paying
+// for the restore.
+func SnapshotProfile(data []byte) (string, error) {
+	st, err := persist.Decode(data)
+	if err != nil {
+		return "", flowErr(StagePersist, "", err)
+	}
+	return st.Profile, nil
 }
 
 func ivCacheFrom(st *persist.SessionState) map[int32]correct.Intervals {

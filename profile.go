@@ -1,0 +1,81 @@
+package aapsm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// ErrUnknownProfile reports a profile name not present in the registry.
+// Errors carrying it are errors.Is-matchable and name the offending profile.
+var ErrUnknownProfile = errors.New("unknown rules profile")
+
+// Profile is a named, immutable rules preset. The registry gives CLIs,
+// services and snapshots a stable vocabulary for process setups, so a
+// session restored on another host re-runs under the exact rules it was
+// created with.
+type Profile struct {
+	// Name is the registry key (stable across releases; recorded in
+	// snapshots and reported by services).
+	Name string
+	// Description is a one-line human summary.
+	Description string
+	// Rules are the process parameters the profile stands for.
+	Rules Rules
+}
+
+// The built-in registry. Order is the presentation order of Profiles().
+var builtinProfiles = []Profile{
+	{
+		Name:        "bright-90nm",
+		Description: "bright-field 90 nm-node rules (the paper's setup)",
+		Rules:       layout.Default90nm(),
+	},
+	{
+		Name:        "dark-90nm",
+		Description: "dark-field 90 nm-node variant: apertures etched in chrome, shifters separated by a chrome gap",
+		Rules:       layout.Dark90nm(),
+	},
+}
+
+// Profiles returns the registered profiles in presentation order. The slice
+// is a copy; callers may reorder it freely.
+func Profiles() []Profile {
+	return append([]Profile(nil), builtinProfiles...)
+}
+
+// ProfileByName resolves a registry name. Unknown names return a
+// StageConfig *FlowError matching ErrUnknownProfile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range builtinProfiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, flowErr(StageConfig, "", fmt.Errorf("%w %q", ErrUnknownProfile, name))
+}
+
+// WithProfile configures the engine from a registered profile: the rules are
+// taken from the registry and the engine remembers the profile name (see
+// Engine.Profile). An unknown name does not panic — the engine is created
+// with a sticky error that every stage of every session reports, so services
+// resolving user-supplied names can construct first and check Engine.Err.
+//
+// WithProfile and WithRules both set the rules; the last option wins, and
+// WithRules resets the profile name to "" (custom rules).
+func WithProfile(name string) EngineOption {
+	return func(e *Engine) {
+		p, err := ProfileByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.rules = p.Rules
+		e.profile = p.Name
+	}
+}
+
+// Dark90nmRules returns the dark-field 90 nm-node rules variant
+// (profile "dark-90nm").
+func Dark90nmRules() Rules { return layout.Dark90nm() }

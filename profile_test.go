@@ -1,0 +1,195 @@
+package aapsm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestProfileRegistry(t *testing.T) {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+		if p.Description == "" {
+			t.Errorf("profile %q has no description", p.Name)
+		}
+		got, err := ProfileByName(p.Name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", p.Name, err)
+		}
+		if got.Rules != p.Rules {
+			t.Errorf("ProfileByName(%q) returned different rules", p.Name)
+		}
+	}
+	want := []string{"bright-90nm", "dark-90nm"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("registry is %v, want %v", names, want)
+	}
+	if ProfileByNameMustRules(t, "bright-90nm").Tone != BrightField {
+		t.Error("bright-90nm is not bright-field")
+	}
+	if ProfileByNameMustRules(t, "dark-90nm").Tone != DarkField {
+		t.Error("dark-90nm is not dark-field")
+	}
+	if Dark90nmRules() != ProfileByNameMustRules(t, "dark-90nm") {
+		t.Error("Dark90nmRules diverges from the dark-90nm profile")
+	}
+	// Profiles() hands out a copy; mutating it must not corrupt the registry.
+	ps[0].Name = "mutated"
+	if _, err := ProfileByName("bright-90nm"); err != nil {
+		t.Error("mutating the Profiles() copy changed the registry")
+	}
+}
+
+func ProfileByNameMustRules(t *testing.T, name string) Rules {
+	t.Helper()
+	p, err := ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Rules
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	_, err := ProfileByName("tri-tone-65nm")
+	if !errors.Is(err, ErrUnknownProfile) {
+		t.Fatalf("got %v, want ErrUnknownProfile", err)
+	}
+	var fe *FlowError
+	if !errors.As(err, &fe) || fe.Stage != StageConfig {
+		t.Fatalf("want a StageConfig FlowError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "tri-tone-65nm") {
+		t.Fatalf("error does not name the offending profile: %v", err)
+	}
+}
+
+// TestWithProfileUnknownIsSticky pins the deferred-error contract: an engine
+// built with an unknown profile is constructed (no panic), reports the error
+// from Err(), and every stage of every session fails with it.
+func TestWithProfileUnknownIsSticky(t *testing.T) {
+	ctx := context.Background()
+	eng := NewEngine(WithProfile("nope"))
+	if err := eng.Err(); !errors.Is(err, ErrUnknownProfile) {
+		t.Fatalf("Engine.Err: got %v, want ErrUnknownProfile", err)
+	}
+	s := eng.NewSession(Figure1Layout())
+	if _, err := s.Detect(ctx); !errors.Is(err, ErrUnknownProfile) {
+		t.Fatalf("Detect: got %v, want ErrUnknownProfile", err)
+	}
+	if _, err := s.Mask(ctx); !errors.Is(err, ErrUnknownProfile) {
+		t.Fatalf("Mask: got %v, want ErrUnknownProfile", err)
+	}
+	if _, err := s.Snapshot(); !errors.Is(err, ErrUnknownProfile) {
+		t.Fatalf("Snapshot: got %v, want ErrUnknownProfile", err)
+	}
+}
+
+func TestWithRulesResetsProfile(t *testing.T) {
+	eng := NewEngine(WithProfile("dark-90nm"))
+	if eng.Profile() != "dark-90nm" {
+		t.Fatalf("Profile() = %q", eng.Profile())
+	}
+	custom := Default90nmRules()
+	custom.ShifterWidth++
+	eng2 := NewEngine(WithProfile("dark-90nm"), WithRules(custom))
+	if eng2.Profile() != "" {
+		t.Fatalf("WithRules after WithProfile kept profile %q", eng2.Profile())
+	}
+}
+
+// TestDarkFieldMaskTone pins the dark-field mask semantics: layer-0 features
+// land on the opening layer (clear apertures in chrome) instead of the
+// chrome layer. Figure 5 masks cleanly under both tones; Figure 1 does not
+// under dark-field rules (the wider apertures force a waived feature
+// conflict), which TestDarkFieldFigure1Inconsistent pins separately.
+func TestDarkFieldMaskTone(t *testing.T) {
+	ctx := context.Background()
+	bright, err := NewEngine(WithProfile("bright-90nm")).NewSession(Figure5Layout()).Mask(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dark, err := NewEngine(WithProfile("dark-90nm")).NewSession(Figure5Layout()).Mask(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(l *Layout, layer int) int {
+		n := 0
+		for _, f := range l.Features {
+			if f.Layer == layer {
+				n++
+			}
+		}
+		return n
+	}
+	if n := count(bright, MaskLayerOpening); n != 0 {
+		t.Fatalf("bright-field mask has %d opening-layer features", n)
+	}
+	if n := count(dark, MaskLayerOpening); n == 0 {
+		t.Fatal("dark-field mask has no opening-layer features")
+	}
+	if n := count(dark, MaskLayerChrome); n != 0 {
+		t.Fatalf("dark-field mask still has %d chrome-layer features", n)
+	}
+}
+
+// TestDarkFieldFigure1Inconsistent pins that the dark-field variant is a
+// genuinely different scenario: the wider apertures (220 + 20 gap vs 200)
+// put Figure 1's dense pairs in conflict beyond what shifter-edge cuts can
+// repair, so detection waives a feature edge and the mask view correctly
+// refuses to validate.
+func TestDarkFieldFigure1Inconsistent(t *testing.T) {
+	ctx := context.Background()
+	s := NewEngine(WithProfile("dark-90nm")).NewSession(Figure1Layout())
+	a, err := s.Assignment(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.WaivedFeatures) == 0 {
+		t.Fatal("expected dark-field Figure 1 to waive a feature conflict")
+	}
+	if _, err := s.Mask(ctx); !errors.Is(err, ErrMaskInconsistent) {
+		t.Fatalf("Mask: got %v, want ErrMaskInconsistent", err)
+	}
+}
+
+// TestProfileSnapshotRoundTrip pins that the profile identity is part of the
+// snapshot fingerprint: a dark-90nm session restores on a dark-90nm engine,
+// is rejected by a bright-field engine, and SnapshotProfile peeks the name
+// without a full restore.
+func TestProfileSnapshotRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	dark := NewEngine(WithProfile("dark-90nm"))
+	s := dark.NewSession(Figure5Layout())
+	if _, err := s.Detect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := SnapshotProfile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "dark-90nm" {
+		t.Fatalf("SnapshotProfile = %q, want dark-90nm", name)
+	}
+	r, err := dark.RestoreSession(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Engine().Profile() != "dark-90nm" {
+		t.Fatalf("restored session engine profile %q", r.Engine().Profile())
+	}
+	if _, err := NewEngine(WithProfile("bright-90nm")).RestoreSession(ctx, data); err == nil {
+		t.Fatal("bright-field engine accepted a dark-field snapshot")
+	}
+	// Same rules but no profile name is a different fingerprint too: the
+	// snapshot pins the registry identity, not just the numbers.
+	if _, err := NewEngine(WithRules(Dark90nmRules())).RestoreSession(ctx, data); err == nil {
+		t.Fatal("profile-less engine accepted a profile-tagged snapshot")
+	}
+}

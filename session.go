@@ -139,6 +139,9 @@ func memoLocked[T any](s *Session, st *stage[T], ctx context.Context, fs FlowSta
 		return st.val, st.err
 	}
 	var zero T
+	if err := s.engine.err; err != nil {
+		return zero, flowErr(fs, s.layout.Name, err)
+	}
 	if err := ctx.Err(); err != nil {
 		return zero, flowErr(fs, s.layout.Name, err)
 	}
@@ -625,7 +628,7 @@ func (s *Session) Mask(ctx context.Context) (*Layout, error) {
 		if p := s.validateMaskLocked(res, a); len(p) != 0 {
 			return nil, fmt.Errorf("%w: %s", ErrMaskInconsistent, p[0])
 		}
-		return mask.Build(s.layout, res.Graph.Set, a.Phases)
+		return mask.Build(s.layout, res.Graph.Set, a.Phases, s.engine.rules.Tone)
 	})
 }
 
